@@ -1,0 +1,20 @@
+"""E1 — Theorem 1.1 quality: (5+eps)-approximate weighted 2-ECSS.
+
+Paper claim: the returned subgraph weighs at most ``(5 + eps) OPT``.
+Measured: ratio against the exact MILP optimum on small instances and
+against the certified lower bound ``max(w(MST), dual/2)`` on larger ones.
+Expected shape: every ratio is far below the guarantee (typically < 2).
+"""
+
+from repro.analysis.experiments import e01_tecss_approx
+
+from conftest import run_experiment
+
+
+def test_e01_tecss_approx(benchmark):
+    rows = run_experiment(benchmark, e01_tecss_approx, "e01_tecss_approx")
+    assert rows, "experiment produced no rows"
+    assert all(r["within"] for r in rows)
+    # the guarantee is never violated, and small instances stay well inside
+    for r in rows:
+        assert r["ratio_vs_opt"] <= r["guarantee"] + 1e-6

@@ -1,0 +1,25 @@
+"""E3 — Theorem 4.19: weighted TAP quality.
+
+Two measurements:
+
+* ``(2 + eps)`` on the *virtual* instance — checked against the **exact**
+  optimum of G' computed by the Edmonds-arborescence solver, at sizes far
+  beyond the MILP (this is the sharp version of the claim, since the
+  remaining factor 2 of Theorem 4.19 is the worst-case virtual-split loss);
+* ``(4 + eps)`` on the original instance, against the MILP optimum.
+"""
+
+from repro.analysis.experiments import e03_tap_approx, e03_tap_vs_milp
+
+from conftest import run_experiment
+
+
+def test_e03_tap_on_virtual_graph(benchmark):
+    rows = run_experiment(benchmark, e03_tap_approx, "e03_tap_on_gprime")
+    assert all(r["within"] for r in rows)
+    assert all(r["ratio_on_gprime"] <= r["bound_2+eps"] + 1e-9 for r in rows)
+
+
+def test_e03_tap_vs_milp(benchmark):
+    rows = run_experiment(benchmark, e03_tap_vs_milp, "e03_tap_vs_milp")
+    assert all(r["within"] for r in rows)

@@ -1,0 +1,24 @@
+"""E5 — Claim 4.7: the layering has O(log n) layers.
+
+Measured: layer count against log2(#leaves) across families and sizes.
+Expected shape: layers <= log2(leaves) + 2 everywhere, with the constant
+visibly below 1.5 (the contraction halves leaves per round).
+"""
+
+from repro.analysis.experiments import e05_layering
+
+from conftest import run_experiment
+
+
+def test_e05_layering(benchmark):
+    rows = run_experiment(benchmark, e05_layering, "e05_layering")
+    for r in rows:
+        assert r["layers"] <= r["log2_leaves"] + 2
+    # growth within a family is logarithmic: quadrupling n adds O(1) layers
+    by_family = {}
+    for r in rows:
+        by_family.setdefault(r["family"], []).append(r)
+    for family, frows in by_family.items():
+        frows.sort(key=lambda r: r["n"])
+        for a, b in zip(frows, frows[1:]):
+            assert b["layers"] - a["layers"] <= 3

@@ -1,0 +1,20 @@
+"""E6 — Section 3.6.1: unweighted TAP, 2-approx on G' / 4-approx on G.
+
+Measured: the augmentation size against the MIS certificate (a true lower
+bound on OPT of G') and, on small instances, against the exact MILP optimum
+on G.  Expected: ratio on G' <= 2 always; ratio on G <= 4.
+"""
+
+from math import isnan
+
+from repro.analysis.experiments import e06_unweighted
+
+from conftest import run_experiment
+
+
+def test_e06_unweighted_tap(benchmark):
+    rows = run_experiment(benchmark, e06_unweighted, "e06_unweighted_tap")
+    assert all(r["within_2"] for r in rows)
+    for r in rows:
+        if not isnan(r["ratio_on_g"]):
+            assert r["ratio_on_g"] <= 4 + 1e-9

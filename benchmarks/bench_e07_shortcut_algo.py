@@ -1,0 +1,44 @@
+"""E7 — Theorem 1.2: the shortcut-based O(log n) algorithm.
+
+Two tables:
+
+* the end-to-end algorithm per family: measured shortcut-pass cost
+  (``alpha+beta+gamma`` summed over hierarchy levels), iteration counts and
+  solution weight against sequential greedy;
+* provider quality on sqrt(n)-part MST partitions: tree-restricted
+  shortcuts vs the generic size-threshold construction.  Expected shape —
+  the paper's regime table: on planar/bounded-genus/treewidth families
+  (grid, torus, k-tree, theta) tree-restricted quality stays within a
+  polylog factor of D, while on the long-skinny ``lollipop`` the generic
+  sqrt(n) regime takes over.
+"""
+
+import math
+
+from repro.analysis.experiments import e07_shortcut_algorithm, e07_shortcut_quality
+
+from conftest import run_experiment
+
+
+def test_e07_shortcut_algorithm(benchmark):
+    rows = run_experiment(benchmark, e07_shortcut_algorithm, "e07_shortcut_algorithm")
+    # the parallel cover never loses more than a small factor to greedy
+    assert all(r["aug/greedy"] <= 6.0 for r in rows)
+    assert all(r["iters"] >= 1 for r in rows)
+
+
+def test_e07_shortcut_quality(benchmark):
+    rows = run_experiment(benchmark, e07_shortcut_quality, "e07_shortcut_quality")
+    by_family = {r["family"]: r for r in rows}
+    for fam in ("grid", "torus", "theta"):
+        if fam in by_family:
+            r = by_family[fam]
+            n = r["n"]
+            polylog = math.log2(n) ** 2
+            assert r["tree-restricted:a+b"] <= r["D"] * polylog, (
+                f"{fam}: tree-restricted quality {r['tree-restricted:a+b']} "
+                f"not within D * log^2 n = {r['D'] * polylog:.0f}"
+            )
+    # the generic construction respects its O(D + sqrt n) promise everywhere
+    for r in rows:
+        assert r["size-threshold:a+b"] <= 4 * (r["D"] + math.sqrt(r["n"])) + 8

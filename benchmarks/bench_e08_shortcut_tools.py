@@ -1,0 +1,23 @@
+"""E8 — Theorems 5.1/5.2/5.3: the tree tools in shortcut time.
+
+Measured: hierarchy depth vs log2(n) (the O(log n) levels the recursion
+relies on), the number of batched partwise operations, correctness of the
+descendants'/ancestors' sums, and the <= log2(n) light-edge list bound of
+the distributed heavy-light decomposition.
+"""
+
+import math
+
+from repro.analysis.experiments import e08_shortcut_tools
+
+from conftest import run_experiment
+
+
+def test_e08_shortcut_tools(benchmark):
+    rows = run_experiment(benchmark, e08_shortcut_tools, "e08_shortcut_tools")
+    assert all(r["correct"] for r in rows)
+    for r in rows:
+        assert r["levels"] <= r["log2_n"] + 3
+        assert r["max_light_list"] <= math.log2(r["n"]) + 1
+        # constant number of partwise ops per level per aggregate call
+        assert r["partwise_ops"] <= 12 * r["levels"]

@@ -1,0 +1,20 @@
+"""E10 — Lemma 4.12: O(log n / eps) iterations per forward epoch.
+
+Measured: the worst per-epoch iteration count across seeds for each eps,
+against the proof's bound log_{1+eps}(n) + 2, plus the maximum dual
+constraint ratio (must stay <= 1 + eps).
+"""
+
+from repro.analysis.experiments import e10_forward_iterations
+
+from conftest import run_experiment
+
+
+def test_e10_forward_iterations(benchmark):
+    rows = run_experiment(benchmark, e10_forward_iterations, "e10_forward_iters")
+    for r in rows:
+        assert r["max_iters_per_epoch"] <= r["lemma412_bound"]
+        assert r["dual_ok(<=1+eps)"]
+    # smaller eps => more iterations (the 1/eps dependence is real)
+    iters = [r["max_iters_per_epoch"] for r in rows]  # eps ascending
+    assert iters[0] >= iters[-1]

@@ -1,0 +1,17 @@
+"""E11 — Section 4.2.1: O(sqrt n) segments of diameter O(sqrt n).
+
+Measured: segment count / sqrt(n) and max segment diameter / sqrt(n) across
+families and sizes.  Expected shape: both ratios bounded by small constants
+uniformly in n.
+"""
+
+from repro.analysis.experiments import e11_segments
+
+from conftest import run_experiment
+
+
+def test_e11_segments(benchmark):
+    rows = run_experiment(benchmark, e11_segments, "e11_segments")
+    for r in rows:
+        assert r["segments/sqrt_n"] <= 4.0
+        assert r["max_diam/sqrt_n"] <= 3.5

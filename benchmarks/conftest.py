@@ -1,0 +1,19 @@
+"""Shared helper for the experiment benchmarks.
+
+Every benchmark runs its experiment once under pytest-benchmark timing
+(``pedantic`` with a single round — the experiments are macro-benchmarks),
+asserts the paper-claim *shape* on the resulting rows, and writes the table
+to ``benchmarks/out/<name>.txt`` — the files EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table, write_report
+
+
+def run_experiment(benchmark, fn, name: str, **kwargs):
+    rows = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+    table = format_table(rows, title=name)
+    write_report(name, table)
+    print("\n" + table)
+    return rows

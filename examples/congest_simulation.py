@@ -1,0 +1,49 @@
+"""Run genuine CONGEST node programs on the message-passing simulator.
+
+Every message is bandwidth-checked (O(log n) bits per edge per round) and
+round counts are measured, not modeled: BFS finishes in eccentricity
+rounds, tree aggregation in height rounds, and the Borůvka MST matches the
+centralized MST weight while reporting its real phase/round usage.
+
+    python examples/congest_simulation.py
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graphs import cycle_with_chords
+from repro.model import BoruvkaMST, DistributedBFS, Network, TreeAggregate
+
+
+def main() -> None:
+    g = cycle_with_chords(48, 20, seed=11)
+    net = Network(g, words_per_edge=4)
+    print(f"network: n={net.n}, m={g.number_of_edges()}, "
+          f"bandwidth={net.words_per_edge} words/edge/round")
+
+    stats = net.run(DistributedBFS(0))
+    dist, parent = DistributedBFS.results(net)
+    ecc = nx.eccentricity(g, 0)
+    print(f"\nBFS from node 0: {stats.rounds} rounds "
+          f"(eccentricity {ecc}), {stats.messages} messages")
+
+    # Aggregate the total 'load' up the BFS tree.
+    net.reset_state()
+    inputs = [(float(v % 7),) for v in range(net.n)]
+    agg = TreeAggregate(parent, 0, inputs, lambda a, b: (a[0] + b[0],))
+    stats = net.run(agg)
+    total = TreeAggregate.result(net, 0)[0]
+    print(f"convergecast sum over BFS tree: {total:.0f} in {stats.rounds} rounds")
+    assert total == sum(v % 7 for v in range(net.n))
+
+    out = BoruvkaMST(Network(g)).run()
+    expected = nx.minimum_spanning_tree(g).size(weight="weight")
+    print(f"\nBoruvka MST: weight {out.weight:.2f} "
+          f"(centralized: {expected:.2f}), {out.phases} phases, "
+          f"{out.stats.rounds} measured rounds, {out.stats.messages} messages")
+    assert abs(out.weight - expected) < 1e-9
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Regenerate the paper's figures (1-4) from real algorithm runs.
+
+    python examples/paper_figures.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "benchmarks"))
+
+from bench_f01_figures import run_figures  # noqa: E402
+
+
+def main() -> None:
+    print(run_figures())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Theorem 1.2 on a planar network: shortcut time beats sqrt(n) time.
+
+On planar (and bounded-genus / bounded-treewidth) networks the shortcut
+framework supports tree aggregations in O~(D) rounds instead of
+O~(D + sqrt n).  This script runs the O(log n)-approximation on a grid,
+shows the measured shortcut quality per provider, and contrasts it with a
+long-and-skinny network where the generic sqrt(n) construction takes over.
+
+    python examples/planar_fast_approximation.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.graphs import grid_graph, lollipop_2ec
+from repro.shortcuts import (
+    SizeThresholdShortcuts,
+    TreeRestrictedShortcuts,
+    mst_fragment_partition,
+    shortcut_two_ecss,
+)
+
+
+def quality_report(g: nx.Graph, name: str) -> None:
+    n = g.number_of_nodes()
+    d = nx.diameter(g)
+    partition = mst_fragment_partition(g, max(2, math.isqrt(n)), seed=1)
+    print(f"\n{name}: n={n}, D={d}, sqrt(n)={math.isqrt(n)}, "
+          f"{len(partition)} parts")
+    for provider in (TreeRestrictedShortcuts(), SizeThresholdShortcuts()):
+        a = provider.assign(g, partition)
+        print(f"  {provider.name:16s} alpha={a.alpha:4d}  beta={a.beta:4d}  "
+              f"alpha+beta={a.alpha + a.beta:4d}  (vs D={d}, D+sqrt n={d + math.isqrt(n)})")
+
+
+def main() -> None:
+    grid = grid_graph(16, 16, seed=2)
+    quality_report(grid, "planar grid 16x16")
+
+    skinny = lollipop_2ec(16, 240, seed=2)
+    quality_report(skinny, "lollipop (clique + long cycle)")
+
+    print("\nrunning the O(log n)-approximation (Theorem 1.2) on the grid:")
+    res = shortcut_two_ecss(grid, seed=5)
+    print("  " + res.summary())
+    print(f"  set-cover phases: {res.aug.phases}, accepted samples: {res.aug.accepts}")
+    print(f"  quality vs ln(n) regime: weight {res.aug.weight:.1f}, "
+          f"ln(n)+1 = {res.aug.log_bound:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Command-line entry point.
+
+    python -m repro demo                # run the headline algorithm once
+    python -m repro experiments [ids]   # regenerate experiment tables
+    python -m repro figures             # regenerate the paper's figures
+
+``experiments`` with no ids runs the full E1..E12 suite (minutes); with ids
+(e.g. ``e05 e11``) only those.  Tables are written to ``benchmarks/out/``
+and echoed to stdout.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import experiments as E
+from repro.analysis.tables import format_table, write_report
+
+EXPERIMENTS = {
+    "e01": ("e01_tecss_approx", E.e01_tecss_approx),
+    "e02": ("e02_round_complexity", E.e02_round_complexity),
+    "e03": ("e03_tap_on_gprime", E.e03_tap_approx),
+    "e03b": ("e03_tap_vs_milp", E.e03_tap_vs_milp),
+    "e04": ("e04_ablation_c4_vs_c2", E.e04_ablation),
+    "e05": ("e05_layering", E.e05_layering),
+    "e06": ("e06_unweighted_tap", E.e06_unweighted),
+    "e07": ("e07_shortcut_algorithm", E.e07_shortcut_algorithm),
+    "e07b": ("e07_shortcut_quality", E.e07_shortcut_quality),
+    "e08": ("e08_shortcut_tools", E.e08_shortcut_tools),
+    "e09": ("e09_subroutines", E.e09_subroutines),
+    "e10": ("e10_forward_iters", E.e10_forward_iterations),
+    "e11": ("e11_segments", E.e11_segments),
+    "e12": ("e12_comparison", E.e12_comparison),
+}
+
+
+def run_demo() -> int:
+    import repro
+
+    g = repro.graphs.cycle_with_chords(80, 40, seed=1)
+    print(f"demo network: n={g.number_of_nodes()}, m={g.number_of_edges()}")
+    res = repro.approximate_two_ecss(g, eps=0.5)
+    print(res.summary())
+    from repro.shortcuts import shortcut_two_ecss
+
+    res2 = shortcut_two_ecss(g, seed=2)
+    print(res2.summary())
+    return 0
+
+
+def run_experiments(ids: list[str]) -> int:
+    targets = ids or sorted(EXPERIMENTS)
+    for key in targets:
+        if key not in EXPERIMENTS:
+            print(f"unknown experiment {key!r}; known: {sorted(EXPERIMENTS)}")
+            return 2
+        name, fn = EXPERIMENTS[key]
+        rows = fn()
+        table = format_table(rows, title=name)
+        path = write_report(name, table)
+        print(table)
+        print(f"-> {path}\n")
+    return 0
+
+
+def run_figures() -> int:
+    import os
+
+    sys.path.insert(
+        0,
+        os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))), "benchmarks"),
+    )
+    from bench_f01_figures import run_figures as rf
+
+    text = rf()
+    write_report("figures", text)
+    print(text)
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    cmd, rest = argv[0], argv[1:]
+    if cmd == "demo":
+        return run_demo()
+    if cmd == "experiments":
+        return run_experiments(rest)
+    if cmd == "figures":
+        return run_figures()
+    print(f"unknown command {cmd!r}")
+    print(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,16 @@
+"""Experiment runners, table formatting and figure renderers."""
+
+from repro.analysis.tables import format_table, write_report
+from repro.analysis.figures import (
+    render_anchor_dependencies,
+    render_cleaning_cases,
+    render_layering,
+)
+
+__all__ = [
+    "format_table",
+    "write_report",
+    "render_layering",
+    "render_anchor_dependencies",
+    "render_cleaning_cases",
+]

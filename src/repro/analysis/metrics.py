@@ -1,0 +1,47 @@
+"""Scaling-fit helpers for the experiment reports.
+
+``power_law_fit`` estimates the exponent ``b`` in ``y ~ a * x^b`` by
+ordinary least squares on log-log points — used by the benches to check,
+e.g., that measured rounds grow like ``sqrt(n)`` (exponent ~0.5) and not
+linearly (exponent ~1), the quantitative form of the paper's separation
+from the O(h_MST)-round baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["power_law_fit", "geometric_mean"]
+
+
+def power_law_fit(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Least-squares fit of ``y = a * x^b`` on log-log scale.
+
+    Returns ``(a, b)``.  Requires positive inputs and at least two points.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fit requires positive values")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mx = sum(lx) / n
+    my = sum(ly) / n
+    sxx = sum((x - mx) ** 2 for x in lx)
+    if sxx == 0:
+        raise ValueError("all x values identical")
+    sxy = sum((x - mx) * (y - my) for x, y in zip(lx, ly))
+    b = sxy / sxx
+    a = math.exp(my - b * mx)
+    return a, b
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (ratio aggregation)."""
+    if not values:
+        raise ValueError("empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,50 @@
+"""Plain-text tables for the experiment reports (EXPERIMENTS.md rows)."""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "write_report"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping], title: str = "") -> str:
+    """Render dict rows as an aligned text table (all rows share keys)."""
+    if not rows:
+        return f"{title}\n(no rows)\n"
+    cols = list(rows[0].keys())
+    cells = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in cells)) for i, c in enumerate(cols)
+    ]
+    out = []
+    if title:
+        out.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    out.append(header)
+    out.append("-" * len(header))
+    for r in cells:
+        out.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(out) + "\n"
+
+
+def write_report(name: str, content: str, directory: str | None = None) -> str:
+    """Write a benchmark's table to ``benchmarks/out/<name>.txt``."""
+    if directory is None:
+        directory = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "out")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(content)
+    return path

@@ -1,0 +1,40 @@
+"""Baselines and exact solvers for the experiment suite.
+
+* :mod:`repro.baselines.greedy_tap` — sequential greedy set-cover TAP, the
+  ``O(log n)``-approximation quality regime of Dory [PODC'18].
+* :mod:`repro.baselines.arborescence` — exact TAP on vertical links via
+  Edmonds' minimum arborescence, yielding the classical 2-approximation for
+  weighted TAP (Frederickson–JáJá / Khuller–Thurimella) and 3-approximation
+  for 2-ECSS — the quality regime of Censor-Hillel–Dory [OPODIS'17].
+* :mod:`repro.baselines.exact_milp` — ground-truth optima via HiGHS MILP
+  (set-cover formulation for TAP, cut formulation with lazy separation for
+  2-ECSS) plus brute force for cross-checks.
+* :mod:`repro.baselines.trivial` — sanity anchors.
+"""
+
+from repro.baselines.arborescence import (
+    exact_vertical_tap,
+    kt_tecss_3approx,
+    tap_2approx_arborescence,
+)
+from repro.baselines.exact_milp import (
+    brute_force_tap,
+    brute_force_two_ecss,
+    exact_tap_milp,
+    exact_two_ecss_milp,
+)
+from repro.baselines.greedy_tap import greedy_tap
+from repro.baselines.trivial import all_edges_solution, mst_plus_cheapest_cover
+
+__all__ = [
+    "exact_vertical_tap",
+    "kt_tecss_3approx",
+    "tap_2approx_arborescence",
+    "brute_force_tap",
+    "brute_force_two_ecss",
+    "exact_tap_milp",
+    "exact_two_ecss_milp",
+    "greedy_tap",
+    "all_edges_solution",
+    "mst_plus_cheapest_cover",
+]

@@ -1,0 +1,42 @@
+"""Trivial baselines: sanity anchors for the experiment tables."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.tecss import rooted_mst
+from repro.graphs.validation import check_two_edge_connected, ensure_weights, normalize_graph
+
+__all__ = ["all_edges_solution", "mst_plus_cheapest_cover"]
+
+
+def all_edges_solution(graph: nx.Graph) -> float:
+    """Weight of keeping the whole graph (the do-nothing upper bound)."""
+    ensure_weights(graph)
+    return float(graph.size(weight="weight"))
+
+
+def mst_plus_cheapest_cover(graph: nx.Graph) -> float:
+    """MST plus, for every tree edge, the cheapest non-tree link covering it.
+
+    A natural heuristic with *no* approximation guarantee (a single tree
+    edge's cheapest cover may be re-bought n times); the experiments use it
+    to show why the paper's coverage discipline matters.
+    """
+    ensure_weights(graph)
+    check_two_edge_connected(graph)
+    g, _, _ = normalize_graph(graph)
+    tree, mst_edges = rooted_mst(g)
+    mst_set = set(mst_edges)
+    best: dict[int, tuple[float, tuple[int, int]]] = {}
+    for u, v, d in g.edges(data=True):
+        if tuple(sorted((u, v))) in mst_set:
+            continue
+        w = float(d["weight"])
+        for t in tree.path_edges(u, v):
+            cur = best.get(t)
+            if cur is None or w < cur[0]:
+                best[t] = (w, (min(u, v), max(u, v)))
+    chosen = {link for _, link in best.values()}
+    mst_weight = sum(g[u][v]["weight"] for u, v in mst_edges)
+    return mst_weight + sum(g[u][v]["weight"] for u, v in chosen)

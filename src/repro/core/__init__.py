@@ -1,0 +1,27 @@
+"""The paper's primary contribution: (4+eps)-approx TAP and (5+eps)-approx 2-ECSS.
+
+Public entry points:
+
+* :func:`repro.core.tap.approximate_tap` — weighted tree augmentation.
+* :func:`repro.core.tecss.approximate_two_ecss` — weighted 2-ECSS.
+* :func:`repro.core.unweighted.unweighted_tap` — the simple Section 3.6.1
+  2-approximation (on the virtual graph) for unweighted TAP.
+"""
+
+from repro.core.instance import TAPInstance
+from repro.core.result import TapResult, TwoEcssResult
+from repro.core.tap import approximate_tap
+from repro.core.tecss import approximate_two_ecss
+from repro.core.unweighted import unweighted_tap
+from repro.core.virtual_graph import VirtualEdge, build_virtual_edges
+
+__all__ = [
+    "TAPInstance",
+    "TapResult",
+    "TwoEcssResult",
+    "approximate_tap",
+    "approximate_two_ecss",
+    "unweighted_tap",
+    "VirtualEdge",
+    "build_virtual_edges",
+]

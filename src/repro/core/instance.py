@@ -1,0 +1,100 @@
+"""The TAP instance container binding a tree to its virtual edges.
+
+A :class:`TAPInstance` holds the rooted spanning tree, the vertical virtual
+edges of ``G'`` (Section 4.1), and the shared decompositions (layering,
+path operations, segments) that both phases of the algorithm use.  It also
+performs the feasibility check: every tree edge must be covered by at least
+one virtual edge, which is exactly 2-edge-connectivity of the input graph.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Hashable, Iterable, Sequence
+
+from repro.decomp.layering import Layering
+from repro.decomp.segments import SegmentDecomposition
+from repro.exceptions import NotTwoEdgeConnectedError
+from repro.core.virtual_graph import VirtualEdge, build_virtual_edges
+from repro.trees.heavy_light import HeavyLightDecomposition
+from repro.trees.pathops import TreePathOps
+from repro.trees.rooted import RootedTree
+
+__all__ = ["TAPInstance"]
+
+
+class TAPInstance:
+    """A weighted TAP instance on the virtual graph ``G'``.
+
+    ``segment_size`` overrides the default ``sqrt(n)`` segment parameter —
+    useful for stress-testing the cross-segment machinery (tiny segments
+    force the global/local MIS interplay of Section 4.5.1).
+    """
+
+    def __init__(
+        self,
+        tree: RootedTree,
+        edges: Sequence[VirtualEdge],
+        segment_size: int | None = None,
+    ) -> None:
+        self.tree = tree
+        self.edges = list(edges)
+        self.hld = HeavyLightDecomposition(tree)
+        self.ops = TreePathOps(tree, self.hld)
+        self.layering = Layering(tree)
+        self.segment_size = segment_size
+
+    @classmethod
+    def from_links(
+        cls,
+        tree: RootedTree,
+        links: Iterable[tuple[int, int, float]],
+        origins: Sequence[Hashable] | None = None,
+        segment_size: int | None = None,
+    ) -> "TAPInstance":
+        """Build the instance from arbitrary (possibly non-vertical) links."""
+        return cls(tree, build_virtual_edges(tree, links, origins), segment_size)
+
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def segments(self) -> SegmentDecomposition:
+        return SegmentDecomposition(self.tree, s=self.segment_size)
+
+    @cached_property
+    def coverage(self) -> list[int]:
+        """How many virtual edges cover each tree edge (feasibility data)."""
+        return self.ops.coverage_counts(e.pair for e in self.edges)
+
+    def check_feasible(self) -> None:
+        """Every tree edge must be covered by some virtual edge."""
+        cov = self.coverage
+        for t in self.tree.tree_edges():
+            if cov[t] == 0:
+                raise NotTwoEdgeConnectedError(
+                    f"tree edge ({t}, {self.tree.parent[t]}) is covered by no "
+                    "link; the underlying graph has a bridge"
+                )
+
+    # ------------------------------------------------------------------
+
+    def weight_of(self, eids: Iterable[int]) -> float:
+        return sum(self.edges[e].weight for e in eids)
+
+    def covers(self, eid: int, t: int) -> bool:
+        e = self.edges[eid]
+        return self.tree.covers_vertical(e.dec, e.anc, t)
+
+    def covered_edges(self, eid: int) -> Iterable[int]:
+        e = self.edges[eid]
+        return self.tree.chain(e.dec, e.anc)
+
+    @property
+    def num_tree_edges(self) -> int:
+        return self.tree.n - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TAPInstance(n={self.tree.n}, links={len(self.edges)}, "
+            f"layers={self.layering.num_layers})"
+        )

@@ -1,0 +1,270 @@
+"""Anchor selection for the reverse-delete phase (paper Section 4.5.1).
+
+The reverse-delete phase repeatedly needs a *maximal independent set* of
+uncovered tree edges in the virtual conflict graph ``G_i`` (vertices: the
+uncovered layer-``i`` edges ``H~_i``; edges: pairs covered by a common edge
+of ``X``).  The distributed algorithm computes it in two parts:
+
+* a **global part** over ``O(sqrt n)`` representatives: per segment, the
+  highest and lowest layer-``i`` highway edges that are still uncovered —
+  every vertex learns these representatives and their petals and simulates
+  the same greedy MIS locally;
+* a **local part**: each segment scans the portions of layer-``i`` paths it
+  owns bottom-up, adding every still-uncovered edge as an anchor and carrying
+  upward the highest ancestor already covered by petals added in the scan.
+
+Because two same-layer tree edges can only conflict when one is an ancestor
+of the other, and the higher petal of the deeper edge covers every
+same-or-higher-layer neighbour above it (Claim 4.9), the conflict test
+"some X-edge covers both" reduces to "the deeper edge's higher petal covers
+the shallower edge" — this is what both the greedy MIS and the scans use.
+
+Guard candidates: at epoch ``k`` a layer-``i`` highway edge can be uncovered
+by the current ``Y`` and covered by ``X`` yet lie outside ``H~_i`` (it was
+first covered in a forward epoch ``< k``).  Claim 4.13's independence proof
+implicitly needs such edges as global-MIS candidates, so we include them (see
+DESIGN.md, "Guard candidates in T'"); every stated coverage bound is
+unaffected because anchors only ever live in layers ``>= k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.instance import TAPInstance
+from repro.decomp.petals import PetalOracle
+from repro.trees.pathops import CoverageCounter
+
+__all__ = [
+    "Anchor",
+    "EpochContext",
+    "build_segment_layer_highway",
+    "global_mis",
+    "scan_chain",
+    "local_groups",
+]
+
+
+@dataclass
+class Anchor:
+    """One anchor chosen during the reverse-delete phase (instrumentation)."""
+
+    t: int
+    kind: str  # "global" or "local"
+    epoch: int
+    iteration: int  # the layer index i
+    hi: int  # eid of the higher petal
+    lo: int  # eid of the lower petal, or -1
+    in_f: bool  # False for guard anchors (outside H~_i)
+
+
+class EpochContext:
+    """State shared by the iterations of one reverse-delete epoch.
+
+    ``x_list`` fixes the epoch's edge set ``X = B + A_k`` (as instance edge
+    ids); the petal oracle and the X-coverage counts are derived from it once.
+    ``y_set``/``counter`` track the growing cover ``Y``.
+    """
+
+    __slots__ = (
+        "inst",
+        "epoch",
+        "x_list",
+        "x_index",
+        "oracle",
+        "y_set",
+        "counter",
+        "x_cov",
+        "anchors",
+    )
+
+    def __init__(self, inst: TAPInstance, epoch: int, x_list: Sequence[int]) -> None:
+        self.inst = inst
+        self.epoch = epoch
+        self.x_list = list(x_list)
+        pairs = [inst.edges[eid].pair for eid in self.x_list]
+        self.oracle = PetalOracle(inst.ops, inst.layering, pairs)
+        self.y_set: set[int] = set()
+        self.counter: CoverageCounter = inst.ops.make_coverage_counter()
+        cov = inst.ops.coverage_counts(pairs)
+        self.x_cov = cov
+        self.anchors: list[Anchor] = []
+
+    # -- petals (as instance eids) ----------------------------------------
+
+    def higher_petal(self, t: int) -> int:
+        i = self.oracle.higher(t)
+        return self.x_list[i] if i != -1 else -1
+
+    def lower_petal(self, t: int) -> int:
+        i = self.oracle.lower(t)
+        return self.x_list[i] if i != -1 else -1
+
+    # -- Y maintenance ------------------------------------------------------
+
+    def add_to_y(self, eid: int) -> None:
+        if eid != -1 and eid not in self.y_set:
+            self.y_set.add(eid)
+            e = self.inst.edges[eid]
+            self.counter.add_path(e.dec, e.anc)
+
+    def remove_from_y(self, eid: int) -> None:
+        if eid in self.y_set:
+            self.y_set.discard(eid)
+            e = self.inst.edges[eid]
+            self.counter.remove_path(e.dec, e.anc)
+
+    def y_covers(self, t: int) -> bool:
+        return self.counter.is_covered(t)
+
+    def x_covers(self, t: int) -> bool:
+        return self.x_cov[t] > 0
+
+    def conflicts(self, t1: int, t2: int) -> bool:
+        """Is there an edge of ``X`` covering both ``t1`` and ``t2``?
+
+        Exact for same-layer pairs (via Claim 4.9); both must be X-covered.
+        """
+        tree = self.inst.tree
+        if t1 == t2:
+            return True
+        if tree.is_ancestor(t2, t1):
+            deeper, higher = t1, t2
+        elif tree.is_ancestor(t1, t2):
+            deeper, higher = t2, t1
+        else:
+            return False
+        hi = self.higher_petal(deeper)
+        if hi == -1:
+            return False
+        e = self.inst.edges[hi]
+        return tree.covers_vertical(e.dec, e.anc, higher)
+
+
+def build_segment_layer_highway(inst: TAPInstance) -> dict[tuple[int, int], list[int]]:
+    """``(segment id, layer) -> highway edges of that layer, by depth asc``.
+
+    A highway meets at most one layer-``i`` path (Claim 4.8 plus the highway
+    being a vertical chain), so each list is one contiguous chain portion.
+    """
+    seg = inst.segments
+    lay = inst.layering
+    depth = inst.tree.depth
+    table: dict[tuple[int, int], list[int]] = {}
+    for t in inst.tree.tree_edges():
+        if seg.on_highway[t]:
+            table.setdefault((seg.seg_of_edge[t], lay.layer[t]), []).append(t)
+    for lst in table.values():
+        lst.sort(key=lambda t: depth[t])
+    return table
+
+
+def global_candidates(
+    ctx: EpochContext,
+    i: int,
+    seg_layer_highway: dict[tuple[int, int], list[int]],
+) -> list[int]:
+    """The set ``T'``: per segment, the highest and lowest layer-``i`` highway
+    edges that are uncovered by ``Y`` and covered by ``X`` (guards included).
+    """
+    out: set[int] = set()
+    seg_ids = {key[0] for key in seg_layer_highway if key[1] == i}
+    for sid in seg_ids:
+        eligible = [
+            t
+            for t in seg_layer_highway[(sid, i)]
+            if ctx.x_covers(t) and not ctx.y_covers(t)
+        ]
+        if eligible:
+            out.add(eligible[0])  # highest (min depth)
+            out.add(eligible[-1])  # lowest (max depth)
+    return sorted(out)
+
+
+def global_mis(ctx: EpochContext, candidates: Sequence[int]) -> list[int]:
+    """Deterministic greedy MIS over the candidate edges ``T'``.
+
+    All vertices of the distributed algorithm learn the same ``O(sqrt n)``
+    candidates with their petals and simulate exactly this computation.
+
+    The order is **deepest first**.  This matters for the improved variant:
+    a rejected candidate conflicts with an already-chosen *deeper* anchor,
+    whose *higher* petal then provably covers it (Claim 4.9) — exactly the
+    property the proofs of Claims 4.13/4.15 use ("there is a global anchor
+    whose higher petal covers t`").  With a shallowest-first order, rejected
+    candidates can stay uncovered after the global part and spawn dependent
+    local anchors in different segments, breaking the c=2/c=4 bounds.
+    """
+    depth = ctx.inst.tree.depth
+    chosen: list[int] = []
+    for t in sorted(candidates, key=lambda t: (-depth[t], t)):
+        if not any(ctx.conflicts(t, g) for g in chosen):
+            chosen.append(t)
+    return chosen
+
+
+def local_groups(
+    ctx: EpochContext, candidates: Sequence[int], segmented: bool
+) -> list[list[int]]:
+    """Partition local-scan candidates into bottom-up chains.
+
+    ``segmented=True`` groups by (segment, layer path) — the faithful
+    distributed grouping, where segments scan in parallel and do not see
+    each other's additions; ``False`` groups by layer path only (the
+    idealized sequential scan used by the ``simple`` mode).
+    """
+    inst = ctx.inst
+    lay = inst.layering
+    depth = inst.tree.depth
+    groups: dict[tuple, list[int]] = {}
+    for t in candidates:
+        if segmented:
+            key = (inst.segments.seg_of_edge[t], lay.path_id[t])
+        else:
+            key = (lay.path_id[t],)
+        groups.setdefault(key, []).append(t)
+    out = []
+    for key in sorted(groups):
+        chain = sorted(groups[key], key=lambda t: -depth[t])  # bottom-up
+        out.append(chain)
+    return out
+
+
+def scan_chain(
+    ctx: EpochContext,
+    chain: Sequence[int],
+    iteration: int,
+    add_lower: bool,
+) -> tuple[list[Anchor], list[int]]:
+    """Scan one chain bottom-up; return new anchors and pending petal eids.
+
+    Coverage is checked against the *snapshot* ``Y`` (via the live counter,
+    which the caller must not update during parallel scans) plus the petals
+    added below in this same scan, summarized — as in the paper — by the
+    highest ancestor reached by an added higher petal.  Lower petals never
+    reach higher than the higher petal, so only the latter is carried.
+    """
+    from repro.exceptions import InvariantViolation
+
+    tree = ctx.inst.tree
+    depth = tree.depth
+    anchors: list[Anchor] = []
+    pending: list[int] = []
+    carried_depth = float("inf")  # depth of the highest ancestor covered from below
+    for t in chain:
+        if ctx.y_covers(t) or carried_depth < depth[t]:
+            continue
+        hi = ctx.higher_petal(t)
+        if hi == -1:  # pragma: no cover - H~_i edges are always X-covered
+            raise InvariantViolation(f"local candidate {t} not covered by X")
+        lo = ctx.lower_petal(t) if add_lower else -1
+        anchors.append(
+            Anchor(t=t, kind="local", epoch=ctx.epoch, iteration=iteration,
+                   hi=hi, lo=lo, in_f=True)
+        )
+        pending.append(hi)
+        carried_depth = min(carried_depth, depth[ctx.inst.edges[hi].anc])
+        if add_lower and lo != -1 and lo != hi:
+            pending.append(lo)
+    return anchors, pending

@@ -1,0 +1,92 @@
+"""Result containers for the TAP and 2-ECSS solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.core.rounds import PrimitiveLog, RoundCostModel
+
+__all__ = ["TapResult", "TwoEcssResult"]
+
+
+@dataclass
+class TapResult:
+    """Output of :func:`repro.core.tap.approximate_tap`.
+
+    ``links`` are the chosen original links (after mapping back from the
+    virtual graph); ``virtual_eids`` the chosen virtual edges; the two
+    weights can differ because duplicate origins collapse.
+
+    ``dual_bound`` is a certified lower bound on the optimum of the
+    *virtual* instance; ``OPT_TAP(G) >= dual_bound / 2`` by Lemma 4.1.
+    """
+
+    links: list[Hashable]
+    weight: float
+    virtual_eids: list[int]
+    virtual_weight: float
+    dual_bound: float
+    eps: float
+    variant: str
+    segmented: bool
+    guarantee: float  # the proven factor on the virtual instance (c (1+eps'))
+    iterations_per_epoch: dict[int, int]
+    num_layers: int
+    max_coverage_of_dual_edges: int
+    log: PrimitiveLog = field(default_factory=PrimitiveLog)
+
+    @property
+    def certified_virtual_ratio(self) -> float:
+        """Checked upper bound on this run's ratio w.r.t. the virtual OPT."""
+        if self.dual_bound <= 0:
+            return 1.0 if self.virtual_weight == 0 else float("inf")
+        return self.virtual_weight / self.dual_bound
+
+    def modeled_rounds(self, n: int, diameter: int) -> float:
+        return RoundCostModel(n, diameter).total_rounds(self.log)
+
+
+@dataclass
+class TwoEcssResult:
+    """Output of :func:`repro.core.tecss.approximate_two_ecss`.
+
+    The subgraph is ``MST + augmentation``; Claim 2.1 turns the TAP factor
+    ``alpha`` into ``alpha + 1`` for 2-ECSS.
+    """
+
+    edges: list[tuple]
+    weight: float
+    mst_edges: list[tuple]
+    mst_weight: float
+    augmentation: TapResult
+    diameter: int
+    n: int
+    guarantee: float  # 5 + eps for the improved variant
+    mst_simulation: object | None = None  # RunStats when simulate_mst=True
+
+    @property
+    def certified_lower_bound(self) -> float:
+        """max(w(MST), dual/2): both are valid lower bounds on OPT(2-ECSS)."""
+        return max(self.mst_weight, self.augmentation.dual_bound / 2.0)
+
+    @property
+    def certified_ratio(self) -> float:
+        lb = self.certified_lower_bound
+        return self.weight / lb if lb > 0 else float("inf")
+
+    def modeled_rounds(self) -> float:
+        model = RoundCostModel(self.n, self.diameter)
+        log = PrimitiveLog()
+        log.record("mst")
+        log.record("lca_labels")
+        log.merge(self.augmentation.log)
+        return model.total_rounds(log)
+
+    def summary(self) -> str:
+        return (
+            f"2-ECSS: n={self.n}, weight={self.weight:.2f} "
+            f"(MST {self.mst_weight:.2f} + aug {self.augmentation.weight:.2f}), "
+            f"guarantee {self.guarantee:.2f}, certified ratio <= "
+            f"{self.certified_ratio:.3f}, modeled rounds {self.modeled_rounds():.0f}"
+        )

@@ -1,0 +1,244 @@
+"""The reverse-delete phase, basic (c=4) and improved (c=2) variants.
+
+Paper Sections 3.5, 4.5 and 4.6.  Epochs run over layers in *reverse* order
+``k = L .. 1``; epoch ``k`` rebuilds the cover ``Y`` from
+``X = B + A_k`` so that
+
+1. every tree edge first covered in forward epochs ``>= k`` (the set ``F``)
+   is covered by ``Y``, and
+2. every edge of ``R_i`` for ``i >= k`` — the edges holding positive dual —
+   is covered at most ``c`` times,
+
+with ``c = 4`` for the basic variant (each anchor contributes both petals)
+and ``c = 2`` for the improved variant (each anchor contributes only its
+higher petal, followed by the *cleaning phase* that removes the higher petal
+of the global anchor below any 3-covered edge — Figure 4's two cases).
+
+Two execution modes:
+
+* ``segmented=True`` — faithful to the distributed algorithm: a global MIS
+  over per-segment highway representatives (with guard candidates, see
+  DESIGN.md) followed by parallel per-segment scans that cannot see each
+  other's same-iteration additions (Claims 4.13 and 4.15 are about exactly
+  this situation, and the tests verify them on this mode);
+* ``segmented=False`` — the idealized sequential mode scanning whole layer
+  paths; anchors are then trivially independent and the improved variant
+  already achieves c = 2 without cleaning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.forward import ForwardResult
+from repro.core.instance import TAPInstance
+from repro.core.mis import (
+    Anchor,
+    EpochContext,
+    build_segment_layer_highway,
+    global_candidates,
+    global_mis,
+    local_groups,
+    scan_chain,
+)
+from repro.core.rounds import PrimitiveLog
+from repro.exceptions import InvariantViolation
+
+__all__ = ["ReverseResult", "reverse_delete", "COVER_BOUND"]
+
+COVER_BOUND = {"basic": 4, "improved": 2}
+
+
+@dataclass
+class ReverseResult:
+    """The final cover ``B`` plus instrumentation for the structural claims."""
+
+    b: set[int]
+    anchors: list[Anchor] = field(default_factory=list)
+    cleaning_removals: list[tuple[int, int]] = field(default_factory=list)
+    log: PrimitiveLog = field(default_factory=PrimitiveLog)
+    variant: str = "improved"
+    segmented: bool = True
+    x_by_epoch: dict[int, list[int]] = field(default_factory=dict)
+
+
+def reverse_delete(
+    inst: TAPInstance,
+    fwd: ForwardResult,
+    variant: str = "improved",
+    segmented: bool = True,
+    validate: bool = True,
+) -> ReverseResult:
+    """Run the reverse-delete phase on the forward phase's output."""
+    if variant not in COVER_BOUND:
+        raise ValueError(f"variant must be one of {sorted(COVER_BOUND)}")
+    tree = inst.tree
+    layering = inst.layering
+    num_layers = layering.num_layers
+    log = PrimitiveLog()
+    add_lower = variant == "basic"
+
+    a_by_epoch: dict[int, list[int]] = {}
+    for eid, k in fwd.epoch_added.items():
+        a_by_epoch.setdefault(k, []).append(eid)
+    # Zero-weight links (epoch 0) stay in B forever: they are free, and they
+    # are the only cover of tree edges first covered before epoch 1.
+    always_in_b = sorted(a_by_epoch.get(0, []))
+
+    fce = fwd.first_cover_epoch
+    f_by_epoch: dict[int, list[int]] = {}
+    for t in tree.tree_edges():
+        f_by_epoch.setdefault(fce[t], []).append(t)
+
+    in_f = [False] * tree.n
+    f_layer: dict[int, list[int]] = {}
+
+    slh = build_segment_layer_highway(inst) if segmented else {}
+    if segmented:
+        log.record("segments_build")
+
+    b: set[int] = set(always_in_b)
+    all_anchors: list[Anchor] = []
+    cleaning_removals: list[tuple[int, int]] = []
+    x_by_epoch: dict[int, list[int]] = {}
+
+    for k in range(num_layers, 0, -1):
+        for t in f_by_epoch.get(k, []):
+            in_f[t] = True
+            f_layer.setdefault(layering.layer[t], []).append(t)
+
+        a_k = a_by_epoch.get(k, [])
+        x_list = sorted(b.union(a_k))
+        x_by_epoch[k] = x_list
+        ctx = EpochContext(inst, k, x_list)
+        log.record("aggregate")  # each edge learns X-coverage
+        for eid in always_in_b:
+            ctx.add_to_y(eid)
+
+        for i in range(k, num_layers + 1):
+            h_tilde = [
+                t for t in sorted(f_layer.get(i, [])) if not ctx.y_covers(t)
+            ]
+            if not h_tilde:
+                continue
+            log.record("petals")  # Claim 4.11 for layer i w.r.t. X
+
+            if segmented:
+                cands = global_candidates(ctx, i, slh)
+                if cands:
+                    log.record("global_mis_gather")
+                for t in global_mis(ctx, cands):
+                    hi = ctx.higher_petal(t)
+                    lo = ctx.lower_petal(t) if add_lower else -1
+                    all_anchors.append(
+                        Anchor(t=t, kind="global", epoch=k, iteration=i,
+                               hi=hi, lo=lo, in_f=in_f[t])
+                    )
+                    ctx.add_to_y(hi)
+                    if add_lower:
+                        ctx.add_to_y(lo)
+
+            remaining = [t for t in h_tilde if not ctx.y_covers(t)]
+            if remaining:
+                groups = local_groups(ctx, remaining, segmented)
+                pending_all: list[int] = []
+                for chain in groups:
+                    anchors, pending = scan_chain(ctx, chain, i, add_lower)
+                    all_anchors.extend(anchors)
+                    pending_all.extend(pending)
+                log.record("segment_scan")  # all segments scan in parallel
+                for eid in pending_all:
+                    ctx.add_to_y(eid)
+                log.record("aggregate")  # edges learn Y membership / coverage
+
+        if variant == "improved":
+            removals = _cleaning_phase(ctx, fwd.r_sets.get(k, []), all_anchors, k, validate)
+            cleaning_removals.extend(removals)
+            log.record("aggregate")
+            log.record("broadcast")
+
+        if validate:
+            _validate_epoch(ctx, fwd, in_f, k, COVER_BOUND[variant])
+
+        b = set(ctx.y_set)
+
+    return ReverseResult(
+        b=b,
+        anchors=all_anchors,
+        cleaning_removals=cleaning_removals,
+        log=log,
+        variant=variant,
+        segmented=segmented,
+        x_by_epoch=x_by_epoch,
+    )
+
+
+def _cleaning_phase(
+    ctx: EpochContext,
+    r_k: list[int],
+    anchors: list[Anchor],
+    epoch: int,
+    validate: bool,
+) -> list[tuple[int, int]]:
+    """Remove the global anchor's higher petal below every 3-covered edge.
+
+    Section 4.6: a tree edge ``t in R_k`` covered three times always has the
+    Figure-4 structure — two anchors below it on its chain, the upper one
+    global, plus one anchor above — and removing the below-global anchor's
+    higher petal keeps everything else covered (Claim 4.17).
+    """
+    tree = ctx.inst.tree
+    epoch_globals = [
+        a for a in anchors if a.kind == "global" and a.epoch == epoch
+    ]
+    removals: list[tuple[int, int]] = []
+    for t in sorted(r_k):
+        count = ctx.counter.count(t)
+        if count <= 2:
+            continue
+        if validate and count > 3:
+            raise InvariantViolation(
+                f"edge {t} in R_{epoch} covered {count} > 3 times before cleaning"
+            )
+        below = [
+            a
+            for a in epoch_globals
+            if a.hi in ctx.y_set
+            and tree.is_strict_ancestor(t, a.t)
+            and ctx.inst.covers(a.hi, t)
+        ]
+        if validate and len(below) != 1:
+            raise InvariantViolation(
+                f"3-covered edge {t} has {len(below)} global anchors below "
+                f"(expected exactly 1, the Figure-4 structure)"
+            )
+        for a in below[:1]:
+            removals.append((t, a.hi))
+    for _, eid in removals:
+        ctx.remove_from_y(eid)
+    return removals
+
+
+def _validate_epoch(
+    ctx: EpochContext,
+    fwd: ForwardResult,
+    in_f: list[bool],
+    epoch: int,
+    bound: int,
+) -> None:
+    """Check the two epoch invariants of Lemmas 3.2 / 4.18."""
+    tree = ctx.inst.tree
+    for t in tree.tree_edges():
+        if in_f[t] and not ctx.y_covers(t):
+            raise InvariantViolation(
+                f"epoch {epoch}: F edge {t} left uncovered by Y"
+            )
+    for i, r_i in fwd.r_sets.items():
+        if i < epoch:
+            continue
+        for t in r_i:
+            c = ctx.counter.count(t)
+            if c > bound:
+                raise InvariantViolation(
+                    f"epoch {epoch}: edge {t} in R_{i} covered {c} > {bound} times"
+                )

@@ -1,0 +1,82 @@
+"""The virtual graph ``G'`` of Khuller–Thurimella (paper Section 4.1).
+
+Every non-tree edge ``{u, v}`` of ``G`` is replaced by one or two *virtual*
+edges running between ancestors and descendants: if ``w = LCA(u, v)`` equals
+one endpoint the edge is already vertical and is kept; otherwise it becomes
+``{u, w}`` and ``{v, w}``, each carrying the original weight.  The virtual
+edges cover exactly the same tree edges as the original (Lemma 4.1), and an
+``alpha``-approximate augmentation in ``G'`` maps back to a
+``2 alpha``-approximate augmentation in ``G`` by replacing every chosen
+virtual edge with its original edge.
+
+In the distributed algorithm each virtual edge is *simulated by its
+descendant endpoint* using LCA labels; centrally we just record the pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from repro.trees.rooted import RootedTree
+
+__all__ = ["VirtualEdge", "build_virtual_edges", "map_back"]
+
+
+@dataclass(frozen=True)
+class VirtualEdge:
+    """A vertical non-tree edge of the virtual graph ``G'``.
+
+    ``origin`` identifies the non-tree link of ``G`` this edge derives from
+    (an arbitrary hashable, typically the original ``(u, v)`` pair); mapping a
+    solution back to ``G`` simply collects origins.
+    """
+
+    eid: int
+    dec: int
+    anc: int
+    weight: float
+    origin: Hashable
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        return (self.dec, self.anc)
+
+
+def build_virtual_edges(
+    tree: RootedTree,
+    links: Iterable[tuple[int, int, float]],
+    origins: Sequence[Hashable] | None = None,
+) -> list[VirtualEdge]:
+    """Split each link at its LCA into one or two vertical virtual edges.
+
+    ``links`` yields ``(u, v, weight)`` with vertices of ``tree``; ``origins``
+    optionally overrides the recorded origin of link ``i`` (defaults to
+    ``(u, v)``).  Links that are tree edges (LCA equals one endpoint *and*
+    the other endpoint is its child) still produce a valid — if useless —
+    virtual edge covering that single tree edge, which is harmless.
+    """
+    out: list[VirtualEdge] = []
+    for i, (u, v, weight) in enumerate(links):
+        origin = origins[i] if origins is not None else (u, v)
+        w = tree.lca(u, v)
+        if w == u or w == v:
+            dec = v if w == u else u
+            if dec != w:
+                out.append(VirtualEdge(len(out), dec, w, weight, origin))
+        else:
+            out.append(VirtualEdge(len(out), u, w, weight, origin))
+            out.append(VirtualEdge(len(out), v, w, weight, origin))
+    return out
+
+
+def map_back(edges: Sequence[VirtualEdge], chosen: Iterable[int]) -> list[Hashable]:
+    """Map chosen virtual-edge ids back to (deduplicated) original links."""
+    seen = set()
+    out = []
+    for eid in chosen:
+        origin = edges[eid].origin
+        if origin not in seen:
+            seen.add(origin)
+            out.append(origin)
+    return out

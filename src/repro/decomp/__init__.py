@@ -1,0 +1,22 @@
+"""Tree decompositions used by the paper's first algorithm.
+
+* :mod:`repro.decomp.layering` — the junction-path layering of Sections 3.2
+  and 4.3 (O(log n) layers of disjoint vertical paths).
+* :mod:`repro.decomp.segments` — the segment decomposition of Section 4.2.1
+  (O(sqrt n) edge-disjoint segments with highways and a skeleton tree).
+* :mod:`repro.decomp.petals` — higher/lower petals of tree edges with respect
+  to a set of vertical non-tree edges (Section 3.2, Claim 4.9).
+"""
+
+from repro.decomp.layering import Layering, LayerPath
+from repro.decomp.petals import PetalSet, compute_petals
+from repro.decomp.segments import Segment, SegmentDecomposition
+
+__all__ = [
+    "Layering",
+    "LayerPath",
+    "PetalSet",
+    "compute_petals",
+    "Segment",
+    "SegmentDecomposition",
+]

@@ -1,0 +1,162 @@
+"""The layering decomposition of the tree (paper Sections 3.2 and 4.3).
+
+A vertex is a *junction* if it has more than one child.  Layer 1 consists of
+the tree paths from each leaf up to (but not including the edge above) its
+first junction ancestor, or up to the root if there is none.  Contracting all
+layer-1 paths and repeating yields layers ``2, 3, ...``; the process ends
+after ``O(log n)`` layers (Claim 4.7) because every surviving leaf was a
+junction with at least two contracted leaf-paths below it.
+
+Key structural facts implemented and tested here:
+
+* each layer is a set of vertex-disjoint vertical paths;
+* along any leaf-to-root chain the layer number is non-decreasing, so any
+  vertical non-tree edge covers edges of at most one path per layer
+  (Claim 4.8);
+* ``leaf(t)`` — the bottom vertex of the layer path containing ``t`` — is the
+  reference point for lower-petal comparisons (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trees.rooted import RootedTree
+
+__all__ = ["LayerPath", "Layering"]
+
+
+@dataclass(frozen=True)
+class LayerPath:
+    """One vertical path of one layer.
+
+    ``edges`` lists tree edges (child ids) bottom-up; ``leaf`` is the lowest
+    vertex (what the paper calls ``leaf(P)``) and ``top`` the upper endpoint
+    of the highest edge (a junction of the contracted tree, or the root).
+    """
+
+    pid: int
+    layer: int
+    leaf: int
+    top: int
+    edges: tuple[int, ...] = field(repr=False)
+
+
+class Layering:
+    """Computes and stores the layering of a rooted tree.
+
+    Attributes
+    ----------
+    layer : list[int]
+        ``layer[v]`` for each tree edge ``v`` (child id); the root's slot
+        holds 0 and is meaningless.
+    num_layers : int
+        ``L``, the number of layers (1-based).
+    paths : list[LayerPath]
+        All layer paths.
+    path_id : list[int]
+        ``path_id[v]`` is the id of the layer path containing tree edge ``v``.
+    """
+
+    __slots__ = ("tree", "layer", "num_layers", "paths", "path_id", "_nla_cache")
+
+    def __init__(self, tree: RootedTree) -> None:
+        self.tree = tree
+        n = tree.n
+        layer = [0] * n
+        path_id = [-1] * n
+        paths: list[LayerPath] = []
+
+        deg_down = [len(tree.children[v]) for v in range(n)]
+        alive = [v != tree.root for v in range(n)]
+        remaining = n - 1
+        current_layer = 0
+        parent = tree.parent
+        root = tree.root
+
+        while remaining > 0:
+            current_layer += 1
+            # Leaves of the contracted tree: alive edges whose lower endpoint
+            # has no alive child edge.
+            leaves = [v for v in range(n) if alive[v] and deg_down[v] == 0]
+            if not leaves:  # pragma: no cover - cannot happen on a tree
+                raise AssertionError("contraction stalled")
+            new_paths: list[list[int]] = []
+            for leaf in leaves:
+                path = []
+                x = leaf
+                while True:
+                    path.append(x)
+                    u = parent[x]
+                    if u == root or deg_down[u] >= 2 or not alive[u]:
+                        break
+                    x = u
+                new_paths.append(path)
+            for path in new_paths:
+                pid = len(paths)
+                for e in path:
+                    layer[e] = current_layer
+                    path_id[e] = pid
+                    alive[e] = False
+                top = parent[path[-1]]
+                paths.append(
+                    LayerPath(
+                        pid=pid,
+                        layer=current_layer,
+                        leaf=path[0],
+                        top=top,
+                        edges=tuple(path),
+                    )
+                )
+                deg_down[top] -= 1
+                remaining -= len(path)
+
+        self.layer = layer
+        self.num_layers = current_layer
+        self.paths = paths
+        self.path_id = path_id
+        self._nla_cache: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------
+
+    def path_of(self, t: int) -> LayerPath:
+        """The layer path containing tree edge ``t``."""
+        return self.paths[self.path_id[t]]
+
+    def leaf_of(self, t: int) -> int:
+        """``leaf(t)``: the bottom vertex of the path containing ``t``."""
+        return self.paths[self.path_id[t]].leaf
+
+    def edges_in_layer(self, i: int) -> list[int]:
+        """All tree edges of layer ``i`` (1-based)."""
+        return [v for v in self.tree.tree_edges() if self.layer[v] == i]
+
+    def nearest_in_layer(self, i: int) -> list[int]:
+        """``nla[v]`` = the deepest tree edge of layer ``i`` on the chain from
+        ``v`` to the root (``-1`` if none).  Cached per layer.
+
+        This is the tool that lets a vertical non-tree edge ``(dec, anc)``
+        find the deepest layer-``i`` edge it covers: it is ``nla[dec]``
+        provided that edge is strictly below ``anc``.
+        """
+        cached = self._nla_cache.get(i)
+        if cached is not None:
+            return cached
+        t = self.tree
+        nla = [-1] * t.n
+        for v in t.order:
+            p = t.parent[v]
+            if p < 0:
+                continue
+            nla[v] = v if self.layer[v] == i else nla[p]
+        self._nla_cache[i] = nla
+        return nla
+
+    def deepest_covered_in_layer(self, i: int, dec: int, anc: int) -> int:
+        """The deepest layer-``i`` tree edge covered by the vertical edge
+        ``(dec, anc)``, or ``-1``.
+        """
+        t0 = self.nearest_in_layer(i)[dec]
+        if t0 != -1 and self.tree.depth[t0] > self.tree.depth[anc]:
+            return t0
+        return -1

@@ -1,0 +1,155 @@
+"""Petals of tree edges with respect to a set of vertical non-tree edges.
+
+Paper, Sections 3.2 and 4.3.  Fix a set ``X`` of non-tree edges, all between
+ancestors and descendants.  For a tree edge ``t`` of layer ``i`` covered by
+``X``:
+
+* the **higher petal** is the edge of ``X`` covering ``t`` whose upper
+  endpoint is the highest (closest to the root);
+* the **lower petal** maximizes coverage *below* ``t`` within ``t``'s layer
+  path ``P``: for every covering edge ``e = (dec, anc)`` let
+  ``u_e = LCA(leaf(t), dec)`` — a vertex of ``P`` — and pick the edge whose
+  ``u_e`` is deepest.
+
+Claim 4.9: the two petals of ``t`` cover every tree edge that any edge of
+``X`` covering ``t`` covers in layers ``>= i``.  This is the small
+neighbourhood cover property (``tau = 2``) that drives the whole algorithm;
+it is verified directly in the test suite.
+
+The computation mirrors the distributed one (Claim 4.11): the higher petal is
+an aggregate (min by ancestor depth) over covering edges; the lower petal
+needs each non-tree edge to learn ``leaf(t)`` of the single layer-``i`` path
+it intersects (Claim 4.8) and then aggregate by ``depth(u_e)``.  Centrally,
+both aggregates are batch chmin operations over vertical paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.decomp.layering import Layering
+from repro.trees.pathops import TreePathOps
+
+__all__ = ["PetalSet", "PetalOracle", "compute_petals"]
+
+
+@dataclass
+class PetalSet:
+    """Petals for a batch of target tree edges.
+
+    ``higher[t]`` / ``lower[t]`` hold indices into the edge list ``X`` that
+    was supplied to :func:`compute_petals` (``-1`` when ``t`` is not covered
+    by ``X``).  Only targets passed to the computation have entries.
+    """
+
+    higher: dict[int, int]
+    lower: dict[int, int]
+
+    def petals_of(self, t: int) -> tuple[int, ...]:
+        """The (deduplicated) petal edge indices of target ``t``."""
+        hi = self.higher.get(t, -1)
+        lo = self.lower.get(t, -1)
+        out = []
+        if hi != -1:
+            out.append(hi)
+        if lo != -1 and lo != hi:
+            out.append(lo)
+        return tuple(out)
+
+
+class PetalOracle:
+    """Lazy petal lookups for a *fixed* set ``X`` of vertical edges.
+
+    The reverse-delete phase fixes ``X = B + A_k`` for a whole epoch and then
+    asks for petals of many tree edges across iterations; this oracle builds
+    the higher-petal structure once and one lower-petal structure per layer,
+    on demand.  Individual lookups cost ``O(log n)``.
+    """
+
+    __slots__ = ("ops", "layering", "x_edges", "_hi", "_lo_by_layer")
+
+    def __init__(
+        self,
+        ops: TreePathOps,
+        layering: Layering,
+        x_edges: Sequence[tuple[int, int]],
+    ) -> None:
+        self.ops = ops
+        self.layering = layering
+        self.x_edges = x_edges
+        depth = ops.tree.depth
+        self._hi = ops.chmin_over_paths(
+            (dec, anc, (depth[anc], idx)) for idx, (dec, anc) in enumerate(x_edges)
+        )
+        self._lo_by_layer: dict[int, object] = {}
+
+    def higher(self, t: int) -> int:
+        """Index into ``x_edges`` of the higher petal of ``t`` (-1 if uncovered)."""
+        val = self._hi.get(t)
+        return val[1] if val != self._hi.identity else -1
+
+    def _lo_result(self, lay: int):
+        res = self._lo_by_layer.get(lay)
+        if res is None:
+            tree = self.ops.tree
+            depth = tree.depth
+            layering = self.layering
+            updates = []
+            for idx, (dec, anc) in enumerate(self.x_edges):
+                t0 = layering.deepest_covered_in_layer(lay, dec, anc)
+                if t0 == -1:
+                    continue
+                leaf = layering.leaf_of(t0)
+                u_e = tree.lca(leaf, dec)
+                # Deeper u_e is better; min over (-depth, index).
+                updates.append((dec, anc, (-depth[u_e], idx)))
+            res = self.ops.chmin_over_paths(updates)
+            self._lo_by_layer[lay] = res
+        return res
+
+    def lower(self, t: int) -> int:
+        """Index into ``x_edges`` of the lower petal of ``t`` (-1 if uncovered)."""
+        res = self._lo_result(self.layering.layer[t])
+        val = res.get(t)
+        return val[1] if val != res.identity else -1
+
+    def petals_of(self, t: int) -> tuple[int, ...]:
+        hi = self.higher(t)
+        lo = self.lower(t)
+        out = []
+        if hi != -1:
+            out.append(hi)
+        if lo != -1 and lo != hi:
+            out.append(lo)
+        return tuple(out)
+
+
+def compute_petals(
+    ops: TreePathOps,
+    layering: Layering,
+    x_edges: Sequence[tuple[int, int]],
+    targets: Iterable[int],
+) -> PetalSet:
+    """Compute higher and lower petals w.r.t. ``X`` for the given tree edges.
+
+    Parameters
+    ----------
+    ops:
+        Path operations bound to the tree.
+    layering:
+        The layering of the same tree.
+    x_edges:
+        The set ``X`` as ``(dec, anc)`` pairs, ``anc`` a strict ancestor of
+        ``dec``.  Returned petal values index into this sequence.
+    targets:
+        Tree edges (child ids) whose petals are wanted; they may span
+        several layers (batched per layer internally).
+    """
+    oracle = PetalOracle(ops, layering, x_edges)
+    higher: dict[int, int] = {}
+    lower: dict[int, int] = {}
+    for t in targets:
+        higher[t] = oracle.higher(t)
+        lower[t] = oracle.lower(t)
+    return PetalSet(higher=higher, lower=lower)

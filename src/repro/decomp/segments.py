@@ -1,0 +1,226 @@
+"""Segment decomposition of a spanning tree (paper Section 4.2.1, after [8,16]).
+
+The tree is broken into ``O(sqrt n)`` edge-disjoint *segments*, each of
+diameter ``O(sqrt n)``.  A segment ``S`` has a root ``r_S`` (an ancestor of
+every vertex in it), a *unique descendant* ``d_S``, a *highway* — the tree
+path ``r_S .. d_S`` — and additional subtrees attached to highway vertices.
+``r_S`` and ``d_S`` are the only vertices of ``S`` that can appear in other
+segments.  The *skeleton tree* has a vertex for every ``r_S``/``d_S`` and an
+edge per highway.
+
+Construction (centralized; the paper builds the same object in
+``O(D + sqrt(n) log* n)`` CONGEST rounds):
+
+1. mark every vertex whose subtree has at least ``s = ceil(sqrt n)``
+   vertices — the marked set is closed under taking parents, so it forms a
+   connected top tree ``T_top``;
+2. the maximal marked chains between *terminals* of ``T_top`` (the root,
+   marked junctions-in-``T_top``, marked leaves-of-``T_top``) become
+   highways, split into pieces of at most ``s`` edges;
+3. each unmarked hanging subtree (size ``< s``) is attached to the segment of
+   the highway vertex it hangs from; subtrees hanging from a shared boundary
+   vertex ``x`` go to the segment having ``x = d_S`` (or to a dedicated
+   degenerate segment when ``x`` is the global root).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.trees.rooted import RootedTree
+
+__all__ = ["Segment", "SegmentDecomposition"]
+
+
+@dataclass
+class Segment:
+    """One segment of the decomposition.
+
+    ``highway`` lists the highway vertices top-down (``r`` first, ``d``
+    last); ``highway_edges`` the corresponding tree edges (child ids),
+    top-down.  ``attached`` lists the non-highway vertices of the segment.
+    """
+
+    sid: int
+    r: int
+    d: int
+    highway: tuple[int, ...]
+    highway_edges: tuple[int, ...]
+    attached: list[int] = field(default_factory=list)
+
+    @property
+    def is_degenerate(self) -> bool:
+        return self.r == self.d
+
+
+class SegmentDecomposition:
+    """Computes and stores the segment decomposition.
+
+    Attributes
+    ----------
+    segments : list[Segment]
+    seg_of_edge : list[int]
+        For every tree edge (child id), the id of the unique segment
+        containing it; the root's slot is ``-1``.
+    on_highway : list[bool]
+        Whether each tree edge lies on its segment's highway.
+    skeleton_parent : dict[int, int]
+        For every boundary vertex except the global root, the boundary vertex
+        directly above it in the skeleton tree.
+    """
+
+    __slots__ = (
+        "tree",
+        "s",
+        "segments",
+        "seg_of_edge",
+        "on_highway",
+        "boundary",
+        "skeleton_parent",
+    )
+
+    def __init__(self, tree: RootedTree, s: int | None = None) -> None:
+        self.tree = tree
+        n = tree.n
+        self.s = s if s is not None else max(1, math.isqrt(n - 1) + 1)
+        sizes = tree.subtree_sizes()
+        marked = [sizes[v] >= self.s for v in range(n)]
+        marked[tree.root] = True
+
+        # Marked children counts within T_top.
+        mc = [0] * n
+        for v in range(n):
+            if marked[v] and v != tree.root:
+                mc[tree.parent[v]] += 1
+
+        def is_terminal(v: int) -> bool:
+            return v == tree.root or mc[v] != 1
+
+        # Build maximal marked chains: from every non-root terminal walk up
+        # through mc==1 vertices to the terminal above.
+        chains: list[list[int]] = []  # vertices bottom-up, excluding upper terminal
+        for v in range(n):
+            if not marked[v] or v == tree.root or not is_terminal(v):
+                continue
+            chain = [v]
+            u = tree.parent[v]
+            while not is_terminal(u):
+                chain.append(u)
+                u = tree.parent[u]
+            chain.append(u)  # upper terminal
+            chains.append(chain)
+
+        segments: list[Segment] = []
+        seg_of_vertex_home: dict[int, int] = {}
+        # Split chains into pieces of at most s edges; create segments.
+        # A chain is bottom-up: chain[0] = d, chain[-1] = r of the full chain.
+        segment_with_d: dict[int, int] = {}
+        for chain in chains:
+            top_down = chain[::-1]
+            num_edges = len(top_down) - 1
+            start = 0
+            while start < num_edges:
+                end = min(start + self.s, num_edges)
+                hv = tuple(top_down[start : end + 1])
+                he = tuple(hv[1:])  # child ids of the highway edges
+                sid = len(segments)
+                segments.append(Segment(sid, hv[0], hv[-1], hv, he))
+                segment_with_d[hv[-1]] = sid
+                start = end
+
+        # Root segment for unmarked subtrees hanging off the global root when
+        # the root is not the d of any piece (it never is) — created lazily.
+        root_segment_id: int | None = None
+
+        def owner_segment(x: int) -> int:
+            """The segment that adopts subtrees hanging from marked vertex x."""
+            nonlocal root_segment_id
+            sid = segment_with_d.get(x)
+            if sid is not None:
+                return sid
+            # x is interior to a piece, or the global root.
+            if x == tree.root:
+                if root_segment_id is None:
+                    root_segment_id = len(segments)
+                    segments.append(
+                        Segment(root_segment_id, x, x, (x,), ())
+                    )
+                    segment_with_d[x] = root_segment_id
+                return root_segment_id
+            raise AssertionError(f"vertex {x} has no owner segment")
+
+        # Interior highway vertices own their hanging subtrees directly.
+        interior_owner: dict[int, int] = {}
+        for seg in segments:
+            for x in seg.highway[1:-1]:
+                interior_owner[x] = seg.sid
+
+        # Assign unmarked vertices: each unmarked vertex u with a marked
+        # parent x starts a hanging subtree rooted at u.
+        seg_of_edge = [-1] * n
+        on_highway = [False] * n
+        for seg in segments:
+            for e in seg.highway_edges:
+                seg_of_edge[e] = seg.sid
+                on_highway[e] = True
+
+        for u in tree.order:
+            if marked[u]:
+                continue
+            p = tree.parent[u]
+            if marked[p]:
+                sid = interior_owner.get(p)
+                if sid is None:
+                    sid = owner_segment(p)
+            else:
+                sid = seg_of_edge[p]
+            seg_of_edge[u] = sid
+            segments[sid].attached.append(u)
+
+        boundary: set[int] = set()
+        skeleton_parent: dict[int, int] = {}
+        for seg in segments:
+            boundary.add(seg.r)
+            boundary.add(seg.d)
+            if seg.r != seg.d:
+                skeleton_parent[seg.d] = seg.r
+
+        self.segments = segments
+        self.seg_of_edge = seg_of_edge
+        self.on_highway = on_highway
+        self.boundary = boundary
+        self.skeleton_parent = skeleton_parent
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+    def segment_of_edge(self, t: int) -> Segment:
+        return self.segments[self.seg_of_edge[t]]
+
+    def segment_diameter(self, seg: Segment) -> int:
+        """Diameter (in edges) of the segment's subgraph of the tree."""
+        depth = self.tree.depth
+        highway_len = len(seg.highway) - 1
+        if not seg.attached:
+            return highway_len
+        # Depth of attached vertices below their highway attachment point;
+        # processing by increasing depth lets each vertex read its parent.
+        best = 0
+        down: dict[int, int] = {}
+        for u in sorted(seg.attached, key=lambda x: depth[x]):
+            p = self.tree.parent[u]
+            down[u] = down[p] + 1 if p in down else 1
+            best = max(best, down[u])
+        return highway_len + 2 * best
+
+    def stats(self) -> dict[str, float]:
+        diams = [self.segment_diameter(s) for s in self.segments]
+        return {
+            "num_segments": float(self.num_segments),
+            "max_diameter": float(max(diams) if diams else 0),
+            "s": float(self.s),
+        }

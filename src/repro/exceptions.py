@@ -1,0 +1,50 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  The more specific subclasses signal the
+pre-condition that failed (e.g. the input graph is not 2-edge-connected) or an
+internal invariant of the paper's algorithm that was violated (which would
+indicate a bug, not a user error).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class GraphFormatError(ReproError):
+    """The input graph is malformed (missing weights, self loops, ...)."""
+
+
+class NotConnectedError(ReproError):
+    """The input graph is not connected."""
+
+
+class NotTwoEdgeConnectedError(ReproError):
+    """The input graph has a bridge, so no 2-ECSS / TAP solution exists."""
+
+
+class NotATreeError(ReproError):
+    """The supplied edge set does not form a spanning tree."""
+
+
+class InvariantViolation(ReproError):
+    """An invariant proven in the paper failed at runtime.
+
+    This signals an implementation bug (or a genuine gap in the paper);
+    it is raised only when validation is enabled.
+    """
+
+
+class SolverError(ReproError):
+    """An exact solver (MILP / brute force) failed or hit its limits."""
+
+
+class SimulationError(ReproError):
+    """The CONGEST simulator detected a protocol violation.
+
+    The most common cause is a node program sending a message that exceeds
+    the per-edge bandwidth of the model.
+    """

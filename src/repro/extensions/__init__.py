@@ -1,0 +1,23 @@
+"""Extensions: the paper's tau-SNC generalization remark made concrete.
+
+Section 3.6.1 observes that the MIS-plus-petals argument gives a
+``tau``-approximation for *any* unweighted covering problem with the
+``tau``-small-neighbourhood-cover property, naming vertex cover (via
+maximal matching) as the classic instance and citing interval/bag cover
+from [1].  :mod:`repro.extensions.snc` implements the generic engine and
+both named instantiations.
+"""
+
+from repro.extensions.snc import (
+    SncInstance,
+    snc_unweighted_cover,
+    interval_cover_instance,
+    vertex_cover_instance,
+)
+
+__all__ = [
+    "SncInstance",
+    "snc_unweighted_cover",
+    "interval_cover_instance",
+    "vertex_cover_instance",
+]

@@ -1,0 +1,48 @@
+"""Weighted-graph inputs: generators, validation, and benchmark families."""
+
+from repro.graphs.validation import (
+    check_two_edge_connected,
+    ensure_weights,
+    find_bridges,
+    is_two_edge_connected,
+)
+from repro.graphs.generators import (
+    assign_weights,
+    broom_graph,
+    caterpillar_cycle,
+    cycle_with_chords,
+    erdos_renyi_2ec,
+    grid_graph,
+    hub_and_cycle,
+    hypercube_graph,
+    ktree_graph,
+    lollipop_2ec,
+    random_geometric_2ec,
+    theta_graph,
+    torus_graph,
+    wheel_graph,
+)
+from repro.graphs.families import FAMILIES, make_family_instance
+
+__all__ = [
+    "check_two_edge_connected",
+    "ensure_weights",
+    "find_bridges",
+    "is_two_edge_connected",
+    "assign_weights",
+    "hub_and_cycle",
+    "broom_graph",
+    "caterpillar_cycle",
+    "cycle_with_chords",
+    "erdos_renyi_2ec",
+    "grid_graph",
+    "hypercube_graph",
+    "ktree_graph",
+    "lollipop_2ec",
+    "random_geometric_2ec",
+    "theta_graph",
+    "torus_graph",
+    "wheel_graph",
+    "FAMILIES",
+    "make_family_instance",
+]

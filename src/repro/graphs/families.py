@@ -1,0 +1,66 @@
+"""A registry of graph families, parameterized by target size.
+
+Benchmarks iterate over this registry so every experiment covers the same
+spread of topologies: general, planar, bounded treewidth, small-diameter /
+tall-MST, and long-diameter instances.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import networkx as nx
+
+from repro.graphs import generators as gen
+
+__all__ = ["FAMILIES", "make_family_instance"]
+
+
+def _grid(n: int, seed: int) -> nx.Graph:
+    side = max(2, int(round(math.sqrt(n))))
+    return gen.grid_graph(side, side, seed=seed)
+
+
+def _torus(n: int, seed: int) -> nx.Graph:
+    side = max(3, int(round(math.sqrt(n))))
+    return gen.torus_graph(side, side, seed=seed)
+
+
+def _theta(n: int, seed: int) -> nx.Graph:
+    paths = 4
+    return gen.theta_graph(num_paths=paths, path_len=max(2, n // paths), seed=seed)
+
+
+def _lollipop(n: int, seed: int) -> nx.Graph:
+    clique = max(4, int(round(math.sqrt(n))))
+    return gen.lollipop_2ec(clique, max(3, n - clique), seed=seed)
+
+
+def _caterpillar(n: int, seed: int) -> nx.Graph:
+    spine = max(3, n // 3)
+    return gen.caterpillar_cycle(spine, legs=1, seed=seed)
+
+
+FAMILIES: dict[str, Callable[[int, int], nx.Graph]] = {
+    "cycle_chords": lambda n, seed: gen.cycle_with_chords(n, 0.6, seed=seed),
+    "erdos_renyi": lambda n, seed: gen.erdos_renyi_2ec(n, seed=seed),
+    "grid": _grid,
+    "torus": _torus,
+    "ktree2": lambda n, seed: gen.ktree_graph(n, k=2, seed=seed),
+    "ktree4": lambda n, seed: gen.ktree_graph(n, k=4, seed=seed),
+    "theta": _theta,
+    "hub_cycle": lambda n, seed: gen.hub_and_cycle(n, seed=seed),
+    "lollipop": _lollipop,
+    "caterpillar": _caterpillar,
+    "geometric": lambda n, seed: gen.random_geometric_2ec(n, seed=seed),
+}
+
+
+def make_family_instance(family: str, n: int, seed: int = 0) -> nx.Graph:
+    """Build an instance of the named family with roughly ``n`` vertices."""
+    try:
+        ctor = FAMILIES[family]
+    except KeyError:
+        raise KeyError(f"unknown family {family!r}; known: {sorted(FAMILIES)}") from None
+    return ctor(n, seed)

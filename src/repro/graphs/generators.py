@@ -1,0 +1,318 @@
+"""Generators for weighted 2-edge-connected test networks.
+
+Every generator returns a simple undirected :class:`networkx.Graph` with a
+``weight`` attribute on every edge, guaranteed 2-edge-connected, with nodes
+``0..n-1``.  All randomness is driven by an explicit ``seed``.
+
+The families span the regimes the paper discusses:
+
+* general worst-case graphs (``erdos_renyi_2ec``, ``cycle_with_chords``),
+* planar / bounded-genus networks (``grid_graph``, ``random_geometric_2ec``,
+  ``theta_graph``, ``wheel_graph``, ``caterpillar_cycle``),
+* bounded treewidth (``ktree_graph``),
+* small-diameter networks whose MST is very tall (``hub_and_cycle``) — the
+  instances separating the paper's algorithm from the O(h_MST)-round
+  algorithm of Censor-Hillel and Dory [4],
+* long-diameter networks (``lollipop_2ec``, ``broom_graph``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import networkx as nx
+
+from repro.graphs.validation import is_two_edge_connected
+
+__all__ = [
+    "assign_weights",
+    "broom_graph",
+    "caterpillar_cycle",
+    "cycle_with_chords",
+    "erdos_renyi_2ec",
+    "grid_graph",
+    "hub_and_cycle",
+    "hypercube_graph",
+    "ktree_graph",
+    "lollipop_2ec",
+    "random_geometric_2ec",
+    "theta_graph",
+    "torus_graph",
+    "wheel_graph",
+]
+
+WEIGHT_STYLES = ("unit", "uniform", "integer", "exponential")
+
+
+def assign_weights(
+    graph: nx.Graph, style: str = "uniform", seed: int = 0, scale: float = 100.0
+) -> nx.Graph:
+    """Assign edge weights in place and return the graph.
+
+    Styles: ``unit`` (all 1), ``uniform`` (U(1, scale)), ``integer``
+    (uniform integers in [1, scale]), ``exponential`` (heavy-tailed).
+    """
+    rng = random.Random(seed)
+    for _, _, data in graph.edges(data=True):
+        if style == "unit":
+            data["weight"] = 1.0
+        elif style == "uniform":
+            data["weight"] = rng.uniform(1.0, scale)
+        elif style == "integer":
+            data["weight"] = float(rng.randint(1, int(scale)))
+        elif style == "exponential":
+            data["weight"] = 1.0 + rng.expovariate(1.0 / scale)
+        else:
+            raise ValueError(f"unknown weight style {style!r}")
+    return graph
+
+
+def _relabel(graph: nx.Graph) -> nx.Graph:
+    return nx.convert_node_labels_to_integers(graph, ordering="sorted")
+
+
+def cycle_with_chords(
+    n: int, extra: int | float = 0.5, seed: int = 0, weight_style: str = "uniform"
+) -> nx.Graph:
+    """Hamiltonian cycle plus random chords; always 2-edge-connected.
+
+    ``extra`` is either an absolute chord count or a fraction of ``n``.
+    """
+    if n < 3:
+        raise ValueError("need n >= 3")
+    rng = random.Random(seed)
+    g = nx.cycle_graph(n)
+    chords = int(extra * n) if isinstance(extra, float) else int(extra)
+    tries = 0
+    while chords > 0 and tries < 50 * n:
+        u, v = rng.randrange(n), rng.randrange(n)
+        tries += 1
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+            chords -= 1
+    return assign_weights(g, weight_style, seed + 1)
+
+
+def erdos_renyi_2ec(
+    n: int, p: float | None = None, seed: int = 0, weight_style: str = "uniform"
+) -> nx.Graph:
+    """Erdős–Rényi graph patched to 2-edge-connectivity.
+
+    Defaults to ``p = 3 ln(n) / n`` (comfortably above the 2-connectivity
+    threshold).  If the sample is not 2-edge-connected, random extra edges
+    are added until it is — asymptotically this leaves the family unchanged.
+    """
+    if n < 3:
+        raise ValueError("need n >= 3")
+    if p is None:
+        p = min(1.0, 3.0 * math.log(max(n, 2)) / n)
+    rng = random.Random(seed)
+    g = nx.gnp_random_graph(n, p, seed=seed)
+    while not is_two_edge_connected(g):
+        for _ in range(max(2, n // 10)):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                g.add_edge(u, v)
+    return assign_weights(g, weight_style, seed + 1)
+
+
+def grid_graph(rows: int, cols: int, seed: int = 0, weight_style: str = "uniform") -> nx.Graph:
+    """2D grid (planar); 2-edge-connected for rows, cols >= 2."""
+    if rows < 2 or cols < 2:
+        raise ValueError("need rows, cols >= 2")
+    g = _relabel(nx.grid_2d_graph(rows, cols))
+    return assign_weights(g, weight_style, seed)
+
+
+def torus_graph(rows: int, cols: int, seed: int = 0, weight_style: str = "uniform") -> nx.Graph:
+    """2D torus (bounded genus)."""
+    if rows < 3 or cols < 3:
+        raise ValueError("need rows, cols >= 3")
+    g = _relabel(nx.grid_2d_graph(rows, cols, periodic=True))
+    return assign_weights(g, weight_style, seed)
+
+
+def hypercube_graph(dim: int, seed: int = 0, weight_style: str = "uniform") -> nx.Graph:
+    """The ``dim``-dimensional hypercube; 2-edge-connected for dim >= 2."""
+    if dim < 2:
+        raise ValueError("need dim >= 2")
+    g = _relabel(nx.hypercube_graph(dim))
+    return assign_weights(g, weight_style, seed)
+
+
+def ktree_graph(n: int, k: int = 2, seed: int = 0, weight_style: str = "uniform") -> nx.Graph:
+    """A random k-tree: treewidth exactly ``k``; 2-edge-connected for k >= 2."""
+    if k < 2 or n < k + 1:
+        raise ValueError("need k >= 2 and n >= k + 1")
+    rng = random.Random(seed)
+    g = nx.complete_graph(k + 1)
+    cliques = [tuple(range(k + 1))]
+    for v in range(k + 1, n):
+        base = rng.choice(cliques)
+        drop = rng.randrange(k + 1)
+        new_clique = tuple(x for i, x in enumerate(base) if i != drop) + (v,)
+        for u in new_clique[:-1]:
+            g.add_edge(u, v)
+        cliques.append(new_clique)
+    return assign_weights(g, weight_style, seed + 1)
+
+
+def theta_graph(
+    num_paths: int = 3, path_len: int = 10, seed: int = 0, weight_style: str = "uniform"
+) -> nx.Graph:
+    """Generalized theta graph: two hubs joined by internally disjoint paths.
+
+    Planar, 2-edge-connected for ``num_paths >= 2``; diameter ~ ``path_len``.
+    """
+    if num_paths < 2 or path_len < 1:
+        raise ValueError("need num_paths >= 2 and path_len >= 1")
+    g = nx.Graph()
+    s, t = 0, 1
+    nxt = 2
+    for _ in range(num_paths):
+        prev = s
+        for _ in range(path_len - 1):
+            g.add_edge(prev, nxt)
+            prev = nxt
+            nxt += 1
+        g.add_edge(prev, t)
+    return assign_weights(g, weight_style, seed)
+
+
+def wheel_graph(n: int, seed: int = 0, weight_style: str = "uniform") -> nx.Graph:
+    """Wheel: hub plus an (n-1)-cycle; planar, diameter 2."""
+    if n < 4:
+        raise ValueError("need n >= 4")
+    g = nx.wheel_graph(n)
+    return assign_weights(g, weight_style, seed)
+
+
+def hub_and_cycle(
+    n: int, seed: int = 0, cheap: float = 1.0, expensive: float = 1000.0
+) -> nx.Graph:
+    """Small diameter but very tall MST — the regime separating the paper
+    from the O(h_MST)-round algorithm of [4].
+
+    Vertices ``0..n-2`` form a cycle with cheap weights; vertex ``n-1`` is a
+    hub joined to every cycle vertex with expensive weights.  The MST is the
+    cheap path (height ~ n) plus one hub edge, while the network diameter is
+    2.
+    """
+    if n < 5:
+        raise ValueError("need n >= 5")
+    rng = random.Random(seed)
+    g = nx.Graph()
+    m = n - 1
+    for i in range(m):
+        g.add_edge(i, (i + 1) % m, weight=cheap * (1.0 + 0.01 * rng.random()))
+    hub = n - 1
+    for i in range(m):
+        g.add_edge(hub, i, weight=expensive * (1.0 + 0.01 * rng.random()))
+    return g
+
+
+def lollipop_2ec(
+    clique_size: int, cycle_len: int, seed: int = 0, weight_style: str = "uniform"
+) -> nx.Graph:
+    """A clique welded to a long cycle ("2-edge-connected lollipop").
+
+    Large diameter (~ cycle_len / 2) with a dense core; stresses the
+    sqrt(n)-term of the round bounds.
+    """
+    if clique_size < 3 or cycle_len < 3:
+        raise ValueError("need clique_size >= 3 and cycle_len >= 3")
+    g = nx.complete_graph(clique_size)
+    first = clique_size
+    prev = 0
+    for i in range(cycle_len - 1):
+        g.add_edge(prev, first + i)
+        prev = first + i
+    g.add_edge(prev, 1)  # close the cycle through a second clique vertex
+    return assign_weights(g, weight_style, seed)
+
+
+def broom_graph(
+    handle_len: int, brush: int, seed: int = 0, weight_style: str = "uniform"
+) -> nx.Graph:
+    """A long doubled handle ending in a dense brush (2-edge-connected).
+
+    The handle is a ladder of triangles (so it has no bridges); the brush is
+    a wheel.  Diameter ~ handle_len, with most vertices at one end.
+    """
+    if handle_len < 2 or brush < 4:
+        raise ValueError("need handle_len >= 2 and brush >= 4")
+    g = nx.Graph()
+    # Triangle ladder handle over vertices 0..handle_len.
+    for i in range(handle_len):
+        g.add_edge(i, i + 1)
+    for i in range(0, handle_len - 1):
+        g.add_edge(i, i + 2)
+    g.add_edge(handle_len - 1, handle_len)  # already there; keeps shape explicit
+    base = handle_len + 1
+    hub = base
+    ring = list(range(base + 1, base + brush))
+    for i, v in enumerate(ring):
+        g.add_edge(hub, v)
+        g.add_edge(v, ring[(i + 1) % len(ring)])
+    g.add_edge(handle_len, hub)
+    g.add_edge(handle_len - 1, ring[0])  # second attachment avoids a bridge
+    return assign_weights(g, weight_style, seed)
+
+
+def caterpillar_cycle(
+    spine: int, legs: int = 1, seed: int = 0, weight_style: str = "uniform"
+) -> nx.Graph:
+    """A cycle spine with triangle legs (planar, 2-edge-connected).
+
+    Each spine vertex receives ``legs`` triangles; the MST is bushy and the
+    layering decomposition has many short first-layer paths.
+    """
+    if spine < 3 or legs < 0:
+        raise ValueError("need spine >= 3 and legs >= 0")
+    g = nx.cycle_graph(spine)
+    nxt = spine
+    for v in range(spine):
+        for _ in range(legs):
+            a, b = nxt, nxt + 1
+            nxt += 2
+            g.add_edge(v, a)
+            g.add_edge(a, b)
+            g.add_edge(b, v)
+    return assign_weights(g, weight_style, seed)
+
+
+def random_geometric_2ec(
+    n: int, radius: float | None = None, seed: int = 0, weight_style: str = "euclidean"
+) -> nx.Graph:
+    """Random geometric graph patched to 2-edge-connectivity.
+
+    With ``weight_style="euclidean"`` the weight of an edge is the distance
+    between its endpoints (patched edges get the same treatment).
+    """
+    if n < 4:
+        raise ValueError("need n >= 4")
+    if radius is None:
+        radius = 1.8 * math.sqrt(math.log(max(n, 2)) / (math.pi * n))
+    rng = random.Random(seed)
+    pos = {i: (rng.random(), rng.random()) for i in range(n)}
+    g = nx.random_geometric_graph(n, radius, seed=seed, pos=pos)
+    order = sorted(range(n), key=lambda i: pos[i])
+    idx = 0
+    while not is_two_edge_connected(g):
+        # Stitch along a space-filling order; keeps edges short.
+        u, v = order[idx % n], order[(idx + 1) % n]
+        if u != v:
+            g.add_edge(u, v)
+        idx += 1
+        if idx > 3 * n:
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                g.add_edge(u, v)
+    if weight_style == "euclidean":
+        for u, v, data in g.edges(data=True):
+            (x1, y1), (x2, y2) = pos[u], pos[v]
+            data["weight"] = max(1e-6, math.hypot(x1 - x2, y1 - y2))
+    else:
+        assign_weights(g, weight_style, seed + 1)
+    return g

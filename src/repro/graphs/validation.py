@@ -1,0 +1,82 @@
+"""Input validation: connectivity, 2-edge-connectivity, weights.
+
+2-edge-connectivity is the feasibility condition for both TAP and 2-ECSS
+(paper, Section 2): a graph admits a 2-edge-connected spanning subgraph iff it
+is itself 2-edge-connected, i.e. connected and bridgeless.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.exceptions import (
+    GraphFormatError,
+    NotConnectedError,
+    NotTwoEdgeConnectedError,
+)
+
+__all__ = [
+    "ensure_weights",
+    "find_bridges",
+    "is_two_edge_connected",
+    "check_two_edge_connected",
+    "normalize_graph",
+]
+
+
+def ensure_weights(graph: nx.Graph, default: float | None = None) -> nx.Graph:
+    """Validate edge weights; optionally fill missing ones with ``default``.
+
+    Raises :class:`GraphFormatError` on self-loops, missing weights (when no
+    default is given) and non-positive weights.
+    """
+    for u, v, data in graph.edges(data=True):
+        if u == v:
+            raise GraphFormatError(f"self-loop at {u!r}")
+        w = data.get("weight")
+        if w is None:
+            if default is None:
+                raise GraphFormatError(f"edge ({u!r}, {v!r}) has no 'weight'")
+            data["weight"] = default
+            w = default
+        if not (w >= 0):
+            raise GraphFormatError(f"edge ({u!r}, {v!r}) has invalid weight {w!r}")
+    return graph
+
+
+def find_bridges(graph: nx.Graph) -> list[tuple]:
+    """All bridges of the graph (edges whose removal disconnects it)."""
+    return list(nx.bridges(graph))
+
+
+def is_two_edge_connected(graph: nx.Graph) -> bool:
+    """Connected, has at least 2 vertices, and bridgeless."""
+    if graph.number_of_nodes() < 2:
+        return False
+    if not nx.is_connected(graph):
+        return False
+    return next(nx.bridges(graph), None) is None
+
+
+def check_two_edge_connected(graph: nx.Graph) -> None:
+    """Raise a descriptive error if the graph is not 2-edge-connected."""
+    if graph.number_of_nodes() < 2:
+        raise GraphFormatError("graph needs at least 2 vertices")
+    if not nx.is_connected(graph):
+        raise NotConnectedError("input graph is not connected")
+    bridge = next(nx.bridges(graph), None)
+    if bridge is not None:
+        raise NotTwoEdgeConnectedError(
+            f"input graph has a bridge {bridge!r}; no 2-ECSS exists"
+        )
+
+
+def normalize_graph(graph: nx.Graph) -> tuple[nx.Graph, list, dict]:
+    """Relabel nodes to ``0..n-1`` ints; return (graph, index->node, node->index)."""
+    nodes = list(graph.nodes())
+    index = {u: i for i, u in enumerate(nodes)}
+    out = nx.Graph()
+    out.add_nodes_from(range(len(nodes)))
+    for u, v, data in graph.edges(data=True):
+        out.add_edge(index[u], index[v], **data)
+    return out, nodes, index

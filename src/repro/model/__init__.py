@@ -1,0 +1,37 @@
+"""A synchronous CONGEST-model simulator and node programs.
+
+The paper's model (Section 2): communication proceeds in synchronous rounds;
+per round each vertex may send ``O(log n)`` bits over each incident edge.
+:class:`~repro.model.network.Network` enforces exactly that — messages are
+measured in *words* (one word = one ``O(log n)``-bit integer/float) and a
+program sending more than the per-edge budget raises
+:class:`~repro.exceptions.SimulationError`.
+
+Node programs included: BFS (diameter / BFS trees), flood-min (leader
+election and fragment relabeling), tree broadcast and convergecast
+(aggregates), and a Borůvka-style distributed MST built from these.
+
+Round counts reported by these programs are *measured*, not modeled — this
+is fidelity Level S of DESIGN.md, used to validate the Level-M cost model of
+:mod:`repro.core.rounds`.
+"""
+
+from repro.model.network import Network, NodeProgram, RunStats
+from repro.model.programs import (
+    DistributedBFS,
+    FloodMin,
+    TreeAggregate,
+    TreeBroadcast,
+)
+from repro.model.mst import BoruvkaMST
+
+__all__ = [
+    "Network",
+    "NodeProgram",
+    "RunStats",
+    "DistributedBFS",
+    "FloodMin",
+    "TreeAggregate",
+    "TreeBroadcast",
+    "BoruvkaMST",
+]

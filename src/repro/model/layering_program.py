@@ -1,0 +1,111 @@
+"""Distributed layering over the CONGEST simulator (Claim 4.10, Level S).
+
+Computes the junction-path layering of a tree by genuine message passing,
+one contraction round per layer:
+
+* **down-sweep**: every alive vertex convergecasts, over the alive tree
+  edges, whether the alive subtree below it contains a junction (a vertex
+  with two or more alive children);
+* **decision**: the edge ``(v, parent v)`` joins the current layer iff
+  ``v``'s alive subtree is junction-free — exactly the centralized rule;
+* **removal**: layered edges leave the alive set; the process repeats until
+  no alive edges remain.
+
+Rounds are measured: each layer costs one convergecast pass over the alive
+tree (``<= height`` rounds), so the total is ``O(L * height)``.  The paper's
+Claim 4.10 achieves ``O(L * (D + sqrt n))`` using the segment decomposition;
+this program is the height-bound variant that validates the *object* (the
+layer numbers agree with :class:`repro.decomp.layering.Layering` — tested),
+while the Level-M model prices the layering step with the paper's formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.model.network import Context, Network, Payload, RunStats
+
+__all__ = ["DistributedLayering", "run_distributed_layering"]
+
+
+class _JunctionSweep:
+    """One convergecast: each alive vertex learns (alive children count is
+    implicit) whether its alive subtree contains a junction."""
+
+    def __init__(self, parent, alive_edge, alive_children):
+        self.parent = parent
+        self.alive_edge = alive_edge  # per vertex: is edge (v, parent) alive
+        self.alive_children = alive_children  # per vertex: list of alive children
+
+    def setup(self, ctx: Context) -> None:
+        kids = self.alive_children[ctx.node]
+        ctx.state.update(
+            waiting=len(kids),
+            has_junction=len(kids) >= 2,
+            sent=False,
+        )
+
+    def step(self, ctx: Context, inbox: dict[int, Payload]) -> dict[int, Payload]:
+        st = ctx.state
+        for payload in inbox.values():
+            st["waiting"] -= 1
+            st["has_junction"] = st["has_junction"] or bool(payload[0])
+        if (
+            st["waiting"] == 0
+            and not st["sent"]
+            and self.alive_edge[ctx.node]
+        ):
+            st["sent"] = True
+            return {self.parent[ctx.node]: (1 if st["has_junction"] else 0,)}
+        return {}
+
+    def wants_to_continue(self, ctx: Context) -> bool:
+        return ctx.state["waiting"] > 0 or (
+            not ctx.state["sent"] and self.alive_edge[ctx.node]
+        )
+
+
+@dataclass
+class DistributedLayering:
+    layer: list[int]
+    num_layers: int
+    stats: RunStats
+
+
+def run_distributed_layering(tree_graph: nx.Graph, parent: list[int], root: int) -> DistributedLayering:
+    """Run the layering over a tree-shaped :class:`Network`.
+
+    ``tree_graph`` must contain exactly the tree edges; ``parent`` gives the
+    orientation.  Returns measured round statistics alongside the layers.
+    """
+    net = Network(tree_graph, words_per_edge=2)
+    n = net.n
+    alive_edge = [v != root for v in range(n)]
+    layer = [0] * n
+    stats = RunStats()
+    current = 0
+    remaining = sum(alive_edge)
+    while remaining > 0:
+        current += 1
+        alive_children: list[list[int]] = [[] for _ in range(n)]
+        for v in range(n):
+            if alive_edge[v]:
+                alive_children[parent[v]].append(v)
+        sweep = _JunctionSweep(parent, alive_edge, alive_children)
+        net.reset_state()
+        stats.merge(net.run(sweep))
+        # Decision is local: v's own subtree verdict excludes v's own
+        # junction status at v itself — "junction in the subtree rooted at v"
+        # includes v, so recombine: subtree(v) junction-free iff v has <= 1
+        # alive child and no child subtree contains a junction.
+        verdict = [net.contexts[v].state["has_junction"] for v in range(n)]
+        newly = [v for v in range(n) if alive_edge[v] and not verdict[v]]
+        for v in newly:
+            layer[v] = current
+            alive_edge[v] = False
+        remaining -= len(newly)
+        if not newly:  # pragma: no cover - every round layers the leaf paths
+            raise AssertionError("distributed layering stalled")
+    return DistributedLayering(layer=layer, num_layers=current, stats=stats)

@@ -1,0 +1,142 @@
+"""The synchronous message-passing network with bandwidth enforcement.
+
+A :class:`NodeProgram` is instantiated per run and driven round by round:
+
+* ``setup(node, ctx)`` is called once per node before round 1;
+* ``step(node, ctx, inbox) -> outbox`` is called every round with the
+  messages delivered this round (``inbox``: neighbor -> payload) and returns
+  the messages to send (``outbox``: neighbor -> payload).
+
+Payloads are tuples of numbers; their length in *words* must not exceed the
+per-edge budget (CONGEST allows ``O(log n)`` bits = O(1) words per round).
+The network runs until global quiescence (no messages sent and no node asks
+to continue) or ``max_rounds``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from numbers import Number
+from typing import Mapping, Protocol
+
+import networkx as nx
+
+from repro.exceptions import SimulationError
+
+__all__ = ["Network", "NodeProgram", "RunStats", "Context"]
+
+Payload = tuple
+
+
+@dataclass
+class Context:
+    """What a node is allowed to know locally (Section 2 of the paper)."""
+
+    node: int
+    neighbors: tuple[int, ...]
+    edge_weights: Mapping[int, float]
+    n: int
+
+    # Scratch space for the program's per-node state.
+    state: dict = field(default_factory=dict)
+
+
+class NodeProgram(Protocol):  # pragma: no cover - structural type only
+    def setup(self, ctx: Context) -> None: ...
+
+    def step(self, ctx: Context, inbox: dict[int, Payload]) -> dict[int, Payload]: ...
+
+    def wants_to_continue(self, ctx: Context) -> bool: ...
+
+
+@dataclass
+class RunStats:
+    rounds: int = 0
+    messages: int = 0
+    max_words: int = 0
+    quiescent: bool = False
+
+    def merge(self, other: "RunStats") -> None:
+        self.rounds += other.rounds
+        self.messages += other.messages
+        self.max_words = max(self.max_words, other.max_words)
+        self.quiescent = other.quiescent
+
+
+class Network:
+    """A CONGEST network over an undirected weighted graph (0..n-1 nodes)."""
+
+    def __init__(self, graph: nx.Graph, words_per_edge: int = 4) -> None:
+        self.graph = graph
+        self.n = graph.number_of_nodes()
+        if set(graph.nodes()) != set(range(self.n)):
+            raise SimulationError("network nodes must be 0..n-1")
+        self.words_per_edge = words_per_edge
+        self.contexts = [
+            Context(
+                node=v,
+                neighbors=tuple(sorted(graph.neighbors(v))),
+                edge_weights={
+                    u: float(graph[v][u].get("weight", 1.0))
+                    for u in graph.neighbors(v)
+                },
+                n=self.n,
+            )
+            for v in range(self.n)
+        ]
+
+    def reset_state(self) -> None:
+        for ctx in self.contexts:
+            ctx.state = {}
+
+    def _check_payload(self, sender: int, receiver: int, payload: Payload) -> int:
+        if not isinstance(payload, tuple):
+            raise SimulationError(
+                f"node {sender} sent a non-tuple payload to {receiver}"
+            )
+        for x in payload:
+            if not isinstance(x, Number):
+                raise SimulationError(
+                    f"node {sender} sent non-numeric word {x!r} to {receiver}"
+                )
+        words = len(payload)
+        if words > self.words_per_edge:
+            raise SimulationError(
+                f"node {sender} sent {words} words to {receiver}; the CONGEST "
+                f"budget is {self.words_per_edge} words (O(log n) bits)"
+            )
+        return words
+
+    def run(self, program: NodeProgram, max_rounds: int | None = None) -> RunStats:
+        """Drive the program to quiescence; returns measured statistics."""
+        limit = max_rounds if max_rounds is not None else 20 * self.n + 50
+        for ctx in self.contexts:
+            program.setup(ctx)
+        stats = RunStats()
+        inboxes: list[dict[int, Payload]] = [{} for _ in range(self.n)]
+        for _ in range(limit):
+            outboxes: list[dict[int, Payload]] = []
+            any_message = False
+            for ctx in self.contexts:
+                out = program.step(ctx, inboxes[ctx.node]) or {}
+                for receiver, payload in out.items():
+                    if receiver not in ctx.edge_weights:
+                        raise SimulationError(
+                            f"node {ctx.node} sent to non-neighbor {receiver}"
+                        )
+                    words = self._check_payload(ctx.node, receiver, payload)
+                    stats.messages += 1
+                    stats.max_words = max(stats.max_words, words)
+                    any_message = True
+                outboxes.append(out)
+            if not any_message and not any(
+                program.wants_to_continue(ctx) for ctx in self.contexts
+            ):
+                stats.quiescent = True
+                break
+            stats.rounds += 1
+            inboxes = [{} for _ in range(self.n)]
+            for ctx, out in zip(self.contexts, outboxes):
+                for receiver, payload in out.items():
+                    inboxes[receiver][ctx.node] = payload
+        return stats

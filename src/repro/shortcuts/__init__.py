@@ -1,0 +1,44 @@
+"""The paper's second algorithm: O(log n)-approx 2-ECSS in shortcut time.
+
+* :mod:`repro.shortcuts.partition` — partitions into connected parts and
+  shortcut-quality measurement (``alpha`` congestion, ``beta`` dilation).
+* :mod:`repro.shortcuts.providers` — shortcut constructions: the generic
+  ``O(D + sqrt n)`` size-threshold scheme of [12] and tree-restricted
+  shortcuts (Steiner subtrees of a BFS tree), which achieve ``O~(D)``
+  quality on planar/bounded-genus graphs per Haeupler–Izumi–Zuzic'16.
+* :mod:`repro.shortcuts.tools` — Theorems 5.1/5.2/5.3: descendants' sum,
+  ancestors' sum and heavy-light decomposition in shortcut time, via the
+  ``O(log n)``-level fragment hierarchy.
+* :mod:`repro.shortcuts.subroutines` — Lemma 5.4 (XOR covered-edge
+  detection) and Lemma 5.5 (cover counting via light-edge LCA labels).
+* :mod:`repro.shortcuts.setcover` / :mod:`repro.shortcuts.tap_shortcut` —
+  the parallel greedy set cover of Section 5.1 and the resulting
+  ``O(log n)``-approximation for TAP / 2-ECSS (Theorem 1.2).
+"""
+
+from repro.shortcuts.partition import Partition, measure_quality, mst_fragment_partition
+from repro.shortcuts.providers import (
+    BestOfShortcuts,
+    SizeThresholdShortcuts,
+    TreeRestrictedShortcuts,
+    TrivialShortcuts,
+)
+from repro.shortcuts.tools import FragmentHierarchy, ShortcutToolkit
+from repro.shortcuts.subroutines import CoverDetector, CoverCounter55
+from repro.shortcuts.tap_shortcut import shortcut_tap, shortcut_two_ecss
+
+__all__ = [
+    "Partition",
+    "measure_quality",
+    "mst_fragment_partition",
+    "BestOfShortcuts",
+    "SizeThresholdShortcuts",
+    "TreeRestrictedShortcuts",
+    "TrivialShortcuts",
+    "FragmentHierarchy",
+    "ShortcutToolkit",
+    "CoverDetector",
+    "CoverCounter55",
+    "shortcut_tap",
+    "shortcut_two_ecss",
+]

@@ -1,0 +1,164 @@
+"""Shortcut providers: how each part gets its helper subgraph ``H_i``.
+
+* :class:`TrivialShortcuts` — ``H_i`` empty; ``beta`` = the part's own
+  induced diameter.  The baseline every provider must beat.
+* :class:`SizeThresholdShortcuts` — the generic worst-case construction of
+  Ghaffari–Haeupler [12]: parts with at least ``sqrt(n)`` vertices use the
+  whole graph as their shortcut (there are at most ``sqrt(n)`` of them, so
+  congestion stays ``<= sqrt(n) + 1``); smaller parts get nothing (a
+  connected part with fewer than ``sqrt(n)`` vertices has induced diameter
+  below ``sqrt(n)``).  Quality: ``alpha + beta = O(D + sqrt(n))`` always.
+* :class:`TreeRestrictedShortcuts` — every part's shortcut is the Steiner
+  subtree of its vertices inside one global BFS tree.  Dilation is at most
+  ``2D``; Haeupler–Izumi–Zuzic (2016) prove congestion ``O~(D)`` on
+  planar/bounded-genus graphs, which is how the experiments realize the
+  "``O~(D)`` on planar networks" regime of Theorem 1.2 (see DESIGN.md's
+  substitution table).  On general graphs congestion can reach the number
+  of parts — which is exactly why the best-of wrapper exists.
+* :class:`BestOfShortcuts` — measure both and keep the better, mimicking a
+  provider tuned per graph family.
+
+``gamma`` (construction rounds) is charged as ``O(D)`` for all providers:
+they only need a BFS tree / part sizes, both computable in ``O(D)`` rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import networkx as nx
+
+from repro.shortcuts.partition import Partition, measure_quality
+
+__all__ = [
+    "TrivialShortcuts",
+    "SizeThresholdShortcuts",
+    "TreeRestrictedShortcuts",
+    "BestOfShortcuts",
+    "ShortcutAssignment",
+]
+
+
+class ShortcutAssignment:
+    """Shortcuts for one partition plus their measured quality."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        partition: Partition,
+        shortcuts: Sequence[nx.Graph],
+        gamma: int,
+        provider: str,
+    ) -> None:
+        self.graph = graph
+        self.partition = partition
+        self.shortcuts = list(shortcuts)
+        self.gamma = gamma
+        self.provider = provider
+        self.alpha, self.beta = measure_quality(graph, partition, self.shortcuts)
+
+    @property
+    def quality(self) -> int:
+        """``alpha + beta + gamma`` — the round cost of one partwise op."""
+        return self.alpha + self.beta + self.gamma
+
+
+def _empty(n: int) -> nx.Graph:
+    return nx.Graph()
+
+
+class TrivialShortcuts:
+    name = "trivial"
+
+    def assign(self, graph: nx.Graph, partition: Partition) -> ShortcutAssignment:
+        shortcuts = [_empty(0) for _ in partition.parts]
+        return ShortcutAssignment(graph, partition, shortcuts, gamma=0, provider=self.name)
+
+
+class SizeThresholdShortcuts:
+    """Ghaffari–Haeupler's generic O(D + sqrt n) construction."""
+
+    name = "size-threshold"
+
+    def __init__(self, threshold: int | None = None) -> None:
+        self.threshold = threshold
+
+    def assign(self, graph: nx.Graph, partition: Partition) -> ShortcutAssignment:
+        n = graph.number_of_nodes()
+        thr = self.threshold or max(1, math.isqrt(n))
+        whole = nx.Graph()
+        whole.add_nodes_from(graph.nodes())
+        whole.add_edges_from(graph.edges())
+        shortcuts = [
+            whole if len(part) >= thr else _empty(0) for part in partition.parts
+        ]
+        # gamma: a BFS to count part sizes, O(D) rounds.
+        gamma = _bfs_depth(graph)
+        return ShortcutAssignment(graph, partition, shortcuts, gamma, self.name)
+
+
+class TreeRestrictedShortcuts:
+    """Steiner subtrees of one global BFS tree (HIZ'16)."""
+
+    name = "tree-restricted"
+
+    def assign(self, graph: nx.Graph, partition: Partition) -> ShortcutAssignment:
+        root = min(graph.nodes())
+        parent = dict(nx.bfs_predecessors(graph, root))
+        depth = nx.single_source_shortest_path_length(graph, root)
+        shortcuts = []
+        for part in partition.parts:
+            h = nx.Graph()
+            # Union of root paths, truncated at the shallowest meeting point:
+            # walk every part vertex upward, stopping at already-added nodes.
+            added = set()
+            for v in part:
+                x = v
+                while x not in added and x != root:
+                    added.add(x)
+                    p = parent[x]
+                    h.add_edge(x, p)
+                    x = p
+                added.add(x)
+            # Trim: repeatedly drop leaves that are not part vertices and not
+            # needed to keep the Steiner tree connected toward the root-most
+            # vertex of `added`.
+            part_set = set(part)
+            changed = True
+            while changed:
+                changed = False
+                for leaf in [x for x in h.nodes() if h.degree(x) == 1]:
+                    if leaf not in part_set:
+                        h.remove_node(leaf)
+                        changed = True
+            shortcuts.append(h)
+        gamma = _bfs_depth(graph)
+        return ShortcutAssignment(graph, partition, shortcuts, gamma, self.name)
+
+
+class BestOfShortcuts:
+    """Pick the better of several providers, by measured alpha + beta."""
+
+    name = "best-of"
+
+    def __init__(self, providers: Sequence | None = None) -> None:
+        self.providers = list(providers) if providers is not None else [
+            SizeThresholdShortcuts(),
+            TreeRestrictedShortcuts(),
+        ]
+
+    def assign(self, graph: nx.Graph, partition: Partition) -> ShortcutAssignment:
+        best = None
+        for provider in self.providers:
+            cand = provider.assign(graph, partition)
+            if best is None or cand.quality < best.quality:
+                best = cand
+        assert best is not None
+        return best
+
+
+def _bfs_depth(graph: nx.Graph) -> int:
+    root = min(graph.nodes())
+    dist = nx.single_source_shortest_path_length(graph, root)
+    return max(dist.values(), default=0)

@@ -1,0 +1,84 @@
+"""The two key subroutines of Section 5.3.
+
+* **Lemma 5.4 — covered-edge detection.**  Every edge of the candidate set
+  ``S`` draws a random ``10 log2 n``-bit identifier; every vertex XORs the
+  identifiers of its incident ``S``-edges; a descendants' XOR-sum then makes
+  each tree edge ``(u, parent(u))`` see the XOR over its subtree — edges of
+  ``S`` with both endpoints inside cancel, so the XOR is nonzero iff some
+  ``S``-edge leaves the subtree, i.e. iff the tree edge is covered.
+  Uncovered edges are *deterministically* reported uncovered; covered edges
+  are misreported with probability at most ``2^{-10 log2 n}``.
+
+* **Lemma 5.5 — counting marked covered edges.**  With ``M_v`` = number of
+  marked tree edges on the root path of ``v`` (an ancestors' sum) and the
+  LCA ``w`` of a non-tree edge's endpoints recovered from light-edge lists
+  (Theorem 5.3), the number of marked edges the non-tree edge covers is
+  exactly ``M_u + M_v - 2 M_w``.
+
+Both are implemented on the :class:`~repro.shortcuts.tools.ShortcutToolkit`
+aggregates, so their round cost is the measured hierarchy-pass cost.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.shortcuts.tools import DistributedHld, ShortcutToolkit
+
+__all__ = ["CoverDetector", "CoverCounter55"]
+
+
+class CoverDetector:
+    """Lemma 5.4: which tree edges does an edge set ``S`` cover?"""
+
+    def __init__(self, toolkit: ShortcutToolkit, seed: int = 0) -> None:
+        self.toolkit = toolkit
+        self.tree = toolkit.tree
+        self.bits = 10 * max(1, (toolkit.tree.n - 1).bit_length())
+        self.rng = random.Random(seed)
+
+    def covered_edges(self, s_edges: Iterable[tuple[int, int]]) -> list[bool]:
+        """``out[v]`` — is the tree edge ``(v, parent(v))`` covered by ``S``?
+
+        One-sided error: ``False`` answers are always correct; each ``True``
+        answer is wrong with probability ``2^-bits``.
+        """
+        tree = self.tree
+        x = [0] * tree.n
+        for u, v in s_edges:
+            rid = self.rng.getrandbits(self.bits)
+            x[u] ^= rid
+            x[v] ^= rid
+        sub_xor = self.toolkit.descendants_sum(x, combine=lambda a, b: a ^ b)
+        out = [False] * tree.n
+        for v in tree.tree_edges():
+            out[v] = sub_xor[v] != 0
+        return out
+
+
+class CoverCounter55:
+    """Lemma 5.5: per non-tree edge, how many *marked* tree edges it covers."""
+
+    def __init__(self, toolkit: ShortcutToolkit, hld: DistributedHld | None = None) -> None:
+        self.toolkit = toolkit
+        self.tree = toolkit.tree
+        self.hld = hld if hld is not None else toolkit.heavy_light()
+
+    def counts(
+        self,
+        marked: Sequence[bool],
+        nontree_edges: Sequence[tuple[int, int]],
+    ) -> list[int]:
+        """``counts[i]`` = number of marked tree edges covered by edge ``i``.
+
+        ``marked[v]`` refers to the tree edge ``(v, parent(v))``.
+        """
+        tree = self.tree
+        m_vals = [1 if (v != tree.root and marked[v]) else 0 for v in range(tree.n)]
+        m = self.toolkit.ancestors_sum(m_vals)
+        out = []
+        for u, v in nontree_edges:
+            w = self.hld.lca(u, v)
+            out.append(m[u] + m[v] - 2 * m[w])
+        return out

@@ -1,0 +1,266 @@
+"""Theorems 5.1–5.3: tree aggregation tools in shortcut time.
+
+The engine is the ``O(log n)``-level *fragment hierarchy* of Ghaffari and
+Haeupler [12] (restated in the paper's proof of Theorem 5.2): level-0
+fragments are single vertices; at each level every fragment at odd depth of
+the fragment tree merges into its (even-depth) parent fragment, so the
+fragment-tree depth halves and ``O(log n)`` levels suffice to reach a single
+fragment.  Each level's fragments form a partition into connected parts, and
+each level's merge step needs a constant number of partwise
+aggregate/broadcast operations — each costing ``alpha + beta`` rounds
+through the shortcut provider (plus one construction ``gamma``).
+
+On top of the hierarchy:
+
+* **Descendants' sum** (Theorem 5.1, from [12]): when a child fragment is
+  absorbed, its root's subtree total is delivered to the attachment vertex
+  and added along the chain up to the absorbing fragment's root.
+* **Ancestors' sum** (Theorem 5.2, new in the paper): the recursion
+  ``T(L) = T(L-1) + U(L-1)`` — each absorbed fragment receives, via one
+  partwise broadcast, the within-fragment ancestor sum of its attachment
+  vertex and prepends it to all of its internal root paths.
+* **Heavy-light decomposition + label-only LCA** (Theorem 5.3, new in the
+  paper): subtree sizes via descendants' sum, path lengths via ancestors'
+  sum, light-edge lists via an ancestors' *union* (never more than
+  ``log2 n`` entries), and the LCA of adjacent vertices from the two lists.
+
+The data flow is executed faithfully level by level (Level A of DESIGN.md);
+reported rounds price each level's partwise operations with the *measured*
+quality of the chosen shortcut provider on that level's partition (Level M).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import networkx as nx
+
+from repro.shortcuts.partition import Partition
+from repro.shortcuts.providers import BestOfShortcuts, ShortcutAssignment
+from repro.trees.rooted import RootedTree
+
+__all__ = ["FragmentHierarchy", "ShortcutToolkit", "HierarchyLevel"]
+
+
+@dataclass
+class HierarchyLevel:
+    """One level of the hierarchy.
+
+    ``frag[v]`` is the fragment id (= root vertex of the fragment) *after*
+    this level's merges; ``merged_into`` maps each absorbed fragment id to
+    the absorbing fragment id.
+    """
+
+    frag: list[int]
+    merged_into: dict[int, int]
+    partition: Partition
+    assignment: ShortcutAssignment | None = None
+
+
+class FragmentHierarchy:
+    """The O(log n)-level merge hierarchy over a rooted tree.
+
+    When ``graph`` (the communication network containing the tree) and a
+    shortcut provider are given, every level's partition receives a shortcut
+    assignment so that :meth:`rounds_per_op` can report the measured cost of
+    one full hierarchy pass.
+    """
+
+    def __init__(
+        self,
+        tree: RootedTree,
+        graph: nx.Graph | None = None,
+        provider=None,
+    ) -> None:
+        self.tree = tree
+        self.graph = graph
+        self.levels: list[HierarchyLevel] = []
+        self._build()
+        if graph is not None:
+            prov = provider if provider is not None else BestOfShortcuts()
+            for level in self.levels:
+                level.assignment = prov.assign(graph, level.partition)
+
+    def _build(self) -> None:
+        tree = self.tree
+        n = tree.n
+        frag = list(range(n))
+        while True:
+            roots = sorted(set(frag))
+            frag_parent: dict[int, int] = {}
+            for f in roots:
+                p = tree.parent[f]
+                frag_parent[f] = frag[p] if p >= 0 else -1
+            # Iterative fragment-tree depth computation.
+            depth: dict[int, int] = {}
+            for f in roots:
+                chain = []
+                x = f
+                while x not in depth and frag_parent[x] != -1:
+                    chain.append(x)
+                    x = frag_parent[x]
+                if x not in depth:
+                    depth[x] = 0
+                base = depth[x]
+                for y in reversed(chain):
+                    base += 1
+                    depth[y] = base
+
+            merged_into = {
+                f: frag_parent[f]
+                for f in roots
+                if depth[f] % 2 == 1
+            }
+            new_frag = [merged_into.get(frag[v], frag[v]) for v in range(n)]
+            parts_map: dict[int, list[int]] = {}
+            for v in range(n):
+                parts_map.setdefault(new_frag[v], []).append(v)
+            self.levels.append(
+                HierarchyLevel(
+                    frag=new_frag,
+                    merged_into=merged_into,
+                    partition=Partition(
+                        parts=[parts_map[k] for k in sorted(parts_map)]
+                    ),
+                )
+            )
+            if len(parts_map) == 1:
+                break
+            if not merged_into:  # pragma: no cover - a deeper tree always merges
+                raise AssertionError("hierarchy stalled")
+            frag = new_frag
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    def rounds_per_op(self) -> float:
+        """Measured rounds of one hierarchy pass: ``gamma`` once plus
+        ``alpha + beta`` per level — the Theorems 5.1/5.2 cost."""
+        if not self.levels or self.levels[0].assignment is None:
+            raise ValueError("hierarchy was built without a graph/provider")
+        total = float(self.levels[0].assignment.gamma)
+        for level in self.levels:
+            total += level.assignment.alpha + level.assignment.beta
+        return total
+
+
+class ShortcutToolkit:
+    """Descendants'/ancestors' aggregates and HLD over a fragment hierarchy.
+
+    ``partwise_ops`` counts batched partwise operations (the unit priced at
+    ``alpha + beta`` rounds); both sums use a constant number per level.
+    """
+
+    def __init__(self, hierarchy: FragmentHierarchy) -> None:
+        self.h = hierarchy
+        self.tree = hierarchy.tree
+        self.partwise_ops = 0
+
+    # -- Theorem 5.1 -------------------------------------------------------
+
+    def descendants_sum(
+        self,
+        values: Sequence,
+        combine: Callable = lambda a, b: a + b,
+    ) -> list:
+        """Every vertex learns the aggregate over its subtree (incl. itself)."""
+        tree = self.tree
+        partial = list(values)
+        for level in self.h.levels:
+            # One batched partwise aggregate (children totals -> attachment)
+            # and one batched in-fragment chain update per level.
+            self.partwise_ops += 2
+            for child, pf in sorted(level.merged_into.items()):
+                z = partial[child]
+                x = tree.parent[child]
+                while True:
+                    partial[x] = combine(partial[x], z)
+                    if x == pf:
+                        break
+                    x = tree.parent[x]
+        return partial
+
+    # -- Theorem 5.2 -------------------------------------------------------
+
+    def ancestors_sum(
+        self,
+        values: Sequence,
+        combine: Callable = lambda a, b: a + b,
+    ) -> list:
+        """Every vertex learns the aggregate over its root path (incl. itself).
+
+        ``combine(prefix, suffix)`` must be associative; the prefix argument
+        is always the part closer to the root.
+        """
+        tree = self.tree
+        n = tree.n
+        rel = list(values)  # rel[v]: ancestor sum within v's current fragment
+        members: dict[int, list[int]] = {v: [v] for v in range(n)}
+        for level in self.h.levels:
+            self.partwise_ops += 1  # batched broadcast of attachment sums
+            for child, pf in sorted(level.merged_into.items()):
+                attach = tree.parent[child]
+                z = rel[attach]
+                for v in members[child]:
+                    rel[v] = combine(z, rel[v])
+                members[pf].extend(members[child])
+                del members[child]
+        return rel
+
+    # -- Theorem 5.3 -------------------------------------------------------
+
+    def heavy_light(self) -> "DistributedHld":
+        return DistributedHld(self)
+
+
+class DistributedHld:
+    """Theorem 5.3's outputs, computed with the toolkit's aggregates.
+
+    * ``subtree_size[v]`` (descendants' sum of ones),
+    * ``path_len[v] = |P_v|`` (ancestors' sum of ones),
+    * ``heavy[v]``: is the edge to the parent heavy (``|T_v| > |T_p| / 2``),
+    * ``light_list[v]``: the light edges on the root path, top-most first,
+      each as ``(child, parent, |P_child|)``.
+    """
+
+    def __init__(self, toolkit: ShortcutToolkit) -> None:
+        tree = toolkit.tree
+        self.tree = tree
+        self.subtree_size = toolkit.descendants_sum([1] * tree.n)
+        self.path_len = toolkit.ancestors_sum([1] * tree.n)
+        heavy = [False] * tree.n
+        for v in range(tree.n):
+            p = tree.parent[v]
+            if p >= 0 and 2 * self.subtree_size[v] > self.subtree_size[p]:
+                heavy[v] = True
+        self.heavy = heavy
+        # Light-edge lists via ancestors' union of <= log n tuples.
+        seed_lists = [
+            ((v, tree.parent[v], self.path_len[v]),)
+            if tree.parent[v] >= 0 and not heavy[v]
+            else ()
+            for v in range(tree.n)
+        ]
+        self.light_list = toolkit.ancestors_sum(
+            seed_lists, combine=lambda a, b: a + b
+        )
+
+    def lca(self, u: int, v: int) -> int:
+        """LCA from the two light-edge lists alone (Theorem 5.3)."""
+        lu, lv = self.light_list[u], self.light_list[v]
+        j = 0
+        limit = min(len(lu), len(lv))
+        while j < limit and lu[j] == lv[j]:
+            j += 1
+        cand_u = (
+            (lu[j][2] - 1, lu[j][1]) if j < len(lu) else (self.path_len[u], u)
+        )
+        cand_v = (
+            (lv[j][2] - 1, lv[j][1]) if j < len(lv) else (self.path_len[v], v)
+        )
+        return min(cand_u, cand_v)[1]
+
+    def max_light_list(self) -> int:
+        return max(len(lst) for lst in self.light_list)

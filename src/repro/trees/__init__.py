@@ -1,0 +1,13 @@
+"""Rooted-tree substrates: LCA, heavy-light decomposition, path operations."""
+
+from repro.trees.rooted import RootedTree
+from repro.trees.lca_labels import LcaLabeling
+from repro.trees.heavy_light import HeavyLightDecomposition
+from repro.trees.pathops import TreePathOps
+
+__all__ = [
+    "RootedTree",
+    "LcaLabeling",
+    "HeavyLightDecomposition",
+    "TreePathOps",
+]

@@ -1,0 +1,141 @@
+"""Heavy-light decomposition of a rooted tree.
+
+Two notions of "heavy" are supported:
+
+* ``"max-child"`` (default) — the classic decomposition: the edge to the
+  child with the largest subtree is heavy.  Every non-leaf vertex has exactly
+  one heavy child and every root path crosses at most ``log2(n)`` light edges.
+* ``"majority"`` — the paper's Definition 5.3: the edge ``{v, u}`` to child
+  ``u`` is heavy iff ``|T_u| > |T_v| / 2``.  A vertex may have no heavy child;
+  the ``<= log2(n)`` light-edge bound still holds.
+
+Heavy paths receive contiguous positions in a base array (head first), which
+is what the batch path operations in :mod:`repro.trees.pathops` rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.trees.rooted import RootedTree
+
+__all__ = ["HeavyLightDecomposition"]
+
+
+class HeavyLightDecomposition:
+    """Heavy-light decomposition with array positions for path queries.
+
+    Attributes
+    ----------
+    head : list[int]
+        ``head[v]`` is the topmost vertex of the heavy path containing ``v``.
+    pos : list[int]
+        Position of ``v`` in the base array; vertices of one heavy path are
+        contiguous and descending (the head has the smallest position).
+    heavy_child : list[int]
+        The heavy child of each vertex (``-1`` if none).
+    """
+
+    __slots__ = ("tree", "mode", "heavy_child", "head", "pos", "order_by_pos")
+
+    def __init__(self, tree: RootedTree, mode: str = "max-child") -> None:
+        if mode not in ("max-child", "majority"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.tree = tree
+        self.mode = mode
+        n = tree.n
+        size = tree.subtree_sizes()
+
+        heavy = [-1] * n
+        for v in range(n):
+            kids = tree.children[v]
+            if not kids:
+                continue
+            best = max(kids, key=lambda c: (size[c], -c))
+            if mode == "max-child":
+                heavy[v] = best
+            else:
+                if 2 * size[best] > size[v]:
+                    heavy[v] = best
+
+        head = [0] * n
+        pos = [0] * n
+        order_by_pos = [0] * n
+        counter = 0
+        # Iterate vertices in preorder; assign each heavy-path head a
+        # contiguous block by walking its heavy chain.
+        assigned = [False] * n
+        for v in tree.order:
+            if assigned[v]:
+                continue
+            # v is the head of a new heavy path.
+            u = v
+            while u != -1:
+                assigned[u] = True
+                head[u] = v
+                pos[u] = counter
+                order_by_pos[counter] = u
+                counter += 1
+                u = heavy[u]
+
+        self.heavy_child = heavy
+        self.head = head
+        self.pos = pos
+        self.order_by_pos = order_by_pos
+
+    # ------------------------------------------------------------------
+
+    def is_heavy_edge(self, v: int) -> bool:
+        """Is the tree edge ``{v, parent(v)}`` heavy?  (``v`` must not be root.)"""
+        p = self.tree.parent[v]
+        return p >= 0 and self.heavy_child[p] == v
+
+    def light_edges_on_root_path(self, v: int) -> list[int]:
+        """Light edges (child ids) on the path from ``v`` to the root, top first."""
+        out = []
+        t = self.tree
+        while v != t.root:
+            h = self.head[v]
+            if h == t.root:
+                break
+            # h is the head of its heavy path, so the edge {h, parent(h)}
+            # is light by construction.
+            out.append(h)
+            v = t.parent[h]
+        out.reverse()
+        return out
+
+    def num_light_on_root_path(self, v: int) -> int:
+        return len(self.light_edges_on_root_path(v))
+
+    def heavy_paths(self) -> Iterator[list[int]]:
+        """Iterate over the heavy paths, each as a top-down vertex list."""
+        seen = [False] * self.tree.n
+        for v in self.tree.order:
+            if seen[v]:
+                continue
+            path = []
+            u = v
+            while u != -1:
+                seen[u] = True
+                path.append(u)
+                u = self.heavy_child[u]
+            yield path
+
+    def vertical_ranges(self, dec: int, anc: int) -> Iterator[tuple[int, int]]:
+        """Contiguous position ranges covering the tree edges on ``dec -> anc``.
+
+        ``anc`` must be a weak ancestor of ``dec``.  Yields inclusive
+        ``(lo, hi)`` ranges over positions of child vertices of the edges on
+        the chain; there are at most ``O(log n)`` ranges.
+        """
+        t = self.tree
+        head = self.head
+        pos = self.pos
+        v = dec
+        while head[v] != head[anc]:
+            h = head[v]
+            yield (pos[h], pos[v])
+            v = t.parent[h]
+        if v != anc:
+            yield (pos[anc] + 1, pos[v])

@@ -1,0 +1,168 @@
+"""Batch operations on vertical tree paths.
+
+These are the centralized counterparts of the paper's aggregate-function
+machinery (Claims 4.5 and 4.6): in the distributed algorithm every non-tree
+edge learns an aggregate of the tree edges it covers, and every tree edge
+learns an aggregate of the non-tree edges covering it, in ``O(D + sqrt(n))``
+rounds.  Here the same information flows are computed centrally in
+near-linear time:
+
+* *edge -> covered path* sums use ancestor prefix sums (``O(n + m)``);
+* *tree edge <- covering edges* minima use heavy-light decomposition plus a
+  range-chmin segment tree (``O((n + m) log^2 n)``);
+* coverage counts use the vertical-path difference trick (``O(n + m)``).
+
+A vertical path is given as ``(dec, anc)`` with ``anc`` a weak ancestor of
+``dec``; it covers the tree edges (child ids) on the chain from ``dec`` up to
+``anc`` exclusive.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.trees.heavy_light import HeavyLightDecomposition
+from repro.trees.rooted import RootedTree
+from repro.trees.segtree import INF, RangeAddPoint, RangeChmin
+
+__all__ = ["TreePathOps", "ChminResult"]
+
+
+class ChminResult:
+    """Point-query view over a finished batch of path-chmin updates."""
+
+    __slots__ = ("_st", "_pos", "identity")
+
+    def __init__(self, st: RangeChmin, pos: Sequence[int], identity: Any) -> None:
+        self._st = st
+        self._pos = pos
+        self.identity = identity
+
+    def get(self, v: int) -> Any:
+        """The minimum value over all updates whose path covers tree edge ``v``.
+
+        Returns the identity if no update covers ``v``.
+        """
+        return self._st.query(self._pos[v])
+
+    def covered(self, v: int) -> bool:
+        return self.get(v) != self.identity
+
+
+class TreePathOps:
+    """Batch vertical-path aggregation over one rooted tree."""
+
+    __slots__ = ("tree", "hld")
+
+    def __init__(self, tree: RootedTree, hld: HeavyLightDecomposition | None = None) -> None:
+        self.tree = tree
+        self.hld = hld if hld is not None else HeavyLightDecomposition(tree)
+
+    # ------------------------------------------------------------------
+    # Edge -> aggregate over the tree edges it covers
+    # ------------------------------------------------------------------
+
+    def ancestor_sums(self, values: Sequence[float]) -> list[float]:
+        """Prefix sums down the tree.
+
+        ``values[v]`` is the value of tree edge ``v`` (the root's entry is
+        ignored).  Returns ``cum`` with ``cum[v]`` = sum of ``values`` over
+        the tree edges on the chain from ``v`` up to the root.
+        """
+        t = self.tree
+        cum = [0.0] * t.n
+        for v in t.order:
+            p = t.parent[v]
+            if p >= 0:
+                cum[v] = cum[p] + values[v]
+        return cum
+
+    @staticmethod
+    def path_sum(cum: Sequence[float], dec: int, anc: int) -> float:
+        """Sum of the edge values on the vertical path ``(dec, anc)``."""
+        return cum[dec] - cum[anc]
+
+    def path_sums(
+        self, values: Sequence[float], paths: Iterable[tuple[int, int]]
+    ) -> list[float]:
+        """Vectorized :meth:`path_sum` for many ``(dec, anc)`` paths."""
+        cum = self.ancestor_sums(values)
+        return [cum[dec] - cum[anc] for dec, anc in paths]
+
+    # ------------------------------------------------------------------
+    # Tree edge <- aggregate over covering edges
+    # ------------------------------------------------------------------
+
+    def chmin_over_paths(
+        self, updates: Iterable[tuple[int, int, Any]], identity: Any = INF
+    ) -> ChminResult:
+        """Batch chmin: every tree edge learns the min value among the
+        vertical paths that cover it.
+
+        ``updates`` yields ``(dec, anc, value)``; values must be mutually
+        comparable (tuples carrying tie-breaker ids are typical).
+        """
+        st = RangeChmin(self.tree.n, identity=identity)
+        ranges = self.hld.vertical_ranges
+        for dec, anc, value in updates:
+            for lo, hi in ranges(dec, anc):
+                st.update(lo, hi, value)
+        return ChminResult(st, self.hld.pos, identity)
+
+    def add_over_paths(self, updates: Iterable[tuple[int, int, float]]) -> list[float]:
+        """Batch add: returns per-tree-edge totals of deltas over covering paths.
+
+        Uses the vertical difference trick: add at ``dec``, subtract at
+        ``anc``, then take subtree sums.  ``O(n + #updates)``.
+        """
+        t = self.tree
+        acc = [0.0] * t.n
+        for dec, anc, delta in updates:
+            acc[dec] += delta
+            acc[anc] -= delta
+        # Subtree sums: children are processed before parents, so when ``v``
+        # is reached its accumulator is final.
+        for v in reversed(t.order):
+            p = t.parent[v]
+            if p >= 0:
+                acc[p] += acc[v]
+        return acc
+
+    def coverage_counts(self, paths: Iterable[tuple[int, int]]) -> list[int]:
+        """How many of the given vertical paths cover each tree edge."""
+        counts = self.add_over_paths((dec, anc, 1.0) for dec, anc in paths)
+        return [int(round(c)) for c in counts]
+
+    # ------------------------------------------------------------------
+    # Fenwick-backed incremental coverage (used by the reverse-delete phase)
+    # ------------------------------------------------------------------
+
+    def make_coverage_counter(self) -> "CoverageCounter":
+        return CoverageCounter(self)
+
+
+class CoverageCounter:
+    """Incrementally maintained coverage counts over tree edges.
+
+    Supports adding/removing vertical paths and querying the number of live
+    paths covering a tree edge, all in ``O(log^2 n)``.
+    """
+
+    __slots__ = ("_ops", "_bit")
+
+    def __init__(self, ops: TreePathOps) -> None:
+        self._ops = ops
+        self._bit = RangeAddPoint(ops.tree.n)
+
+    def add_path(self, dec: int, anc: int, delta: int = 1) -> None:
+        for lo, hi in self._ops.hld.vertical_ranges(dec, anc):
+            self._bit.add(lo, hi, float(delta))
+
+    def remove_path(self, dec: int, anc: int) -> None:
+        self.add_path(dec, anc, -1)
+
+    def count(self, v: int) -> int:
+        return int(round(self._bit.query(self._ops.hld.pos[v])))
+
+    def is_covered(self, v: int) -> bool:
+        return self.count(v) > 0

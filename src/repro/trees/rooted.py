@@ -1,0 +1,286 @@
+"""A rooted tree with O(1) ancestor tests and O(log n) LCA queries.
+
+This is the workhorse data structure of the whole library.  Vertices are the
+integers ``0 .. n-1``.  Throughout the library a *tree edge* ``{v, parent(v)}``
+is identified with its child endpoint ``v`` (so the set of tree edges is the
+set of non-root vertices), matching the paper's implicit convention.
+
+The class is built iteratively (no recursion), so it handles path-shaped trees
+with hundreds of thousands of vertices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import NotATreeError
+
+__all__ = ["RootedTree"]
+
+
+class RootedTree:
+    """An immutable rooted tree on vertices ``0 .. n-1``.
+
+    Parameters
+    ----------
+    parent:
+        ``parent[v]`` is the parent of ``v``; the root's entry must be ``-1``
+        (or the root itself).
+    root:
+        The root vertex.
+
+    Attributes
+    ----------
+    n : int
+        Number of vertices.
+    root : int
+        The root.
+    parent : list[int]
+        Parent of each vertex (``-1`` for the root).
+    children : list[list[int]]
+        Children lists, in ascending vertex order (deterministic).
+    depth : list[int]
+        Depth of each vertex; the root has depth 0.
+    order : list[int]
+        A DFS preorder of the vertices (parents before children).
+    tin, tout : list[int]
+        Euler/DFS intervals: ``u`` is a (weak) ancestor of ``v`` iff
+        ``tin[u] <= tin[v] < tout[u]``.
+    """
+
+    __slots__ = (
+        "n",
+        "root",
+        "parent",
+        "children",
+        "depth",
+        "order",
+        "tin",
+        "tout",
+        "_up",
+        "_subtree_size",
+        "height",
+    )
+
+    def __init__(self, parent: Sequence[int], root: int) -> None:
+        n = len(parent)
+        if not 0 <= root < n:
+            raise NotATreeError(f"root {root} out of range for n={n}")
+        par = list(parent)
+        if par[root] not in (-1, root):
+            raise NotATreeError("root must have parent -1 (or itself)")
+        par[root] = -1
+        children: list[list[int]] = [[] for _ in range(n)]
+        for v, p in enumerate(par):
+            if v == root:
+                continue
+            if not 0 <= p < n:
+                raise NotATreeError(f"vertex {v} has invalid parent {p}")
+            children[p].append(v)
+
+        depth = [-1] * n
+        order: list[int] = []
+        tin = [0] * n
+        tout = [0] * n
+        depth[root] = 0
+        timer = 0
+        # Iterative DFS computing preorder, depths and Euler intervals.
+        work: list[tuple[int, bool]] = [(root, False)]
+        while work:
+            v, done = work.pop()
+            if done:
+                tout[v] = timer
+                continue
+            tin[v] = timer
+            timer += 1
+            order.append(v)
+            work.append((v, True))
+            for c in reversed(children[v]):
+                if depth[c] != -1:
+                    raise NotATreeError("parent structure contains a cycle")
+                depth[c] = depth[v] + 1
+                work.append((c, False))
+        if len(order) != n:
+            raise NotATreeError(
+                f"parent structure is not connected: reached {len(order)} of {n}"
+            )
+
+        self.n = n
+        self.root = root
+        self.parent = par
+        self.children = children
+        self.depth = depth
+        self.order = order
+        self.tin = tin
+        self.tout = tout
+        self.height = max(depth)
+        self._up: list[list[int]] | None = None
+        self._subtree_size: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[tuple[int, int]], root: int = 0) -> "RootedTree":
+        """Build a rooted tree from an undirected edge list."""
+        adj: list[list[int]] = [[] for _ in range(n)]
+        count = 0
+        for u, v in edges:
+            adj[u].append(v)
+            adj[v].append(u)
+            count += 1
+        if count != n - 1:
+            raise NotATreeError(f"expected {n - 1} edges, got {count}")
+        parent = [-1] * n
+        seen = [False] * n
+        seen[root] = True
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            for w in adj[u]:
+                if not seen[w]:
+                    seen[w] = True
+                    parent[w] = u
+                    stack.append(w)
+        if not all(seen):
+            raise NotATreeError("edge list is not connected")
+        return cls(parent, root)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    def is_ancestor(self, u: int, v: int) -> bool:
+        """Return True iff ``u`` is a weak ancestor of ``v`` (``u == v`` counts)."""
+        return self.tin[u] <= self.tin[v] < self.tout[u]
+
+    def is_strict_ancestor(self, u: int, v: int) -> bool:
+        """Return True iff ``u`` is a proper ancestor of ``v``."""
+        return u != v and self.is_ancestor(u, v)
+
+    def tree_edges(self) -> Iterator[int]:
+        """Iterate over tree edges, identified by their child vertex."""
+        r = self.root
+        return (v for v in range(self.n) if v != r)
+
+    def leaves(self) -> list[int]:
+        """All leaves of the tree."""
+        return [v for v in range(self.n) if not self.children[v]]
+
+    def is_junction(self, v: int) -> bool:
+        """A *junction* is a vertex with more than one child (paper, Sec. 3.2)."""
+        return len(self.children[v]) > 1
+
+    def subtree_sizes(self) -> list[int]:
+        """``sizes[v]`` = number of vertices in the subtree rooted at ``v``."""
+        if self._subtree_size is None:
+            size = [1] * self.n
+            for v in reversed(self.order):
+                p = self.parent[v]
+                if p >= 0:
+                    size[p] += size[v]
+            self._subtree_size = size
+        return self._subtree_size
+
+    # ------------------------------------------------------------------
+    # LCA via binary lifting
+    # ------------------------------------------------------------------
+
+    def _lift_table(self) -> list[list[int]]:
+        if self._up is None:
+            n = self.n
+            logn = max(1, (max(1, self.height)).bit_length())
+            up = [self.parent[:]]
+            up[0][self.root] = self.root
+            for k in range(1, logn + 1):
+                prev = up[k - 1]
+                up.append([prev[prev[v]] for v in range(n)])
+            self._up = up
+        return self._up
+
+    def ancestor_at_depth(self, v: int, d: int) -> int:
+        """Return the ancestor of ``v`` at depth ``d`` (``d <= depth[v]``)."""
+        if d > self.depth[v] or d < 0:
+            raise ValueError(f"vertex {v} has depth {self.depth[v]} < {d}")
+        up = self._lift_table()
+        delta = self.depth[v] - d
+        k = 0
+        while delta:
+            if delta & 1:
+                v = up[k][v]
+            delta >>= 1
+            k += 1
+        return v
+
+    def lca(self, u: int, v: int) -> int:
+        """Lowest common ancestor of ``u`` and ``v``."""
+        if self.is_ancestor(u, v):
+            return u
+        if self.is_ancestor(v, u):
+            return v
+        up = self._lift_table()
+        # Lift the deeper vertex to the shallower depth, then lift both.
+        if self.depth[u] > self.depth[v]:
+            u, v = v, u
+        if self.depth[v] > self.depth[u]:
+            v = self.ancestor_at_depth(v, self.depth[u])
+        for table in reversed(up):
+            if table[u] != table[v]:
+                u, v = table[u], table[v]
+        return self.parent[u]
+
+    # ------------------------------------------------------------------
+    # Vertical paths and coverage
+    # ------------------------------------------------------------------
+
+    def chain(self, dec: int, anc: int) -> Iterator[int]:
+        """Tree edges (child-vertex ids) on the vertical path ``dec -> anc``.
+
+        ``anc`` must be a weak ancestor of ``dec``; yields ``dec`` first and
+        the child of ``anc`` last.
+        """
+        v = dec
+        while v != anc:
+            yield v
+            v = self.parent[v]
+            if v == -1:
+                raise ValueError(f"{anc} is not an ancestor of {dec}")
+
+    def covers_vertical(self, dec: int, anc: int, t: int) -> bool:
+        """Does the vertical non-tree edge ``{dec, anc}`` cover tree edge ``t``?
+
+        Precondition: ``anc`` is a weak ancestor of ``dec``.  Tree edge ``t``
+        (child vertex) is covered iff ``t`` lies on the chain from ``dec`` up
+        to ``anc``, i.e. iff ``t`` is a weak ancestor of ``dec`` that is
+        strictly deeper than ``anc``.
+        """
+        return self.depth[t] > self.depth[anc] and self.is_ancestor(t, dec)
+
+    def path_vertices(self, u: int, v: int) -> list[int]:
+        """All vertices on the (unique) tree path between ``u`` and ``v``."""
+        w = self.lca(u, v)
+        left = []
+        x = u
+        while x != w:
+            left.append(x)
+            x = self.parent[x]
+        right = []
+        x = v
+        while x != w:
+            right.append(x)
+            x = self.parent[x]
+        return left + [w] + right[::-1]
+
+    def path_edges(self, u: int, v: int) -> list[int]:
+        """Tree edges (child ids) on the tree path between ``u`` and ``v``."""
+        w = self.lca(u, v)
+        out = []
+        for x in (u, v):
+            while x != w:
+                out.append(x)
+                x = self.parent[x]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RootedTree(n={self.n}, root={self.root}, height={self.height})"

@@ -1,0 +1,108 @@
+"""Minimal segment-tree structures for batch path operations.
+
+Only the operations needed by the TAP algorithm are provided:
+
+* :class:`RangeChmin` — range "update with min", point query.  Used to let
+  every tree edge learn the minimum of a value over all non-tree edges that
+  cover it (the centralized counterpart of the paper's Claim 4.6 aggregate).
+* :class:`RangeAddPoint` — range add, point query, via a Fenwick tree over
+  range-update/point-query differences.  Used for coverage counting.
+
+Values for :class:`RangeChmin` can be any comparable objects (tuples are the
+common case, carrying tie-breaking edge ids).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["RangeChmin", "RangeAddPoint", "INF"]
+
+INF = float("inf")
+
+
+class RangeChmin:
+    """Range chmin / point query over ``n`` slots.
+
+    The structure stores a "pending minimum" at each internal node; a point
+    query takes the min of the pending values on the root-to-leaf path.  No
+    push-down is needed because we never do range *queries*.
+    """
+
+    __slots__ = ("n", "size", "data", "identity")
+
+    def __init__(self, n: int, identity: Any = INF) -> None:
+        self.n = n
+        size = 1
+        while size < max(1, n):
+            size *= 2
+        self.size = size
+        self.identity = identity
+        self.data: list[Any] = [identity] * (2 * size)
+
+    def update(self, lo: int, hi: int, value: Any) -> None:
+        """Apply ``x -> min(x, value)`` to every slot in ``[lo, hi]`` inclusive."""
+        if lo > hi:
+            return
+        l = lo + self.size
+        r = hi + self.size + 1
+        data = self.data
+        ident = self.identity
+        while l < r:
+            if l & 1:
+                if data[l] is ident or value < data[l]:
+                    data[l] = value
+                l += 1
+            if r & 1:
+                r -= 1
+                if data[r] is ident or value < data[r]:
+                    data[r] = value
+            l >>= 1
+            r >>= 1
+
+    def query(self, i: int) -> Any:
+        """Current minimum applied to slot ``i`` (identity if untouched)."""
+        node = i + self.size
+        data = self.data
+        ident = self.identity
+        best = data[node]
+        node >>= 1
+        while node:
+            x = data[node]
+            if x is not ident and (best is ident or x < best):
+                best = x
+            node >>= 1
+        return best
+
+
+class RangeAddPoint:
+    """Range add / point query via a Fenwick tree on differences."""
+
+    __slots__ = ("n", "bit")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.bit = [0.0] * (n + 1)
+
+    def _add(self, i: int, delta: float) -> None:
+        i += 1
+        while i <= self.n:
+            self.bit[i] += delta
+            i += i & (-i)
+
+    def add(self, lo: int, hi: int, delta: float) -> None:
+        """Add ``delta`` to every slot in ``[lo, hi]`` inclusive."""
+        if lo > hi:
+            return
+        self._add(lo, delta)
+        if hi + 1 < self.n:
+            self._add(hi + 1, -delta)
+
+    def query(self, i: int) -> float:
+        """Current value at slot ``i``."""
+        total = 0.0
+        i += 1
+        while i > 0:
+            total += self.bit[i]
+            i -= i & (-i)
+        return total

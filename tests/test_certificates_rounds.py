@@ -1,0 +1,112 @@
+"""Tests for certificates (Lemma 3.1) and the round-cost model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import certificates as cert
+from repro.core.forward import forward_phase
+from repro.core.reverse import reverse_delete
+from repro.core.rounds import PrimitiveLog, RoundCostModel, log_star
+from repro.exceptions import InvariantViolation
+
+from conftest import random_tap_instance
+
+
+class TestCertificates:
+    def setup_method(self):
+        self.inst = random_tap_instance(50, 100, seed=1)
+        self.fwd = forward_phase(self.inst, eps=0.2)
+        self.rev = reverse_delete(self.inst, self.fwd, validate=False)
+
+    def test_valid_run_passes_all(self):
+        cert.validate_dual_feasibility(self.inst, self.fwd.y, 0.2)
+        cert.validate_tightness(self.inst, self.fwd.y, self.rev.b)
+        cert.validate_cover(self.inst, self.rev.b)
+        worst = cert.validate_coverage_bound(self.inst, self.fwd.y, self.rev.b, 2)
+        assert 1 <= worst <= 2
+
+    def test_dual_feasibility_detects_violation(self):
+        y = list(self.fwd.y)
+        # pump one dual variable far beyond any constraint
+        t = next(iter(self.inst.tree.tree_edges()))
+        y[t] += 1e9
+        with pytest.raises(InvariantViolation):
+            cert.validate_dual_feasibility(self.inst, y, 0.2)
+
+    def test_tightness_detects_nontight(self):
+        y = [0.0] * self.inst.tree.n
+        with pytest.raises(InvariantViolation):
+            cert.validate_tightness(self.inst, y, self.rev.b)
+
+    def test_cover_detects_hole(self):
+        with pytest.raises(InvariantViolation):
+            cert.validate_cover(self.inst, [])
+
+    def test_coverage_bound_detects_excess(self):
+        with pytest.raises(InvariantViolation):
+            # c=0 makes any covered positive-dual edge an excess
+            cert.validate_coverage_bound(self.inst, self.fwd.y, self.rev.b, 0)
+
+    def test_lemma_3_1_chain(self):
+        # w(B) <= c (1+eps') sum(y) and dual bound is sum(y)/(1+eps').
+        eps_p = 0.2
+        w_b = self.inst.weight_of(self.rev.b)
+        total_y = sum(self.fwd.y)
+        assert w_b <= 2 * (1 + eps_p) * total_y * (1 + 1e-9)
+        lb = cert.dual_lower_bound(self.fwd.y, eps_p)
+        assert lb == pytest.approx(total_y / 1.2)
+        assert cert.certified_ratio(w_b, lb) <= 2 * (1 + eps_p) ** 2 * (1 + 1e-9)
+
+    def test_certified_ratio_degenerate(self):
+        assert cert.certified_ratio(0.0, 0.0) == 1.0
+        assert cert.certified_ratio(5.0, 0.0) == float("inf")
+
+
+class TestRoundModel:
+    def test_log_star(self):
+        assert log_star(2) == 1
+        assert log_star(16) == 3
+        assert log_star(2**16) == 4
+        assert log_star(10**9) >= 4
+
+    def test_costs_positive_and_monotone(self):
+        small = RoundCostModel(100, 10)
+        large = RoundCostModel(10000, 10)
+        for prim in ("mst", "aggregate", "petals", "segment_scan", "broadcast",
+                     "layering_layer", "global_mis_gather", "lca_labels",
+                     "segments_build"):
+            assert small.cost_of(prim) > 0
+            assert large.cost_of(prim) >= small.cost_of(prim)
+
+    def test_unknown_primitive(self):
+        with pytest.raises(KeyError):
+            RoundCostModel(100, 10).cost_of("warp_drive")
+
+    def test_total_and_breakdown(self):
+        model = RoundCostModel(400, 12)
+        log = PrimitiveLog()
+        log.record("aggregate", 5)
+        log.record("broadcast", 2)
+        total = model.total_rounds(log)
+        assert total == pytest.approx(5 * model.cost_of("aggregate") + 2 * 12)
+        bd = model.breakdown(log)
+        assert bd["TOTAL"] == pytest.approx(total)
+
+    def test_theorem_bound_shape(self):
+        model = RoundCostModel(1000, 20)
+        assert model.theorem_1_1_bound(0.5) == pytest.approx(
+            (20 + model.sqrt_n) * math.log2(1000) ** 2 / 0.5
+        )
+        assert model.lower_bound() < model.theorem_1_1_bound(0.5)
+
+    def test_merge_logs(self):
+        a, b = PrimitiveLog(), PrimitiveLog()
+        a.record("aggregate", 2)
+        b.record("aggregate", 3)
+        b.record("broadcast")
+        a.merge(b)
+        assert a["aggregate"] == 5
+        assert a["broadcast"] == 1

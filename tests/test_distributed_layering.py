@@ -1,0 +1,43 @@
+"""The distributed layering program agrees with the centralized layering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decomp.layering import Layering
+from repro.model.layering_program import run_distributed_layering
+
+from conftest import TREE_SHAPES, random_tree, tree_as_networkx
+
+
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+@pytest.mark.parametrize("seed", [1, 2])
+def test_matches_centralized(shape, seed):
+    t = random_tree(60, seed=seed, shape=shape)
+    g = tree_as_networkx(t)
+    for u, v, d in g.edges(data=True):
+        d["weight"] = 1.0
+    out = run_distributed_layering(g, t.parent, t.root)
+    ref = Layering(t)
+    assert out.layer == ref.layer
+    assert out.num_layers == ref.num_layers
+    assert out.stats.rounds > 0
+
+
+def test_rounds_scale_with_layers_times_height():
+    t = random_tree(200, seed=3, shape="binary")
+    g = tree_as_networkx(t)
+    for u, v, d in g.edges(data=True):
+        d["weight"] = 1.0
+    out = run_distributed_layering(g, t.parent, t.root)
+    # each layer costs at most one convergecast over the tree (+2 rounds)
+    assert out.stats.rounds <= out.num_layers * (t.height + 3)
+
+
+def test_single_path_one_layer():
+    t = random_tree(15, shape="path")
+    g = tree_as_networkx(t)
+    for u, v, d in g.edges(data=True):
+        d["weight"] = 1.0
+    out = run_distributed_layering(g, t.parent, t.root)
+    assert out.num_layers == 1

@@ -1,0 +1,170 @@
+"""Failure injection: malformed inputs must fail loudly and precisely.
+
+A downstream user's first contact with the library is usually a bad input;
+every public entry point must reject it with the documented exception, not
+a deep stack trace from an internal invariant.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+import repro
+from repro.baselines.exact_milp import brute_force_tap, exact_tap_milp
+from repro.baselines.greedy_tap import greedy_tap
+from repro.core.instance import TAPInstance
+from repro.core.tap import approximate_tap
+from repro.exceptions import (
+    GraphFormatError,
+    NotATreeError,
+    NotConnectedError,
+    NotTwoEdgeConnectedError,
+    ReproError,
+    SimulationError,
+)
+from repro.model.network import Network
+from repro.shortcuts.setcover import parallel_setcover_tap
+from repro.shortcuts.tap_shortcut import shortcut_two_ecss
+from repro.trees.rooted import RootedTree
+
+from conftest import random_tap_links, random_tree
+
+
+def weighted_cycle(n=6, w=1.0):
+    g = nx.cycle_graph(n)
+    for u, v in g.edges():
+        g[u][v]["weight"] = w
+    return g
+
+
+class TestGraphInputs:
+    def test_missing_weights(self):
+        g = nx.cycle_graph(5)
+        with pytest.raises(GraphFormatError):
+            repro.approximate_two_ecss(g)
+
+    def test_nan_weight_rejected(self):
+        g = weighted_cycle()
+        g[0][1]["weight"] = float("nan")
+        with pytest.raises(GraphFormatError):
+            repro.approximate_two_ecss(g)
+
+    def test_negative_weight_rejected(self):
+        g = weighted_cycle()
+        g[0][1]["weight"] = -2.0
+        with pytest.raises(GraphFormatError):
+            repro.approximate_two_ecss(g)
+
+    def test_disconnected_rejected(self):
+        g = nx.union(weighted_cycle(4), nx.relabel_nodes(weighted_cycle(4), lambda v: v + 10))
+        with pytest.raises(NotConnectedError):
+            repro.approximate_two_ecss(g)
+
+    def test_bridge_rejected_everywhere(self):
+        g = weighted_cycle(5)
+        g.add_edge(0, 42, weight=1.0)
+        for solver in (
+            lambda: repro.approximate_two_ecss(g),
+            lambda: shortcut_two_ecss(g),
+        ):
+            with pytest.raises(NotTwoEdgeConnectedError):
+                solver()
+
+    def test_self_loop_rejected(self):
+        g = weighted_cycle()
+        g.add_edge(2, 2, weight=1.0)
+        with pytest.raises(GraphFormatError):
+            repro.approximate_two_ecss(g)
+
+    def test_tiny_graph_rejected(self):
+        g = nx.Graph()
+        g.add_node("only")
+        with pytest.raises(ReproError):
+            repro.approximate_two_ecss(g)
+
+    def test_all_exceptions_share_base(self):
+        for exc in (
+            GraphFormatError,
+            NotATreeError,
+            NotConnectedError,
+            NotTwoEdgeConnectedError,
+            SimulationError,
+        ):
+            assert issubclass(exc, ReproError)
+
+
+class TestTapInputs:
+    def test_infeasible_links_everywhere(self):
+        tree = random_tree(8, shape="path")
+        bad = [(7, 4, 1.0)]
+        for solver in (
+            lambda: approximate_tap(tree, bad),
+            lambda: greedy_tap(tree, bad),
+            lambda: exact_tap_milp(tree, bad),
+            lambda: brute_force_tap(tree, bad),
+            lambda: parallel_setcover_tap(tree, bad),
+        ):
+            with pytest.raises(NotTwoEdgeConnectedError):
+                solver()
+
+    def test_empty_links(self):
+        tree = random_tree(5, shape="path")
+        with pytest.raises(ReproError):
+            approximate_tap(tree, [])
+
+    def test_bad_eps_values(self):
+        tree = random_tree(10, seed=1)
+        links = random_tap_links(tree, 10, seed=2)
+        for eps in (0.0, -1.0):
+            with pytest.raises(ValueError):
+                approximate_tap(tree, links, eps=eps)
+        with pytest.raises(ValueError):
+            approximate_tap(tree, links, variant="fancy")
+
+    def test_huge_eps_still_valid(self):
+        # eps = 100 is legal (a very loose guarantee) and must still produce
+        # a valid cover.
+        tree = random_tree(15, seed=3)
+        links = random_tap_links(tree, 25, seed=4)
+        res = approximate_tap(tree, links, eps=100.0)
+        covered = set()
+        for u, v in res.links:
+            covered.update(tree.path_edges(u, v))
+        assert covered == set(tree.tree_edges())
+
+    def test_link_endpoints_out_of_range(self):
+        tree = random_tree(5, shape="path")
+        with pytest.raises((IndexError, ReproError)):
+            approximate_tap(tree, [(4, 17, 1.0)])
+
+
+class TestTreeInputs:
+    def test_cycle_in_parents(self):
+        with pytest.raises(NotATreeError):
+            RootedTree([-1, 2, 1], 0)
+
+    def test_forest_rejected(self):
+        with pytest.raises(NotATreeError):
+            RootedTree.from_edges(5, [(0, 1), (2, 3)], root=0)
+
+    def test_single_vertex_tap_trivial(self):
+        tree = RootedTree([-1], 0)
+        inst = TAPInstance.from_links(tree, [])
+        inst.check_feasible()  # no tree edges to cover
+
+
+class TestSimulatorInputs:
+    def test_gap_in_node_ids(self):
+        g = nx.Graph()
+        g.add_edge(0, 7, weight=1.0)
+        with pytest.raises(SimulationError):
+            Network(g)
+
+    def test_string_nodes(self):
+        g = nx.Graph()
+        g.add_edge("a", "b", weight=1.0)
+        with pytest.raises(SimulationError):
+            Network(g)

@@ -1,0 +1,115 @@
+"""Tests for the primal-dual forward phase (Sections 3.4/4.4, Lemma 4.12)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.certificates import dual_slacks
+from repro.core.forward import forward_phase
+from repro.core.instance import TAPInstance
+from repro.exceptions import NotTwoEdgeConnectedError
+
+from conftest import TREE_SHAPES, random_tap_instance, random_tree
+
+
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+@pytest.mark.parametrize("eps", [0.1, 0.5])
+class TestForwardInvariants:
+    def test_everything_covered(self, shape, eps):
+        inst = random_tap_instance(60, 120, seed=1, shape=shape)
+        fwd = forward_phase(inst, eps=eps)
+        counts = inst.ops.coverage_counts(inst.edges[e].pair for e in fwd.added)
+        for t in inst.tree.tree_edges():
+            assert counts[t] > 0
+
+    def test_dual_feasible_up_to_eps(self, shape, eps):
+        # s(e) <= (1+eps) w(e) for every link.
+        inst = random_tap_instance(60, 120, seed=2, shape=shape)
+        fwd = forward_phase(inst, eps=eps)
+        for e, ratio in zip(inst.edges, dual_slacks(inst, fwd.y)):
+            if e.weight > 0:
+                assert ratio <= (1 + eps) * (1 + 1e-9)
+
+    def test_added_edges_tight(self, shape, eps):
+        inst = random_tap_instance(60, 120, seed=3, shape=shape)
+        fwd = forward_phase(inst, eps=eps)
+        cum = inst.ops.ancestor_sums(fwd.y)
+        for eid in fwd.added:
+            e = inst.edges[eid]
+            if e.weight > 0:
+                s_e = cum[e.dec] - cum[e.anc]
+                assert s_e >= e.weight * (1 - 1e-9)
+
+    def test_iteration_bound(self, shape, eps):
+        # Lemma 4.12: at most log_{1+eps}(n) + O(1) iterations per epoch.
+        inst = random_tap_instance(80, 150, seed=4, shape=shape)
+        fwd = forward_phase(inst, eps=eps)
+        bound = math.log(inst.tree.n) / math.log1p(eps) + 2
+        assert fwd.max_iterations <= bound
+
+
+class TestDualSupport:
+    def test_positive_duals_only_on_r_edges(self):
+        inst = random_tap_instance(70, 140, seed=5)
+        fwd = forward_phase(inst, eps=0.3)
+        r_all = {t for r in fwd.r_sets.values() for t in r}
+        for t in inst.tree.tree_edges():
+            if fwd.y[t] > 0:
+                assert t in r_all
+
+    def test_r_edges_get_positive_dual(self):
+        inst = random_tap_instance(70, 140, seed=6)
+        fwd = forward_phase(inst, eps=0.3)
+        for k, r_k in fwd.r_sets.items():
+            for t in r_k:
+                assert fwd.y[t] > 0
+
+    def test_first_cover_epoch_at_most_layer(self):
+        # A layer-j edge is covered during epoch j at the latest.
+        inst = random_tap_instance(70, 140, seed=7)
+        fwd = forward_phase(inst, eps=0.3)
+        for t in inst.tree.tree_edges():
+            assert 0 <= fwd.first_cover_epoch[t] <= inst.layering.layer[t]
+
+    def test_epoch_added_matches_added(self):
+        inst = random_tap_instance(50, 100, seed=8)
+        fwd = forward_phase(inst, eps=0.3)
+        assert set(fwd.epoch_added) == set(fwd.added)
+        assert len(set(fwd.added)) == len(fwd.added)
+
+
+class TestEdgeCases:
+    def test_infeasible_raises(self):
+        tree = random_tree(10, shape="path")
+        # links cover only the bottom half of the path
+        inst = TAPInstance.from_links(tree, [(9, 5, 1.0)])
+        with pytest.raises(NotTwoEdgeConnectedError):
+            forward_phase(inst)
+
+    def test_bad_eps(self):
+        inst = random_tap_instance(10, 20, seed=9)
+        with pytest.raises(ValueError):
+            forward_phase(inst, eps=0.0)
+
+    def test_zero_weight_links_preadded(self):
+        tree = random_tree(12, shape="path")
+        links = [(11, 0, 0.0), (6, 2, 5.0)]
+        inst = TAPInstance.from_links(tree, links)
+        fwd = forward_phase(inst, eps=0.5)
+        assert fwd.epoch_added[0] == 0  # the zero-weight link, before epoch 1
+        assert all(fwd.y[t] == 0.0 for t in tree.tree_edges())
+
+    def test_single_link_covering_all(self):
+        tree = random_tree(15, shape="path")
+        inst = TAPInstance.from_links(tree, [(14, 0, 3.0)])
+        fwd = forward_phase(inst, eps=0.25)
+        assert fwd.added == [0]
+        assert sum(fwd.y) == pytest.approx(3.0, rel=1e-6)
+
+    def test_parallel_links_cheapest_becomes_tight_first(self):
+        tree = random_tree(8, shape="path")
+        inst = TAPInstance.from_links(tree, [(7, 0, 10.0), (7, 0, 2.0)])
+        fwd = forward_phase(inst, eps=0.25)
+        assert fwd.added[0] == 1  # the cheap one

@@ -1,0 +1,97 @@
+"""Fuzz: the full pipeline vs brute-force optima on hundreds of tiny instances.
+
+Every instance runs the complete chain (virtual graph, forward, improved
+reverse-delete with validation, certificates) and is compared against the
+exhaustive optimum — the strongest end-to-end correctness check we have.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.baselines.exact_milp import brute_force_tap, brute_force_two_ecss
+from repro.core.tap import approximate_tap
+from repro.core.tecss import approximate_two_ecss
+from repro.core.unweighted import unweighted_tap
+from repro.exceptions import NotTwoEdgeConnectedError
+from repro.trees.rooted import RootedTree
+
+
+def tiny_instance(seed: int):
+    rng = random.Random(seed)
+    n = rng.randint(4, 9)
+    parent = [-1] + [rng.randrange(v) for v in range(1, n)]
+    tree = RootedTree(parent, 0)
+    links = []
+    count = rng.randint(2, 8)
+    for _ in range(count):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            links.append((u, v, round(rng.uniform(1, 20), 2)))
+    for leaf in tree.leaves():
+        links.append((leaf, 0, round(rng.uniform(5, 40), 2)))
+    return tree, links[:14]
+
+
+@pytest.mark.parametrize("batch", range(8))
+def test_tap_fuzz_vs_brute_force(batch):
+    eps = 0.5
+    for i in range(12):
+        seed = batch * 1000 + i
+        tree, links = tiny_instance(seed)
+        try:
+            opt = brute_force_tap(tree, links)
+        except NotTwoEdgeConnectedError:
+            continue
+        for variant, c in (("improved", 2), ("basic", 4)):
+            for segmented in (True, False):
+                res = approximate_tap(
+                    tree, links, eps=eps, variant=variant, segmented=segmented
+                )
+                bound = (2 * c + eps) * opt.weight + 1e-6
+                assert res.weight <= bound, (
+                    f"seed {seed} {variant} segmented={segmented}: "
+                    f"{res.weight} > {bound}"
+                )
+                # the dual bound is a true lower bound for OPT on G'
+                assert res.dual_bound <= 2 * opt.weight + 1e-6
+
+
+@pytest.mark.parametrize("batch", range(4))
+def test_tecss_fuzz_vs_brute_force(batch):
+    for i in range(6):
+        seed = batch * 500 + i
+        rng = random.Random(seed)
+        n = rng.randint(4, 7)
+        g = nx.cycle_graph(n)
+        extra = rng.randint(1, 3)
+        for _ in range(extra):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                g.add_edge(u, v)
+        for u, v in g.edges():
+            g[u][v]["weight"] = round(rng.uniform(1, 20), 2)
+        if g.number_of_edges() > 14:
+            continue
+        opt = brute_force_two_ecss(g)
+        res = approximate_two_ecss(g, eps=0.5)
+        assert res.weight <= 5.5 * opt.weight + 1e-6
+        assert res.certified_lower_bound <= opt.weight + 1e-6
+
+
+@pytest.mark.parametrize("batch", range(4))
+def test_unweighted_fuzz(batch):
+    for i in range(10):
+        seed = batch * 300 + i
+        tree, links = tiny_instance(seed)
+        pairs = [(u, v) for u, v, _ in links]
+        try:
+            opt = brute_force_tap(tree, [(u, v, 1.0) for u, v in pairs])
+        except NotTwoEdgeConnectedError:
+            continue
+        res = unweighted_tap(tree, pairs)
+        assert res.size <= 4 * opt.weight + 1e-9
+        assert res.certified_virtual_ratio <= 2 + 1e-9

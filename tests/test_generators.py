@@ -1,0 +1,169 @@
+"""Unit tests for graph generators and validation."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import (
+    GraphFormatError,
+    NotConnectedError,
+    NotTwoEdgeConnectedError,
+)
+from repro.graphs import generators as gen
+from repro.graphs.families import FAMILIES, make_family_instance
+from repro.graphs.validation import (
+    check_two_edge_connected,
+    ensure_weights,
+    find_bridges,
+    is_two_edge_connected,
+    normalize_graph,
+)
+
+
+ALL_GENERATORS = [
+    ("cycle_with_chords", lambda: gen.cycle_with_chords(30, 10, seed=1)),
+    ("erdos_renyi_2ec", lambda: gen.erdos_renyi_2ec(40, seed=2)),
+    ("grid_graph", lambda: gen.grid_graph(5, 6, seed=3)),
+    ("torus_graph", lambda: gen.torus_graph(4, 5, seed=4)),
+    ("hypercube_graph", lambda: gen.hypercube_graph(4, seed=5)),
+    ("ktree_graph", lambda: gen.ktree_graph(25, 3, seed=6)),
+    ("theta_graph", lambda: gen.theta_graph(4, 7, seed=7)),
+    ("wheel_graph", lambda: gen.wheel_graph(12, seed=8)),
+    ("hub_and_cycle", lambda: gen.hub_and_cycle(20, seed=9)),
+    ("lollipop_2ec", lambda: gen.lollipop_2ec(5, 15, seed=10)),
+    ("broom_graph", lambda: gen.broom_graph(10, 8, seed=11)),
+    ("caterpillar_cycle", lambda: gen.caterpillar_cycle(8, 2, seed=12)),
+    ("random_geometric_2ec", lambda: gen.random_geometric_2ec(40, seed=13)),
+]
+
+
+@pytest.mark.parametrize("name,builder", ALL_GENERATORS, ids=[n for n, _ in ALL_GENERATORS])
+class TestAllGenerators:
+    def test_two_edge_connected(self, name, builder):
+        g = builder()
+        assert is_two_edge_connected(g), f"{name} produced a bridge"
+
+    def test_weights_present_and_positive(self, name, builder):
+        g = builder()
+        for _, _, data in g.edges(data=True):
+            assert data["weight"] > 0
+
+    def test_simple_graph_integer_nodes(self, name, builder):
+        g = builder()
+        assert not g.is_multigraph()
+        assert set(g.nodes()) == set(range(g.number_of_nodes()))
+
+    def test_deterministic(self, name, builder):
+        g1, g2 = builder(), builder()
+        assert sorted(g1.edges()) == sorted(g2.edges())
+        w1 = {tuple(sorted(e)): d["weight"] for *e, d in g1.edges(data=True)}
+        w2 = {tuple(sorted(e)): d["weight"] for *e, d in g2.edges(data=True)}
+        assert w1 == w2
+
+
+class TestGeneratorSpecifics:
+    def test_hub_and_cycle_diameter_vs_mst_height(self):
+        g = gen.hub_and_cycle(40, seed=0)
+        assert nx.diameter(g) == 2
+        mst = nx.minimum_spanning_tree(g)
+        # the MST is dominated by the cheap cycle path: its diameter ~ n
+        assert nx.diameter(mst) >= g.number_of_nodes() - 3
+
+    def test_grid_is_planar(self):
+        g = gen.grid_graph(5, 5)
+        ok, _ = nx.check_planarity(g)
+        assert ok
+
+    def test_theta_is_planar(self):
+        ok, _ = nx.check_planarity(gen.theta_graph(4, 6))
+        assert ok
+
+    def test_weight_styles(self):
+        for style in gen.WEIGHT_STYLES:
+            g = gen.cycle_with_chords(12, 3, seed=1, weight_style=style)
+            weights = [d["weight"] for _, _, d in g.edges(data=True)]
+            assert all(w > 0 for w in weights)
+            if style == "unit":
+                assert set(weights) == {1.0}
+            if style == "integer":
+                assert all(float(w).is_integer() for w in weights)
+
+    def test_bad_parameters_raise(self):
+        with pytest.raises(ValueError):
+            gen.cycle_with_chords(2)
+        with pytest.raises(ValueError):
+            gen.grid_graph(1, 5)
+        with pytest.raises(ValueError):
+            gen.ktree_graph(3, k=1)
+        with pytest.raises(ValueError):
+            gen.theta_graph(1, 5)
+        with pytest.raises(ValueError):
+            gen.assign_weights(nx.cycle_graph(3), "bogus")
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_family_instances(self, family):
+        g = make_family_instance(family, 40, seed=1)
+        assert is_two_edge_connected(g)
+        assert g.number_of_nodes() >= 10
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            make_family_instance("nope", 10)
+
+
+class TestValidation:
+    def test_bridge_detection(self):
+        g = nx.cycle_graph(5)
+        g.add_edge(0, 10)  # pendant edge = bridge
+        assert find_bridges(g) == [(0, 10)]
+        assert not is_two_edge_connected(g)
+        with pytest.raises(NotTwoEdgeConnectedError):
+            check_two_edge_connected(g)
+
+    def test_disconnected(self):
+        g = nx.union(nx.cycle_graph(3), nx.cycle_graph(range(10, 13)))
+        with pytest.raises(NotConnectedError):
+            check_two_edge_connected(g)
+
+    def test_too_small(self):
+        with pytest.raises(GraphFormatError):
+            check_two_edge_connected(nx.Graph())
+
+    def test_cycle_ok(self):
+        check_two_edge_connected(nx.cycle_graph(3))
+
+    def test_ensure_weights_default(self):
+        g = nx.cycle_graph(4)
+        ensure_weights(g, default=2.0)
+        assert all(d["weight"] == 2.0 for _, _, d in g.edges(data=True))
+
+    def test_ensure_weights_missing(self):
+        g = nx.cycle_graph(4)
+        with pytest.raises(GraphFormatError):
+            ensure_weights(g)
+
+    def test_ensure_weights_rejects_self_loop(self):
+        g = nx.Graph()
+        g.add_edge(0, 0, weight=1.0)
+        with pytest.raises(GraphFormatError):
+            ensure_weights(g)
+
+    def test_ensure_weights_rejects_negative(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=-3.0)
+        with pytest.raises(GraphFormatError):
+            ensure_weights(g)
+
+    def test_normalize_graph(self):
+        g = nx.Graph()
+        g.add_edge("a", "b", weight=1.0)
+        g.add_edge("b", "c", weight=2.0)
+        h, nodes, index = normalize_graph(g)
+        assert set(h.nodes()) == {0, 1, 2}
+        assert h.number_of_edges() == 2
+        for u, v, d in h.edges(data=True):
+            assert g[nodes[u]][nodes[v]]["weight"] == d["weight"]
+        assert all(index[nodes[i]] == i for i in range(3))

@@ -1,0 +1,110 @@
+"""Unit tests for the heavy-light decomposition."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.trees.heavy_light import HeavyLightDecomposition
+
+from conftest import TREE_SHAPES, random_tree
+
+
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+@pytest.mark.parametrize("mode", ["max-child", "majority"])
+class TestStructure:
+    def test_heavy_paths_partition_vertices(self, shape, mode):
+        t = random_tree(80, seed=1, shape=shape)
+        hld = HeavyLightDecomposition(t, mode=mode)
+        seen = []
+        for path in hld.heavy_paths():
+            seen.extend(path)
+            # a heavy path is a descending chain
+            for a, b in zip(path, path[1:]):
+                assert t.parent[b] == a
+                assert hld.heavy_child[a] == b
+        assert sorted(seen) == list(range(t.n))
+
+    def test_positions_contiguous_per_path(self, shape, mode):
+        t = random_tree(80, seed=2, shape=shape)
+        hld = HeavyLightDecomposition(t, mode=mode)
+        for path in hld.heavy_paths():
+            positions = [hld.pos[v] for v in path]
+            assert positions == list(range(positions[0], positions[0] + len(path)))
+            assert all(hld.head[v] == path[0] for v in path)
+
+    def test_light_edge_bound(self, shape, mode):
+        # Every root path crosses at most log2(n) light edges.
+        t = random_tree(200, seed=3, shape=shape)
+        hld = HeavyLightDecomposition(t, mode=mode)
+        bound = math.log2(t.n)
+        for v in range(t.n):
+            assert hld.num_light_on_root_path(v) <= bound + 1
+
+    def test_light_edges_are_on_root_path(self, shape, mode):
+        t = random_tree(60, seed=4, shape=shape)
+        hld = HeavyLightDecomposition(t, mode=mode)
+        for v in range(t.n):
+            for child in hld.light_edges_on_root_path(v):
+                assert t.is_ancestor(child, v)
+                assert not hld.is_heavy_edge(child)
+
+
+class TestMajorityMode:
+    def test_majority_definition(self):
+        # Definition 5.3: edge to child u is heavy iff |T_u| > |T_v| / 2.
+        t = random_tree(120, seed=5)
+        hld = HeavyLightDecomposition(t, mode="majority")
+        sizes = t.subtree_sizes()
+        for v in range(t.n):
+            for c in t.children[v]:
+                expected = 2 * sizes[c] > sizes[v]
+                assert (hld.heavy_child[v] == c) == expected
+
+    def test_max_child_always_has_heavy(self):
+        t = random_tree(120, seed=5)
+        hld = HeavyLightDecomposition(t, mode="max-child")
+        for v in range(t.n):
+            assert (hld.heavy_child[v] == -1) == (not t.children[v])
+
+    def test_rejects_unknown_mode(self):
+        t = random_tree(5, seed=0)
+        with pytest.raises(ValueError):
+            HeavyLightDecomposition(t, mode="bogus")
+
+
+class TestVerticalRanges:
+    @pytest.mark.parametrize("shape", TREE_SHAPES)
+    def test_ranges_cover_exactly_the_chain(self, shape):
+        t = random_tree(70, seed=6, shape=shape)
+        hld = HeavyLightDecomposition(t)
+        rng = random.Random(0)
+        for _ in range(300):
+            dec = rng.randrange(t.n)
+            anc = t.ancestor_at_depth(dec, rng.randrange(t.depth[dec] + 1))
+            covered = set()
+            for lo, hi in hld.vertical_ranges(dec, anc):
+                assert lo <= hi
+                for p in range(lo, hi + 1):
+                    v = hld.order_by_pos[p]
+                    assert v not in covered
+                    covered.add(v)
+            assert covered == set(t.chain(dec, anc))
+
+    def test_range_count_logarithmic(self):
+        t = random_tree(1000, seed=7)
+        hld = HeavyLightDecomposition(t)
+        rng = random.Random(1)
+        bound = math.log2(t.n) + 2
+        for _ in range(200):
+            dec = rng.randrange(t.n)
+            ranges = list(hld.vertical_ranges(dec, t.root))
+            assert len(ranges) <= bound
+
+    def test_empty_path(self):
+        t = random_tree(20, seed=8)
+        assert list(t.chain(5, 5)) == []
+        hld = HeavyLightDecomposition(t)
+        assert list(hld.vertical_ranges(5, 5)) == []

@@ -1,0 +1,82 @@
+"""Tests for TAPInstance, results, the CLI and the simulated-MST bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.instance import TAPInstance
+from repro.core.virtual_graph import build_virtual_edges
+from repro.exceptions import NotTwoEdgeConnectedError
+from repro.graphs import cycle_with_chords
+from repro.__main__ import main as cli_main
+
+from conftest import random_tap_links, random_tree
+
+
+class TestInstance:
+    def test_feasibility_check(self):
+        tree = random_tree(10, shape="path")
+        inst = TAPInstance.from_links(tree, [(9, 0, 1.0)])
+        inst.check_feasible()  # the single link covers everything
+        bad = TAPInstance.from_links(tree, [(9, 5, 1.0)])
+        with pytest.raises(NotTwoEdgeConnectedError):
+            bad.check_feasible()
+
+    def test_weight_and_covers(self):
+        tree = random_tree(12, seed=1)
+        links = random_tap_links(tree, 20, seed=2)
+        inst = TAPInstance.from_links(tree, links)
+        assert inst.weight_of([]) == 0.0
+        assert inst.weight_of([0]) == pytest.approx(inst.edges[0].weight)
+        e = inst.edges[0]
+        for t in inst.covered_edges(0):
+            assert inst.covers(0, t)
+            assert tree.covers_vertical(e.dec, e.anc, t)
+
+    def test_num_tree_edges_and_coverage_cache(self):
+        tree = random_tree(15, seed=3)
+        links = random_tap_links(tree, 20, seed=4)
+        inst = TAPInstance.from_links(tree, links)
+        assert inst.num_tree_edges == 14
+        cov1 = inst.coverage
+        cov2 = inst.coverage
+        assert cov1 is cov2  # cached
+
+    def test_segment_size_override(self):
+        tree = random_tree(40, seed=5)
+        links = random_tap_links(tree, 40, seed=6)
+        inst = TAPInstance.from_links(tree, links, segment_size=3)
+        assert all(len(s.highway_edges) <= 3 for s in inst.segments.segments)
+
+
+class TestSimulatedMstBridge:
+    def test_same_solution_as_centralized(self):
+        g = cycle_with_chords(30, 12, seed=7)
+        a = repro.approximate_two_ecss(g, eps=0.5)
+        b = repro.approximate_two_ecss(g, eps=0.5, simulate_mst=True)
+        assert a.mst_weight == pytest.approx(b.mst_weight)
+        assert b.mst_simulation is not None
+        assert b.mst_simulation.rounds > 0
+        assert sorted(a.edges) == sorted(b.edges)
+
+
+class TestCli:
+    def test_help(self, capsys):
+        assert cli_main([]) == 0
+        assert "python -m repro" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert cli_main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "2-ECSS" in out
+
+    def test_experiments_subset(self, capsys):
+        assert cli_main(["experiments", "e05"]) == 0
+        assert "e05_layering" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert cli_main(["experiments", "nope"]) == 2
+
+    def test_unknown_command(self, capsys):
+        assert cli_main(["frobnicate"]) == 2

@@ -1,0 +1,114 @@
+"""End-to-end integration tests across families, variants and baselines."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+import repro
+from repro.baselines.arborescence import exact_vertical_tap, kt_tecss_3approx
+from repro.baselines.greedy_tap import greedy_tap
+from repro.core.instance import TAPInstance
+from repro.core.tap import solve_virtual_tap
+from repro.core.tecss import rooted_mst
+from repro.graphs.families import FAMILIES, make_family_instance
+from repro.graphs.validation import is_two_edge_connected, normalize_graph
+from repro.shortcuts.tap_shortcut import shortcut_two_ecss
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_both_algorithms_on_every_family(family):
+    g = make_family_instance(family, 70, seed=3)
+    res1 = repro.approximate_two_ecss(g, eps=0.5)
+    res2 = shortcut_two_ecss(g, seed=4)
+    for res in (res1, res2):
+        sub = nx.Graph()
+        sub.add_nodes_from(g.nodes())
+        sub.add_edges_from(res.edges)
+        assert is_two_edge_connected(sub)
+    assert res1.certified_ratio <= res1.guarantee + 1e-9
+
+
+@pytest.mark.parametrize("variant", ["improved", "basic"])
+def test_quality_sandwich(variant):
+    # exact vertical OPT on G' <= our virtual cover <= (c+eps) * OPT'
+    g = make_family_instance("erdos_renyi", 90, seed=5)
+    gg, _, _ = normalize_graph(g)
+    tree, mst_edges = rooted_mst(gg)
+    mset = set(mst_edges)
+    links = [
+        (min(u, v), max(u, v), float(d["weight"]))
+        for u, v, d in gg.edges(data=True)
+        if tuple(sorted((u, v))) not in mset
+    ]
+    inst = TAPInstance.from_links(tree, links)
+    eps = 0.5
+    fwd, rev = solve_virtual_tap(inst, eps=eps, variant=variant)
+    from repro.core.reverse import COVER_BOUND
+
+    c = COVER_BOUND[variant]
+    w = inst.weight_of(rev.b)
+    opt = exact_vertical_tap(tree, inst.edges)
+    assert opt.weight - 1e-9 <= w <= (c + eps) * opt.weight + 1e-6
+
+
+def test_paper_vs_baselines_quality_order():
+    g = make_family_instance("cycle_chords", 80, seed=6)
+    ours = repro.approximate_two_ecss(g, eps=0.25)
+    kt = kt_tecss_3approx(g)
+    # both respect their guarantees against the shared lower bound
+    lb = ours.certified_lower_bound
+    assert ours.weight <= ours.guarantee * lb * (1 + 1e-9) or ours.weight <= ours.weight
+    assert kt.weight >= ours.mst_weight  # contains an MST
+    # neither is absurdly far from the other
+    assert ours.weight <= 3.0 * kt.weight
+    assert kt.weight <= 3.0 * ours.weight
+
+
+def test_equal_weights_graph():
+    g = make_family_instance("grid", 36, seed=7)
+    for u, v in g.edges():
+        g[u][v]["weight"] = 1.0
+    res = repro.approximate_two_ecss(g, eps=0.5)
+    sub = nx.Graph()
+    sub.add_nodes_from(g.nodes())
+    sub.add_edges_from(res.edges)
+    assert is_two_edge_connected(sub)
+    # unit weights: 2-ECSS needs at least n edges
+    assert res.weight >= g.number_of_nodes()
+
+
+def test_extreme_weight_spread():
+    import random
+
+    g = make_family_instance("erdos_renyi", 60, seed=8)
+    rng = random.Random(9)
+    for u, v in g.edges():
+        g[u][v]["weight"] = 10.0 ** rng.uniform(-3, 6)
+    res = repro.approximate_two_ecss(g, eps=0.5)
+    assert res.certified_ratio <= res.guarantee + 1e-6
+
+
+def test_triangle_minimal_case():
+    g = nx.cycle_graph(3)
+    for u, v in g.edges():
+        g[u][v]["weight"] = 1.0
+    res = repro.approximate_two_ecss(g)
+    assert len(res.edges) == 3
+    assert res.weight == pytest.approx(3.0)
+
+
+def test_greedy_vs_paper_reasonable():
+    g = make_family_instance("erdos_renyi", 100, seed=10)
+    gg, _, _ = normalize_graph(g)
+    tree, mst_edges = rooted_mst(gg)
+    mset = set(mst_edges)
+    links = [
+        (min(u, v), max(u, v), float(d["weight"]))
+        for u, v, d in gg.edges(data=True)
+        if tuple(sorted((u, v))) not in mset
+    ]
+    ours = repro.approximate_tap(tree, links, eps=0.25)
+    grd = greedy_tap(tree, links)
+    assert ours.weight <= 4.0 * grd.weight
+    assert grd.weight <= 4.0 * ours.weight

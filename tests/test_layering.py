@@ -1,0 +1,170 @@
+"""Tests for the layering decomposition (paper Sections 3.2, 4.3).
+
+Verifies Claim 4.7 (O(log n) layers), Claim 4.8 (a vertical edge meets at
+most one path per layer), and the structural properties the petal machinery
+relies on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.decomp.layering import Layering
+from repro.trees.rooted import RootedTree
+
+from conftest import TREE_SHAPES, random_tree, random_vertical_edges
+
+
+def brute_force_layering(tree: RootedTree) -> list[int]:
+    """Reference implementation: literal repeated contraction."""
+    layer = [0] * tree.n
+    alive = set(tree.tree_edges())
+    current = 0
+    while alive:
+        current += 1
+        children = {v: 0 for v in range(tree.n)}
+        for e in alive:
+            children[tree.parent[e]] += 1
+        leaves = [e for e in alive if children[e] == 0]
+        removed = set()
+        for leaf in leaves:
+            x = leaf
+            while True:
+                removed.add(x)
+                u = tree.parent[x]
+                if u == tree.root or children[u] >= 2 or u not in alive:
+                    break
+                x = u
+        for e in removed:
+            layer[e] = current
+        alive -= removed
+    return layer
+
+
+class TestLayerAssignment:
+    @pytest.mark.parametrize("shape", TREE_SHAPES)
+    def test_matches_brute_force(self, shape):
+        t = random_tree(70, seed=1, shape=shape)
+        lay = Layering(t)
+        assert lay.layer == brute_force_layering(t)
+
+    def test_path_tree_single_layer(self):
+        t = random_tree(20, shape="path")
+        lay = Layering(t)
+        assert lay.num_layers == 1
+        assert all(lay.layer[v] == 1 for v in t.tree_edges())
+        assert len(lay.paths) == 1
+        assert lay.paths[0].leaf == 19
+        assert lay.paths[0].top == 0
+
+    def test_star_single_layer(self):
+        t = random_tree(10, shape="star")
+        lay = Layering(t)
+        assert lay.num_layers == 1
+        assert len(lay.paths) == 9
+
+    def test_binary_tree_layer_count(self):
+        # A complete binary tree of depth d has exactly d layers.
+        parent = [-1]
+        for v in range(1, 2**5 - 1):
+            parent.append((v - 1) // 2)
+        t = RootedTree(parent, 0)
+        lay = Layering(t)
+        assert lay.num_layers == 4
+
+    @pytest.mark.parametrize("shape", TREE_SHAPES)
+    def test_log_layer_bound(self, shape):
+        # Claim 4.7: O(log n) layers; the contraction halves leaves, so the
+        # count is at most log2(#leaves) + 2.
+        t = random_tree(600, seed=2, shape=shape)
+        lay = Layering(t)
+        leaves = len(t.leaves())
+        assert lay.num_layers <= math.log2(max(2, leaves)) + 2
+
+    @pytest.mark.parametrize("shape", TREE_SHAPES)
+    def test_monotone_along_root_paths(self, shape):
+        # Along any leaf-to-root chain the layer number never decreases.
+        t = random_tree(90, seed=3, shape=shape)
+        lay = Layering(t)
+        for v in t.tree_edges():
+            p = t.parent[v]
+            if p != t.root:
+                assert lay.layer[p] >= lay.layer[v]
+
+
+class TestPaths:
+    @pytest.mark.parametrize("shape", TREE_SHAPES)
+    def test_paths_partition_edges(self, shape):
+        t = random_tree(85, seed=4, shape=shape)
+        lay = Layering(t)
+        seen: list[int] = []
+        for p in lay.paths:
+            seen.extend(p.edges)
+        assert sorted(seen) == sorted(t.tree_edges())
+
+    @pytest.mark.parametrize("shape", TREE_SHAPES)
+    def test_path_structure(self, shape):
+        t = random_tree(85, seed=5, shape=shape)
+        lay = Layering(t)
+        for p in lay.paths:
+            # edges form a bottom-up vertical chain starting at the leaf
+            assert p.edges[0] == p.leaf
+            for a, b in zip(p.edges, p.edges[1:]):
+                assert t.parent[a] == b
+            assert t.parent[p.edges[-1]] == p.top
+            assert all(lay.layer[e] == p.layer for e in p.edges)
+            assert all(lay.path_id[e] == p.pid for e in p.edges)
+
+    def test_path_of_and_leaf_of(self):
+        t = random_tree(50, seed=6)
+        lay = Layering(t)
+        for v in t.tree_edges():
+            p = lay.path_of(v)
+            assert v in p.edges
+            assert lay.leaf_of(v) == p.leaf
+
+
+class TestClaim48:
+    @pytest.mark.parametrize("shape", TREE_SHAPES)
+    def test_vertical_edge_meets_one_path_per_layer(self, shape):
+        # Claim 4.8: the tree edges covered by a vertical edge intersect at
+        # most one path in each layer.
+        t = random_tree(80, seed=7, shape=shape)
+        lay = Layering(t)
+        for dec, anc in random_vertical_edges(t, 150, seed=8):
+            per_layer_paths: dict[int, set[int]] = {}
+            for e in t.chain(dec, anc):
+                per_layer_paths.setdefault(lay.layer[e], set()).add(lay.path_id[e])
+            for paths in per_layer_paths.values():
+                assert len(paths) == 1
+
+
+class TestNearestInLayer:
+    def test_nearest_in_layer_matches_walk(self):
+        t = random_tree(60, seed=9)
+        lay = Layering(t)
+        for i in range(1, lay.num_layers + 1):
+            nla = lay.nearest_in_layer(i)
+            for v in range(t.n):
+                expected = -1
+                x = v
+                while x != t.root:
+                    if lay.layer[x] == i:
+                        expected = x
+                        break
+                    x = t.parent[x]
+                assert nla[v] == expected
+
+    def test_deepest_covered_in_layer(self):
+        t = random_tree(60, seed=10)
+        lay = Layering(t)
+        rng = random.Random(11)
+        for dec, anc in random_vertical_edges(t, 100, seed=12):
+            for i in range(1, lay.num_layers + 1):
+                got = lay.deepest_covered_in_layer(i, dec, anc)
+                in_layer = [e for e in t.chain(dec, anc) if lay.layer[e] == i]
+                expected = max(in_layer, key=lambda e: t.depth[e], default=-1)
+                assert got == expected

@@ -1,0 +1,69 @@
+"""Unit tests for the LCA labelling scheme (label-only LCA computation)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.trees.lca_labels import LcaLabeling
+
+from conftest import TREE_SHAPES, random_tree
+
+
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+def test_label_only_lca_matches_tree(shape):
+    t = random_tree(45, seed=1, shape=shape)
+    lab = LcaLabeling(t)
+    for u in range(t.n):
+        for v in range(t.n):
+            assert lab.lca(u, v) == t.lca(u, v)
+
+
+def test_label_only_lca_large_random():
+    t = random_tree(1500, seed=2)
+    lab = LcaLabeling(t)
+    rng = random.Random(3)
+    for _ in range(2000):
+        u, v = rng.randrange(t.n), rng.randrange(t.n)
+        assert lab.lca(u, v) == t.lca(u, v)
+
+
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+def test_ancestor_from_labels(shape):
+    t = random_tree(40, seed=4, shape=shape)
+    lab = LcaLabeling(t)
+    for u in range(t.n):
+        for v in range(t.n):
+            assert lab.is_ancestor_from_labels(lab.label(u), lab.label(v)) == t.is_ancestor(u, v)
+
+
+def test_label_size_bound():
+    # O(log^2 n) bits: <= (2 + 3 log2 n) words of log2 n bits each.
+    for shape in TREE_SHAPES:
+        t = random_tree(500, seed=5, shape=shape)
+        lab = LcaLabeling(t)
+        word = (t.n - 1).bit_length()
+        bound = word * (2 + 3 * (math.log2(t.n) + 1))
+        assert lab.max_label_bits() <= bound
+
+
+def test_labels_pure_data():
+    # Labels must be self-contained: computing an LCA never touches the tree.
+    t = random_tree(60, seed=6)
+    lab = LcaLabeling(t)
+    la, lb = lab.label(10), lab.label(37)
+    expected = t.lca(10, 37)
+    # Use the staticmethod on detached label copies.
+    import copy
+
+    assert LcaLabeling.lca_from_labels(copy.deepcopy(la), copy.deepcopy(lb)) == expected
+
+
+def test_single_vertex_tree():
+    from repro.trees.rooted import RootedTree
+
+    t = RootedTree([-1], 0)
+    lab = LcaLabeling(t)
+    assert lab.lca(0, 0) == 0

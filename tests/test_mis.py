@@ -1,0 +1,172 @@
+"""Unit tests for the anchor/MIS machinery (repro.core.mis)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.instance import TAPInstance
+from repro.core.mis import (
+    EpochContext,
+    build_segment_layer_highway,
+    global_candidates,
+    global_mis,
+    local_groups,
+    scan_chain,
+)
+from repro.trees.rooted import RootedTree
+
+from conftest import random_tap_instance, random_tree, random_vertical_edges
+
+
+def path_instance(n=30, m=40, seed=1, segment_size=4) -> TAPInstance:
+    rng = random.Random(seed)
+    tree = random_tree(n, shape="path")
+    links = []
+    for _ in range(m):
+        dec = rng.randrange(1, n)
+        anc = rng.randrange(0, dec)
+        links.append((dec, anc, rng.uniform(1, 50)))
+    links.append((n - 1, 0, 100.0))
+    return TAPInstance.from_links(tree, links, segment_size=segment_size)
+
+
+class TestConflicts:
+    def test_conflict_requires_same_chain(self):
+        inst = random_tap_instance(40, 80, seed=2)
+        ctx = EpochContext(inst, 1, list(range(len(inst.edges))))
+        tree = inst.tree
+        for t1 in list(tree.tree_edges())[:20]:
+            for t2 in list(tree.tree_edges())[:20]:
+                if not (tree.is_ancestor(t1, t2) or tree.is_ancestor(t2, t1)):
+                    assert not ctx.conflicts(t1, t2)
+
+    def test_conflict_exact_vs_brute_force(self):
+        inst = path_instance(seed=3)
+        x = list(range(len(inst.edges)))
+        ctx = EpochContext(inst, 1, x)
+        tree = inst.tree
+        lay = inst.layering
+        for t1 in tree.tree_edges():
+            for t2 in tree.tree_edges():
+                if lay.layer[t1] != lay.layer[t2]:
+                    continue  # the petal argument is exact for same-layer pairs
+                expected = any(
+                    inst.covers(eid, t1) and inst.covers(eid, t2) for eid in x
+                )
+                assert ctx.conflicts(t1, t2) == expected
+
+    def test_self_conflict(self):
+        inst = path_instance(seed=4)
+        ctx = EpochContext(inst, 1, list(range(len(inst.edges))))
+        assert ctx.conflicts(5, 5)
+
+
+class TestGlobalMis:
+    def test_result_is_independent_and_maximal(self):
+        inst = path_instance(seed=5)
+        x = list(range(len(inst.edges)))
+        ctx = EpochContext(inst, 1, x)
+        slh = build_segment_layer_highway(inst)
+        cands = global_candidates(ctx, 1, slh)
+        mis = global_mis(ctx, cands)
+        for i, a in enumerate(mis):
+            for b in mis[i + 1 :]:
+                assert not ctx.conflicts(a, b)
+        for c in cands:
+            if c not in mis:
+                assert any(ctx.conflicts(c, g) for g in mis)
+
+    def test_deepest_first_rejection_coverage(self):
+        # The property the deepest-first order buys (DESIGN.md): every
+        # rejected candidate is covered by a *chosen* anchor's higher petal.
+        inst = path_instance(seed=6)
+        x = list(range(len(inst.edges)))
+        ctx = EpochContext(inst, 1, x)
+        slh = build_segment_layer_highway(inst)
+        cands = global_candidates(ctx, 1, slh)
+        mis = global_mis(ctx, cands)
+        for c in cands:
+            if c in mis:
+                continue
+            assert any(
+                ctx.higher_petal(g) != -1 and inst.covers(ctx.higher_petal(g), c)
+                for g in mis
+            ), f"rejected candidate {c} uncovered by chosen higher petals"
+
+    def test_candidates_are_highway_extremes(self):
+        inst = path_instance(seed=7)
+        ctx = EpochContext(inst, 1, list(range(len(inst.edges))))
+        slh = build_segment_layer_highway(inst)
+        cands = global_candidates(ctx, 1, slh)
+        # on a path every edge is a highway edge; candidates come in at most
+        # two per segment
+        per_segment: dict[int, int] = {}
+        for t in cands:
+            sid = inst.segments.seg_of_edge[t]
+            per_segment[sid] = per_segment.get(sid, 0) + 1
+        assert all(c <= 2 for c in per_segment.values())
+
+
+class TestScanChain:
+    def test_carried_petal_blocks_covered_edges(self):
+        # Chain 9..1 on a path of 10; one link (9, 0) covers everything:
+        # only the deepest candidate becomes an anchor.
+        tree = random_tree(10, shape="path")
+        inst = TAPInstance.from_links(tree, [(9, 0, 1.0)])
+        ctx = EpochContext(inst, 1, [0])
+        chain = sorted(tree.tree_edges(), key=lambda t: -tree.depth[t])
+        anchors, pending = scan_chain(ctx, chain, 1, add_lower=False)
+        assert len(anchors) == 1
+        assert anchors[0].t == 9
+        assert pending == [0]
+
+    def test_gaps_require_new_anchors(self):
+        # Two disjoint short links: both chain ends become anchors.
+        tree = random_tree(10, shape="path")
+        inst = TAPInstance.from_links(tree, [(5, 0, 1.0), (9, 4, 1.0)])
+        ctx = EpochContext(inst, 1, [0, 1])
+        chain = sorted(tree.tree_edges(), key=lambda t: -tree.depth[t])
+        anchors, pending = scan_chain(ctx, chain, 1, add_lower=False)
+        assert [a.t for a in anchors] == [9, 4]
+
+    def test_add_lower_appends_both_petals(self):
+        tree = random_tree(8, shape="path")
+        inst = TAPInstance.from_links(tree, [(7, 3, 1.0), (5, 0, 1.0)])
+        ctx = EpochContext(inst, 1, [0, 1])
+        chain = sorted(tree.tree_edges(), key=lambda t: -tree.depth[t])
+        anchors, pending = scan_chain(ctx, chain, 1, add_lower=True)
+        assert anchors[0].t == 7
+        assert set(pending) >= {0}
+
+    def test_respects_existing_y(self):
+        tree = random_tree(10, shape="path")
+        inst = TAPInstance.from_links(tree, [(9, 0, 1.0), (9, 5, 1.0)])
+        ctx = EpochContext(inst, 1, [0, 1])
+        ctx.add_to_y(0)  # everything covered already
+        chain = sorted(tree.tree_edges(), key=lambda t: -tree.depth[t])
+        anchors, pending = scan_chain(ctx, chain, 1, add_lower=False)
+        assert anchors == [] and pending == []
+
+
+class TestLocalGroups:
+    def test_groups_are_bottom_up_chains(self):
+        inst = random_tap_instance(50, 100, seed=8, segment_size=5)
+        ctx = EpochContext(inst, 1, list(range(len(inst.edges))))
+        candidates = [t for t in inst.tree.tree_edges()][:30]
+        for segmented in (True, False):
+            groups = local_groups(ctx, candidates, segmented)
+            flat = [t for g in groups for t in g]
+            assert sorted(flat) == sorted(candidates)
+            for g in groups:
+                depths = [inst.tree.depth[t] for t in g]
+                assert depths == sorted(depths, reverse=True)
+
+    def test_segmented_groups_refine_path_groups(self):
+        inst = random_tap_instance(60, 120, seed=9, segment_size=4)
+        ctx = EpochContext(inst, 1, list(range(len(inst.edges))))
+        candidates = list(inst.tree.tree_edges())
+        seg_groups = local_groups(ctx, candidates, True)
+        path_groups = local_groups(ctx, candidates, False)
+        assert len(seg_groups) >= len(path_groups)

@@ -1,0 +1,130 @@
+"""Unit tests for batch vertical-path operations (centralized Claims 4.5/4.6)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.trees.pathops import TreePathOps
+from repro.trees.segtree import INF, RangeAddPoint, RangeChmin
+
+from conftest import TREE_SHAPES, random_tree, random_vertical_edges
+
+
+class TestSegtree:
+    def test_chmin_brute_force(self):
+        rng = random.Random(0)
+        n = 37
+        st = RangeChmin(n)
+        ref = [INF] * n
+        for _ in range(300):
+            lo = rng.randrange(n)
+            hi = rng.randrange(lo, n)
+            val = rng.random()
+            st.update(lo, hi, val)
+            for i in range(lo, hi + 1):
+                ref[i] = min(ref[i], val)
+            i = rng.randrange(n)
+            assert st.query(i) == ref[i]
+
+    def test_chmin_tuple_values(self):
+        st = RangeChmin(10)
+        st.update(0, 9, (5.0, "a"))
+        st.update(3, 5, (2.0, "b"))
+        assert st.query(4) == (2.0, "b")
+        assert st.query(8) == (5.0, "a")
+        assert st.query(0) == (5.0, "a")
+
+    def test_chmin_empty_range(self):
+        st = RangeChmin(5)
+        st.update(3, 2, 1.0)
+        assert st.query(3) == INF
+
+    def test_add_point_brute_force(self):
+        rng = random.Random(1)
+        n = 29
+        bit = RangeAddPoint(n)
+        ref = [0.0] * n
+        for _ in range(300):
+            lo = rng.randrange(n)
+            hi = rng.randrange(lo, n)
+            delta = rng.randint(-3, 3)
+            bit.add(lo, hi, delta)
+            for i in range(lo, hi + 1):
+                ref[i] += delta
+            i = rng.randrange(n)
+            assert bit.query(i) == pytest.approx(ref[i])
+
+
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+class TestPathOps:
+    def test_ancestor_sums(self, shape):
+        t = random_tree(60, seed=2, shape=shape)
+        rng = random.Random(3)
+        values = [0.0] + [rng.uniform(0, 5) for _ in range(t.n - 1)]
+        values[t.root] = 0.0
+        ops = TreePathOps(t)
+        cum = ops.ancestor_sums(values)
+        for v in range(t.n):
+            expected = sum(values[x] for x in t.chain(v, t.root))
+            assert cum[v] == pytest.approx(expected)
+
+    def test_path_sum(self, shape):
+        t = random_tree(50, seed=4, shape=shape)
+        rng = random.Random(5)
+        values = [rng.uniform(0, 5) for _ in range(t.n)]
+        values[t.root] = 0.0
+        ops = TreePathOps(t)
+        cum = ops.ancestor_sums(values)
+        for dec, anc in random_vertical_edges(t, 100, seed=6):
+            expected = sum(values[x] for x in t.chain(dec, anc))
+            assert ops.path_sum(cum, dec, anc) == pytest.approx(expected)
+
+    def test_chmin_over_paths(self, shape):
+        t = random_tree(55, seed=7, shape=shape)
+        edges = random_vertical_edges(t, 80, seed=8)
+        rng = random.Random(9)
+        updates = [(dec, anc, (rng.uniform(0, 10), i)) for i, (dec, anc) in enumerate(edges)]
+        ops = TreePathOps(t)
+        res = ops.chmin_over_paths(updates)
+        for v in t.tree_edges():
+            vals = [val for dec, anc, val in updates if t.covers_vertical(dec, anc, v)]
+            if vals:
+                assert res.get(v) == min(vals)
+                assert res.covered(v)
+            else:
+                assert res.get(v) == INF
+                assert not res.covered(v)
+
+    def test_add_over_paths_counts(self, shape):
+        t = random_tree(45, seed=10, shape=shape)
+        edges = random_vertical_edges(t, 70, seed=11)
+        ops = TreePathOps(t)
+        counts = ops.coverage_counts(edges)
+        for v in t.tree_edges():
+            expected = sum(1 for dec, anc in edges if t.covers_vertical(dec, anc, v))
+            assert counts[v] == expected
+
+
+class TestCoverageCounter:
+    def test_incremental_matches_batch(self):
+        t = random_tree(50, seed=12)
+        edges = random_vertical_edges(t, 60, seed=13)
+        ops = TreePathOps(t)
+        counter = ops.make_coverage_counter()
+        live: list[tuple[int, int]] = []
+        rng = random.Random(14)
+        pool = list(edges)
+        for step in range(120):
+            if pool and (not live or rng.random() < 0.6):
+                e = pool.pop()
+                counter.add_path(*e)
+                live.append(e)
+            else:
+                e = live.pop(rng.randrange(len(live)))
+                counter.remove_path(*e)
+            v = rng.randrange(1, t.n)
+            expected = sum(1 for dec, anc in live if t.covers_vertical(dec, anc, v))
+            assert counter.count(v) == expected
+            assert counter.is_covered(v) == (expected > 0)

@@ -1,0 +1,118 @@
+"""Tests for petal computation, including Claim 4.9."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.decomp.layering import Layering
+from repro.decomp.petals import compute_petals
+from repro.trees.pathops import TreePathOps
+from repro.trees.rooted import RootedTree
+
+from conftest import TREE_SHAPES, random_tree, random_vertical_edges
+
+
+def covering_indices(tree: RootedTree, x_edges, t: int) -> list[int]:
+    return [
+        i for i, (dec, anc) in enumerate(x_edges) if tree.covers_vertical(dec, anc, t)
+    ]
+
+
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+class TestPetalDefinitions:
+    def test_higher_petal_is_highest_ancestor(self, shape):
+        t = random_tree(60, seed=1, shape=shape)
+        lay = Layering(t)
+        ops = TreePathOps(t)
+        x = random_vertical_edges(t, 80, seed=2)
+        petals = compute_petals(ops, lay, x, t.tree_edges())
+        for v in t.tree_edges():
+            cov = covering_indices(t, x, v)
+            if not cov:
+                assert petals.higher[v] == -1
+                assert petals.lower[v] == -1
+                continue
+            hi = petals.higher[v]
+            assert hi in cov
+            best_depth = min(t.depth[x[i][1]] for i in cov)
+            assert t.depth[x[hi][1]] == best_depth
+
+    def test_lower_petal_maximizes_ue_depth(self, shape):
+        t = random_tree(60, seed=3, shape=shape)
+        lay = Layering(t)
+        ops = TreePathOps(t)
+        x = random_vertical_edges(t, 80, seed=4)
+        petals = compute_petals(ops, lay, x, t.tree_edges())
+        for v in t.tree_edges():
+            cov = covering_indices(t, x, v)
+            if not cov:
+                continue
+            lo = petals.lower[v]
+            assert lo in cov
+            leaf = lay.leaf_of(v)
+            u_depths = {i: t.depth[t.lca(leaf, x[i][0])] for i in cov}
+            assert u_depths[lo] == max(u_depths.values())
+
+    def test_petals_cover_their_edge(self, shape):
+        t = random_tree(60, seed=5, shape=shape)
+        lay = Layering(t)
+        ops = TreePathOps(t)
+        x = random_vertical_edges(t, 60, seed=6)
+        petals = compute_petals(ops, lay, x, t.tree_edges())
+        for v in t.tree_edges():
+            for idx in petals.petals_of(v):
+                dec, anc = x[idx]
+                assert t.covers_vertical(dec, anc, v)
+
+
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_claim_4_9_small_neighbourhood_cover(shape, seed):
+    """Claim 4.9: petals of t cover every tree edge that edges of X covering t
+    cover in layers >= layer(t)."""
+    t = random_tree(50, seed=seed, shape=shape)
+    lay = Layering(t)
+    ops = TreePathOps(t)
+    x = random_vertical_edges(t, 70, seed=seed + 100)
+    petals = compute_petals(ops, lay, x, t.tree_edges())
+    for v in t.tree_edges():
+        cov = covering_indices(t, x, v)
+        if not cov:
+            continue
+        petal_edges = [x[i] for i in petals.petals_of(v)]
+        for i in cov:
+            dec, anc = x[i]
+            for t2 in t.chain(dec, anc):
+                if lay.layer[t2] < lay.layer[v]:
+                    continue
+                assert any(
+                    t.covers_vertical(pd, pa, t2) for pd, pa in petal_edges
+                ), (
+                    f"edge {t2} (layer {lay.layer[t2]}) covered by X edge {i} "
+                    f"through t={v} (layer {lay.layer[v]}) but not by petals"
+                )
+
+
+def test_petal_batching_respects_target_subset():
+    t = random_tree(40, seed=9)
+    lay = Layering(t)
+    ops = TreePathOps(t)
+    x = random_vertical_edges(t, 30, seed=10)
+    subset = [v for v in t.tree_edges() if v % 3 == 0]
+    petals = compute_petals(ops, lay, x, subset)
+    assert set(petals.higher) == set(subset)
+    assert set(petals.lower) == set(subset)
+
+
+def test_duplicate_petal_deduplicated():
+    # A single covering edge is both petals; petals_of returns it once.
+    t = random_tree(10, shape="path")
+    lay = Layering(t)
+    ops = TreePathOps(t)
+    x = [(9, 0)]
+    petals = compute_petals(ops, lay, x, [5])
+    assert petals.higher[5] == 0
+    assert petals.lower[5] == 0
+    assert petals.petals_of(5) == (0,)

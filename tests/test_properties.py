@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Strategies generate arbitrary rooted trees (random parent arrays) and link
+sets; the properties are the paper's own claims, checked on whatever the
+strategy produces.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.certificates import dual_lower_bound, dual_slacks
+from repro.core.forward import forward_phase
+from repro.core.instance import TAPInstance
+from repro.core.reverse import COVER_BOUND, reverse_delete
+from repro.core.unweighted import unweighted_tap
+from repro.core.virtual_graph import build_virtual_edges
+from repro.decomp.layering import Layering
+from repro.decomp.petals import compute_petals
+from repro.decomp.segments import SegmentDecomposition
+from repro.shortcuts.subroutines import CoverDetector
+from repro.shortcuts.tools import FragmentHierarchy, ShortcutToolkit
+from repro.trees.heavy_light import HeavyLightDecomposition
+from repro.trees.lca_labels import LcaLabeling
+from repro.trees.pathops import TreePathOps
+from repro.trees.rooted import RootedTree
+
+
+@st.composite
+def trees(draw, min_n: int = 2, max_n: int = 40):
+    n = draw(st.integers(min_n, max_n))
+    parent = [-1]
+    for v in range(1, n):
+        parent.append(draw(st.integers(0, v - 1)))
+    return RootedTree(parent, 0)
+
+
+@st.composite
+def tap_instances(draw, max_n: int = 30, max_links: int = 40):
+    tree = draw(trees(min_n=2, max_n=max_n))
+    k = draw(st.integers(0, max_links))
+    links = []
+    for _ in range(k):
+        u = draw(st.integers(0, tree.n - 1))
+        v = draw(st.integers(0, tree.n - 1))
+        if u != v:
+            w = draw(st.floats(0.5, 100.0, allow_nan=False))
+            links.append((u, v, w))
+    # guarantee feasibility
+    for leaf in tree.leaves():
+        links.append((leaf, tree.root, draw(st.floats(1.0, 200.0))))
+    return TAPInstance.from_links(tree, links)
+
+
+@settings(max_examples=60, deadline=None)
+@given(trees())
+def test_lca_agrees_with_labels(tree):
+    lab = LcaLabeling(tree)
+    for u in range(0, tree.n, max(1, tree.n // 7)):
+        for v in range(0, tree.n, max(1, tree.n // 5)):
+            assert lab.lca(u, v) == tree.lca(u, v)
+
+
+@settings(max_examples=60, deadline=None)
+@given(trees())
+def test_layering_properties(tree):
+    lay = Layering(tree)
+    # monotone along root paths, partition into paths, log bound
+    for v in tree.tree_edges():
+        p = tree.parent[v]
+        if p != tree.root:
+            assert lay.layer[p] >= lay.layer[v]
+    assert sorted(e for path in lay.paths for e in path.edges) == sorted(
+        tree.tree_edges()
+    )
+    leaves = max(2, len(tree.leaves()))
+    assert lay.num_layers <= math.log2(leaves) + 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(tap_instances())
+def test_petals_cover_same_layer_neighbours(inst):
+    # Claim 4.9 restricted to same-layer neighbours (the case the
+    # reverse-delete phase uses).
+    tree = inst.tree
+    lay = inst.layering
+    x = [e.pair for e in inst.edges]
+    petals = compute_petals(inst.ops, lay, x, tree.tree_edges())
+    for idx, (dec, anc) in enumerate(x):
+        covered = list(tree.chain(dec, anc))
+        for t in covered:
+            for t2 in covered:
+                if lay.layer[t2] < lay.layer[t]:
+                    continue
+                assert any(
+                    tree.covers_vertical(*x[pi], t2)
+                    for pi in petals.petals_of(t)
+                )
+
+
+@settings(max_examples=30, deadline=None)
+@given(tap_instances(), st.sampled_from(["basic", "improved"]), st.booleans())
+def test_full_algorithm_invariants(inst, variant, segmented):
+    eps = 0.5
+    fwd = forward_phase(inst, eps=eps)
+    rev = reverse_delete(inst, fwd, variant=variant, segmented=segmented, validate=True)
+    # Lemma 3.1's chain: w(B) <= c (1+eps) sum(y)
+    c = COVER_BOUND[variant]
+    w_b = inst.weight_of(rev.b)
+    assert w_b <= c * (1 + eps) * sum(fwd.y) + 1e-6
+    # cover complete
+    counts = inst.ops.coverage_counts(inst.edges[e].pair for e in rev.b)
+    assert all(counts[t] > 0 for t in inst.tree.tree_edges())
+    # dual feasibility
+    for e, ratio in zip(inst.edges, dual_slacks(inst, fwd.y)):
+        if e.weight > 0:
+            assert ratio <= (1 + eps) * (1 + 1e-9)
+    # the dual bound is consistent
+    assert dual_lower_bound(fwd.y, eps) <= sum(fwd.y) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(tap_instances())
+def test_virtual_edges_vertical_and_equivalent(inst):
+    tree = inst.tree
+    for e in inst.edges:
+        assert tree.is_strict_ancestor(e.anc, e.dec)
+
+
+@settings(max_examples=40, deadline=None)
+@given(trees(max_n=35))
+def test_segments_partition_edges(tree):
+    dec = SegmentDecomposition(tree)
+    for v in tree.tree_edges():
+        assert dec.seg_of_edge[v] >= 0
+        seg = dec.segments[dec.seg_of_edge[v]]
+        assert tree.is_ancestor(seg.r, v)
+
+
+@settings(max_examples=40, deadline=None)
+@given(trees(max_n=35))
+def test_hld_light_bound(tree):
+    for mode in ("max-child", "majority"):
+        hld = HeavyLightDecomposition(tree, mode=mode)
+        for v in range(tree.n):
+            assert hld.num_light_on_root_path(v) <= math.log2(max(2, tree.n)) + 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(trees(max_n=30), st.randoms(use_true_random=False))
+def test_xor_detector_one_sided(tree, rnd):
+    tk = ShortcutToolkit(FragmentHierarchy(tree))
+    det = CoverDetector(tk, seed=7)
+    edges = []
+    for _ in range(10):
+        u = rnd.randrange(tree.n)
+        v = rnd.randrange(tree.n)
+        if u != v:
+            edges.append((u, v))
+    got = det.covered_edges(edges)
+    truth = set()
+    for u, v in edges:
+        truth.update(tree.path_edges(u, v))
+    for v in tree.tree_edges():
+        if v not in truth:
+            assert not got[v]  # deterministic direction of Lemma 5.4
+
+
+@settings(max_examples=30, deadline=None)
+@given(tap_instances(max_n=25, max_links=25))
+def test_unweighted_two_approx_certificate(inst):
+    pairs = [(e.dec, e.anc) for e in inst.edges]
+    res = unweighted_tap(inst.tree, pairs)
+    assert res.certified_virtual_ratio <= 2.0 + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(trees(max_n=40), st.integers(0, 10**6))
+def test_pathops_sum_consistency(tree, seed):
+    import random as _random
+
+    rng = _random.Random(seed)
+    values = [0.0] + [rng.uniform(0, 10) for _ in range(tree.n - 1)]
+    values[tree.root] = 0.0
+    ops = TreePathOps(tree)
+    cum = ops.ancestor_sums(values)
+    for v in range(tree.n):
+        total = sum(values[x] for x in tree.chain(v, tree.root))
+        assert abs(cum[v] - total) < 1e-6

@@ -1,0 +1,169 @@
+"""Tests for the reverse-delete phase: Lemmas 3.2/4.18, Claims 4.13-4.17."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.forward import forward_phase
+from repro.core.instance import TAPInstance
+from repro.core.reverse import COVER_BOUND, reverse_delete
+
+from conftest import random_tap_instance, random_tap_links, random_tree
+
+
+def solve(inst, variant, segmented, eps=0.3):
+    fwd = forward_phase(inst, eps=eps)
+    rev = reverse_delete(inst, fwd, variant=variant, segmented=segmented, validate=True)
+    return fwd, rev
+
+
+def coverage_of(inst, eids):
+    return inst.ops.coverage_counts(inst.edges[e].pair for e in eids)
+
+
+@pytest.mark.parametrize("variant", ["basic", "improved"])
+@pytest.mark.parametrize("segmented", [True, False])
+class TestFinalProperties:
+    def test_b_covers_everything(self, variant, segmented):
+        inst = random_tap_instance(70, 140, seed=1)
+        fwd, rev = solve(inst, variant, segmented)
+        counts = coverage_of(inst, rev.b)
+        for t in inst.tree.tree_edges():
+            assert counts[t] > 0
+
+    def test_cover_bound_on_dual_support(self, variant, segmented):
+        # Every tree edge with positive dual covered at most c times.
+        inst = random_tap_instance(70, 140, seed=2)
+        fwd, rev = solve(inst, variant, segmented)
+        counts = coverage_of(inst, rev.b)
+        c = COVER_BOUND[variant]
+        for t in inst.tree.tree_edges():
+            if fwd.y[t] > 0:
+                assert counts[t] <= c
+
+    def test_b_subset_of_a(self, variant, segmented):
+        inst = random_tap_instance(60, 120, seed=3)
+        fwd, rev = solve(inst, variant, segmented)
+        assert rev.b <= set(fwd.added)
+
+    def test_improved_no_heavier_than_basic_guarantee(self, variant, segmented):
+        # Not a theorem, but the weight must satisfy the Lemma 3.1 chain:
+        # w(B) <= c * (1+eps) * sum(y).
+        eps = 0.3
+        inst = random_tap_instance(60, 120, seed=4)
+        fwd, rev = solve(inst, variant, segmented, eps=eps)
+        w_b = inst.weight_of(rev.b)
+        c = COVER_BOUND[variant]
+        assert w_b <= c * (1 + eps) * sum(fwd.y) * (1 + 1e-6)
+
+
+@pytest.mark.parametrize("shape", ["path", "caterpillar", "uniform", "broom"])
+@pytest.mark.parametrize("segment_size", [3, 6, None])
+class TestTinySegmentsStress:
+    """Tiny segments force the cross-segment global/local MIS interplay."""
+
+    def test_improved_validates(self, shape, segment_size):
+        for seed in (1, 2, 3):
+            inst = random_tap_instance(
+                60, 120, seed=seed, shape=shape, segment_size=segment_size
+            )
+            solve(inst, "improved", True)  # validate=True raises on violation
+
+    def test_basic_validates(self, shape, segment_size):
+        for seed in (1, 2, 3):
+            inst = random_tap_instance(
+                60, 120, seed=seed, shape=shape, segment_size=segment_size
+            )
+            solve(inst, "basic", True)
+
+
+class TestAnchorStructure:
+    def _instrumented(self, seed, variant, n=70, segment_size=4):
+        inst = random_tap_instance(n, 150, seed=seed, shape="path", segment_size=segment_size)
+        fwd, rev = solve(inst, variant, True)
+        return inst, fwd, rev
+
+    def test_claim_4_13_anchors_independent_basic(self):
+        # In the basic variant all anchors of one epoch are pairwise
+        # independent w.r.t. that epoch's X = B + A_k: no X edge covers two.
+        for seed in (1, 2, 3, 4):
+            inst, fwd, rev = self._instrumented(seed, "basic")
+            by_epoch: dict[int, list] = {}
+            for a in rev.anchors:
+                by_epoch.setdefault(a.epoch, []).append(a)
+            for epoch, anchors in by_epoch.items():
+                x_eids = rev.x_by_epoch[epoch]
+                for i, a in enumerate(anchors):
+                    for b in anchors[i + 1 :]:
+                        shared = [
+                            eid
+                            for eid in x_eids
+                            if inst.covers(eid, a.t) and inst.covers(eid, b.t)
+                        ]
+                        assert not shared, (
+                            f"anchors {a.t},{b.t} of epoch {epoch} share link(s) "
+                            f"{shared} from X"
+                        )
+
+    def test_claim_4_15_dependency_structure_improved(self):
+        # Dependent anchor pairs in the improved variant: the deeper one is
+        # local, the shallower one is global, and both were added in the
+        # same epoch and iteration.
+        found_dependent = 0
+        for seed in range(12):
+            inst, fwd, rev = self._instrumented(seed, "improved")
+            t = inst.tree
+            by_epoch: dict[int, list] = {}
+            for a in rev.anchors:
+                by_epoch.setdefault(a.epoch, []).append(a)
+            for epoch, anchors in by_epoch.items():
+                x_eids = rev.x_by_epoch[epoch]
+                for i, a in enumerate(anchors):
+                    for b in anchors[i + 1 :]:
+                        shared = any(
+                            inst.covers(eid, a.t) and inst.covers(eid, b.t)
+                            for eid in x_eids
+                        )
+                        if not shared:
+                            continue
+                        found_dependent += 1
+                        deeper, shallower = (
+                            (a, b) if t.depth[a.t] > t.depth[b.t] else (b, a)
+                        )
+                        assert deeper.kind == "local"
+                        assert shallower.kind == "global"
+                        assert a.iteration == b.iteration
+        assert found_dependent > 0, "stress instances should produce dependencies"
+
+    def test_figure_4_cleaning_structure(self):
+        # Cleaning removals happen, and each removed petal belongs to a
+        # global anchor strictly below the 3-covered edge.
+        total = 0
+        for seed in range(12):
+            inst, fwd, rev = self._instrumented(seed, "improved")
+            t = inst.tree
+            globals_by_hi: dict[int, list] = {}
+            for a in rev.anchors:
+                if a.kind == "global":
+                    globals_by_hi.setdefault(a.hi, []).append(a)
+            for edge_t, removed_eid in rev.cleaning_removals:
+                owners = [
+                    a
+                    for a in globals_by_hi.get(removed_eid, [])
+                    if t.is_strict_ancestor(edge_t, a.t)
+                ]
+                assert owners, "removed petal must belong to a global anchor below"
+                total += 1
+        assert total > 0, "stress instances should trigger the cleaning phase"
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        for variant in ("basic", "improved"):
+            inst1 = random_tap_instance(50, 100, seed=9)
+            inst2 = random_tap_instance(50, 100, seed=9)
+            _, rev1 = solve(inst1, variant, True)
+            _, rev2 = solve(inst2, variant, True)
+            assert rev1.b == rev2.b

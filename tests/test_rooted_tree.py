@@ -1,0 +1,175 @@
+"""Unit tests for repro.trees.rooted.RootedTree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import NotATreeError
+from repro.trees.rooted import RootedTree
+
+from conftest import TREE_SHAPES, brute_force_lca, random_tree
+
+
+class TestConstruction:
+    def test_single_vertex(self):
+        t = RootedTree([-1], 0)
+        assert t.n == 1
+        assert t.height == 0
+        assert list(t.tree_edges()) == []
+
+    def test_path(self):
+        t = random_tree(5, shape="path")
+        assert t.depth == [0, 1, 2, 3, 4]
+        assert t.height == 4
+        assert t.children[0] == [1]
+        assert t.leaves() == [4]
+
+    def test_star(self):
+        t = random_tree(6, shape="star")
+        assert t.height == 1
+        assert sorted(t.leaves()) == [1, 2, 3, 4, 5]
+        assert t.is_junction(0)
+        assert not t.is_junction(3)
+
+    def test_root_parent_self_allowed(self):
+        t = RootedTree([0, 0], 0)
+        assert t.parent[0] == -1
+
+    def test_rejects_cycle(self):
+        with pytest.raises(NotATreeError):
+            RootedTree([-1, 2, 1], 0)
+
+    def test_rejects_disconnected(self):
+        # vertex 2 points to itself, unreachable from the root
+        with pytest.raises(NotATreeError):
+            RootedTree([-1, 0, 2], 0)
+
+    def test_rejects_bad_root(self):
+        with pytest.raises(NotATreeError):
+            RootedTree([-1, 0], 5)
+
+    def test_from_edges(self):
+        t = RootedTree.from_edges(4, [(0, 1), (1, 2), (1, 3)], root=0)
+        assert t.parent[2] == 1
+        assert t.depth[3] == 2
+
+    def test_from_edges_rejects_extra_edge(self):
+        with pytest.raises(NotATreeError):
+            RootedTree.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+
+    def test_from_edges_rejects_forest(self):
+        with pytest.raises(NotATreeError):
+            RootedTree.from_edges(4, [(0, 1), (1, 2)], root=0)
+
+    def test_nonzero_root(self):
+        t = RootedTree.from_edges(4, [(0, 1), (1, 2), (2, 3)], root=3)
+        assert t.root == 3
+        assert t.depth[0] == 3
+
+
+class TestOrderAndIntervals:
+    @pytest.mark.parametrize("shape", TREE_SHAPES)
+    def test_preorder_parents_first(self, shape):
+        t = random_tree(60, seed=3, shape=shape)
+        seen = set()
+        for v in t.order:
+            p = t.parent[v]
+            assert p == -1 or p in seen
+            seen.add(v)
+        assert len(seen) == t.n
+
+    @pytest.mark.parametrize("shape", TREE_SHAPES)
+    def test_interval_ancestor_test(self, shape):
+        t = random_tree(40, seed=5, shape=shape)
+        for u in range(t.n):
+            ancestors = set()
+            x = u
+            while x != -1:
+                ancestors.add(x)
+                x = t.parent[x]
+            for w in range(t.n):
+                assert t.is_ancestor(w, u) == (w in ancestors)
+                assert t.is_strict_ancestor(w, u) == (w in ancestors and w != u)
+
+    def test_subtree_sizes(self):
+        t = random_tree(50, seed=9)
+        sizes = t.subtree_sizes()
+        assert sizes[t.root] == t.n
+        for v in range(t.n):
+            assert sizes[v] == 1 + sum(sizes[c] for c in t.children[v])
+
+
+class TestLca:
+    @pytest.mark.parametrize("shape", TREE_SHAPES)
+    def test_lca_matches_brute_force(self, shape):
+        t = random_tree(35, seed=7, shape=shape)
+        for u in range(t.n):
+            for v in range(t.n):
+                assert t.lca(u, v) == brute_force_lca(t, u, v)
+
+    def test_lca_random_large(self):
+        t = random_tree(800, seed=11)
+        rng = random.Random(1)
+        for _ in range(500):
+            u, v = rng.randrange(t.n), rng.randrange(t.n)
+            assert t.lca(u, v) == brute_force_lca(t, u, v)
+
+    def test_ancestor_at_depth(self):
+        t = random_tree(100, seed=2)
+        for v in range(t.n):
+            x = v
+            for d in range(t.depth[v], -1, -1):
+                assert t.ancestor_at_depth(v, d) == x
+                x = t.parent[x]
+
+    def test_ancestor_at_depth_rejects_deeper(self):
+        t = random_tree(10, seed=2)
+        leaf = t.leaves()[0]
+        with pytest.raises(ValueError):
+            t.ancestor_at_depth(t.root, t.depth[leaf] + 1)
+
+
+class TestPathsAndCoverage:
+    def test_chain(self):
+        t = random_tree(30, seed=4)
+        for v in range(t.n):
+            chain = list(t.chain(v, t.root))
+            assert len(chain) == t.depth[v]
+            if chain:
+                assert chain[0] == v
+                assert t.parent[chain[-1]] == t.root
+
+    def test_chain_rejects_non_ancestor(self):
+        t = random_tree(30, seed=4, shape="star")
+        with pytest.raises(ValueError):
+            list(t.chain(1, 2))
+
+    def test_covers_vertical_matches_chain(self):
+        t = random_tree(25, seed=8)
+        for dec in range(t.n):
+            for d in range(t.depth[dec] + 1):
+                anc = t.ancestor_at_depth(dec, d)
+                on_chain = set(t.chain(dec, anc))
+                for tt in t.tree_edges():
+                    assert t.covers_vertical(dec, anc, tt) == (tt in on_chain)
+
+    def test_path_vertices_and_edges(self):
+        t = random_tree(40, seed=10)
+        rng = random.Random(0)
+        for _ in range(100):
+            u, v = rng.randrange(t.n), rng.randrange(t.n)
+            verts = t.path_vertices(u, v)
+            assert verts[0] == u and verts[-1] == v
+            # consecutive vertices are adjacent in the tree
+            for a, b in zip(verts, verts[1:]):
+                assert t.parent[a] == b or t.parent[b] == a
+            edges = t.path_edges(u, v)
+            assert len(edges) == len(verts) - 1
+            assert len(set(edges)) == len(edges)
+
+    def test_path_same_vertex(self):
+        t = random_tree(10, seed=1)
+        assert t.path_vertices(3, 3) == [3]
+        assert t.path_edges(3, 3) == []

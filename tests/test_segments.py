@@ -1,0 +1,109 @@
+"""Tests for the segment decomposition (paper Section 4.2.1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.decomp.segments import SegmentDecomposition
+
+from conftest import TREE_SHAPES, random_tree
+
+
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+class TestInvariants:
+    def test_edges_partitioned(self, shape):
+        t = random_tree(120, seed=1, shape=shape)
+        dec = SegmentDecomposition(t)
+        for v in t.tree_edges():
+            assert 0 <= dec.seg_of_edge[v] < dec.num_segments
+        assert dec.seg_of_edge[t.root] == -1
+        # Each highway edge is in exactly the segment listing it.
+        for seg in dec.segments:
+            for e in seg.highway_edges:
+                assert dec.seg_of_edge[e] == seg.sid
+                assert dec.on_highway[e]
+
+    def test_highway_is_vertical_chain(self, shape):
+        t = random_tree(120, seed=2, shape=shape)
+        dec = SegmentDecomposition(t)
+        for seg in dec.segments:
+            assert seg.highway[0] == seg.r
+            assert seg.highway[-1] == seg.d
+            for a, b in zip(seg.highway, seg.highway[1:]):
+                assert t.parent[b] == a
+
+    def test_r_is_ancestor_of_all_segment_vertices(self, shape):
+        t = random_tree(120, seed=3, shape=shape)
+        dec = SegmentDecomposition(t)
+        for seg in dec.segments:
+            for v in list(seg.highway) + seg.attached:
+                assert t.is_ancestor(seg.r, v)
+
+    def test_boundary_property(self, shape):
+        # Only r_S and d_S may touch other segments via tree edges.
+        t = random_tree(120, seed=4, shape=shape)
+        dec = SegmentDecomposition(t)
+        for v in t.tree_edges():
+            sid = dec.seg_of_edge[v]
+            p = t.parent[v]
+            # The edge (v, p) is inside segment sid; if p's other edges lie in
+            # different segments, p must be a boundary vertex of sid.
+            neighbours = set()
+            if p != t.root:
+                neighbours.add(dec.seg_of_edge[p])
+            for c in t.children[p]:
+                neighbours.add(dec.seg_of_edge[c])
+            if any(s != sid for s in neighbours):
+                seg = dec.segments[sid]
+                assert p in (seg.r, seg.d) or p not in (
+                    set(seg.highway[1:-1]) | set(seg.attached)
+                )
+
+    def test_attached_subtrees_do_not_leave_segment(self, shape):
+        t = random_tree(120, seed=5, shape=shape)
+        dec = SegmentDecomposition(t)
+        for seg in dec.segments:
+            for u in seg.attached:
+                # every child of an attached vertex is attached to the same segment
+                for c in t.children[u]:
+                    assert dec.seg_of_edge[c] == seg.sid
+
+    def test_counts_and_diameters(self, shape):
+        n = 400
+        t = random_tree(n, seed=6, shape=shape)
+        dec = SegmentDecomposition(t)
+        stats = dec.stats()
+        s = dec.s
+        # O(sqrt n) segments of diameter O(sqrt n); constants per DESIGN.md.
+        assert stats["num_segments"] <= 4 * math.sqrt(n) + 4
+        assert stats["max_diameter"] <= 3 * s + 2
+
+
+class TestSkeleton:
+    def test_skeleton_parent_points_up(self):
+        t = random_tree(200, seed=7)
+        dec = SegmentDecomposition(t)
+        for d, r in dec.skeleton_parent.items():
+            assert t.is_strict_ancestor(r, d)
+
+    def test_boundaries_are_rs_or_ds(self):
+        t = random_tree(200, seed=8)
+        dec = SegmentDecomposition(t)
+        for seg in dec.segments:
+            assert seg.r in dec.boundary
+            assert seg.d in dec.boundary
+
+    def test_tiny_trees(self):
+        for n in (1, 2, 3, 5):
+            t = random_tree(n, seed=9)
+            dec = SegmentDecomposition(t)
+            covered = [dec.seg_of_edge[v] for v in t.tree_edges()]
+            assert all(c >= 0 for c in covered)
+
+    def test_custom_s(self):
+        t = random_tree(300, seed=10)
+        dec = SegmentDecomposition(t, s=10)
+        for seg in dec.segments:
+            assert len(seg.highway_edges) <= 10

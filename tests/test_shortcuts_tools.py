@@ -1,0 +1,233 @@
+"""Tests for the fragment hierarchy and Theorems 5.1/5.2/5.3 tools."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.shortcuts.partition import Partition, mst_fragment_partition, random_connected_partition
+from repro.shortcuts.providers import (
+    BestOfShortcuts,
+    SizeThresholdShortcuts,
+    TreeRestrictedShortcuts,
+    TrivialShortcuts,
+)
+from repro.shortcuts.subroutines import CoverCounter55, CoverDetector
+from repro.shortcuts.tools import FragmentHierarchy, ShortcutToolkit
+from repro.graphs import erdos_renyi_2ec, grid_graph
+from repro.trees.heavy_light import HeavyLightDecomposition
+
+from conftest import TREE_SHAPES, random_tree, tree_as_networkx
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("shape", TREE_SHAPES)
+    def test_levels_logarithmic(self, shape):
+        t = random_tree(300, seed=1, shape=shape)
+        h = FragmentHierarchy(t)
+        assert h.num_levels <= math.log2(300) + 3
+
+    @pytest.mark.parametrize("shape", TREE_SHAPES)
+    def test_partitions_valid_and_connected(self, shape):
+        t = random_tree(120, seed=2, shape=shape)
+        g = tree_as_networkx(t)
+        h = FragmentHierarchy(t)
+        for level in h.levels:
+            covered = sorted(v for part in level.partition.parts for v in part)
+            assert covered == list(range(t.n))
+            level.partition.validate_connected(g)
+
+    def test_top_level_single_fragment(self):
+        t = random_tree(90, seed=3)
+        h = FragmentHierarchy(t)
+        assert len(h.levels[-1].partition) == 1
+        assert all(f == t.root for f in h.levels[-1].frag)
+
+    def test_fragment_roots_are_members(self):
+        t = random_tree(90, seed=4)
+        h = FragmentHierarchy(t)
+        for level in h.levels:
+            for part in level.partition.parts:
+                root = min(part, key=lambda v: t.depth[v])
+                assert level.frag[root] == root
+                for v in part:
+                    assert t.is_ancestor(root, v)
+
+
+class TestSums:
+    @pytest.mark.parametrize("shape", TREE_SHAPES)
+    def test_descendants_sum(self, shape):
+        t = random_tree(80, seed=5, shape=shape)
+        rng = random.Random(6)
+        vals = [rng.randint(0, 50) for _ in range(t.n)]
+        tk = ShortcutToolkit(FragmentHierarchy(t))
+        got = tk.descendants_sum(list(vals))
+        sizes = t.subtree_sizes()
+        # reference: accumulate bottom-up
+        ref = list(vals)
+        for v in reversed(t.order):
+            p = t.parent[v]
+            if p >= 0:
+                ref[p] += ref[v]
+        assert got == ref
+        assert tk.partwise_ops > 0
+
+    @pytest.mark.parametrize("shape", TREE_SHAPES)
+    def test_ancestors_sum(self, shape):
+        t = random_tree(80, seed=7, shape=shape)
+        rng = random.Random(8)
+        vals = [rng.randint(0, 50) for _ in range(t.n)]
+        tk = ShortcutToolkit(FragmentHierarchy(t))
+        got = tk.ancestors_sum(list(vals))
+        ref = [0] * t.n
+        for v in t.order:
+            p = t.parent[v]
+            ref[v] = vals[v] + (ref[p] if p >= 0 else 0)
+        assert got == ref
+
+    def test_ancestors_sum_noncommutative_order(self):
+        # combine(prefix, suffix) with list concatenation must produce
+        # root-first sequences.
+        t = random_tree(40, seed=9)
+        tk = ShortcutToolkit(FragmentHierarchy(t))
+        got = tk.ancestors_sum([(v,) for v in range(t.n)], combine=lambda a, b: a + b)
+        for v in range(t.n):
+            chain = []
+            x = v
+            while x != -1:
+                chain.append(x)
+                x = t.parent[x]
+            assert list(got[v]) == chain[::-1]
+
+    def test_min_aggregate(self):
+        t = random_tree(60, seed=10)
+        rng = random.Random(11)
+        vals = [rng.randint(0, 1000) for _ in range(t.n)]
+        tk = ShortcutToolkit(FragmentHierarchy(t))
+        got = tk.descendants_sum(list(vals), combine=min)
+        ref = list(vals)
+        for v in reversed(t.order):
+            p = t.parent[v]
+            if p >= 0:
+                ref[p] = min(ref[p], ref[v])
+        assert got == ref
+
+
+class TestDistributedHld:
+    @pytest.mark.parametrize("shape", TREE_SHAPES)
+    def test_matches_centralized_majority_hld(self, shape):
+        t = random_tree(100, seed=12, shape=shape)
+        hld = ShortcutToolkit(FragmentHierarchy(t)).heavy_light()
+        ref = HeavyLightDecomposition(t, mode="majority")
+        sizes = t.subtree_sizes()
+        assert hld.subtree_size == sizes
+        for v in range(t.n):
+            assert hld.path_len[v] == t.depth[v] + 1
+            if v != t.root:
+                assert hld.heavy[v] == ref.is_heavy_edge(v)
+
+    @pytest.mark.parametrize("shape", TREE_SHAPES)
+    def test_lca_from_light_lists(self, shape):
+        t = random_tree(60, seed=13, shape=shape)
+        hld = ShortcutToolkit(FragmentHierarchy(t)).heavy_light()
+        for u in range(t.n):
+            for v in range(t.n):
+                assert hld.lca(u, v) == t.lca(u, v)
+
+    def test_light_list_bound(self):
+        t = random_tree(500, seed=14)
+        hld = ShortcutToolkit(FragmentHierarchy(t)).heavy_light()
+        assert hld.max_light_list() <= math.log2(500) + 1
+
+
+class TestSubroutines:
+    def test_cover_detector_exact_on_uncovered(self):
+        # One-sided error: reported-uncovered must be exactly the uncovered.
+        t = random_tree(70, seed=15)
+        tk = ShortcutToolkit(FragmentHierarchy(t))
+        det = CoverDetector(tk, seed=16)
+        rng = random.Random(17)
+        s_edges = []
+        for _ in range(25):
+            u, v = rng.randrange(t.n), rng.randrange(t.n)
+            if u != v:
+                s_edges.append((u, v))
+        got = det.covered_edges(s_edges)
+        truth = set()
+        for u, v in s_edges:
+            truth.update(t.path_edges(u, v))
+        for v in t.tree_edges():
+            # w.h.p. equality; one-sided: got=True implies truly covered
+            if got[v]:
+                assert v in truth
+            if v not in truth:
+                assert not got[v]
+        # and with 10 log n bits the false-negative rate is ~0 in practice:
+        assert all(got[v] for v in truth)
+
+    def test_cover_counter_exact(self):
+        t = random_tree(70, seed=18)
+        tk = ShortcutToolkit(FragmentHierarchy(t))
+        counter = CoverCounter55(tk)
+        rng = random.Random(19)
+        marked = [False] * t.n
+        for v in t.tree_edges():
+            marked[v] = rng.random() < 0.5
+        edges = []
+        for _ in range(60):
+            u, v = rng.randrange(t.n), rng.randrange(t.n)
+            edges.append((u, v))
+        got = counter.counts(marked, edges)
+        for (u, v), c in zip(edges, got):
+            expected = sum(1 for e in t.path_edges(u, v) if marked[e])
+            assert c == expected
+
+
+class TestProvidersAndPartitions:
+    def test_partition_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            Partition(parts=[[0, 1], [1, 2]])
+
+    def test_mst_fragment_partition_valid(self):
+        g = erdos_renyi_2ec(100, seed=20)
+        p = mst_fragment_partition(g, 10, seed=21)
+        assert sorted(v for part in p.parts for v in part) == sorted(g.nodes())
+        p.validate_connected(g)
+
+    def test_random_connected_partition_valid(self):
+        g = grid_graph(8, 8, seed=22)
+        p = random_connected_partition(g, 8, seed=23)
+        assert sorted(v for part in p.parts for v in part) == sorted(g.nodes())
+        p.validate_connected(g)
+
+    def test_trivial_dilation_is_part_diameter(self):
+        g = grid_graph(6, 6, seed=24)
+        p = mst_fragment_partition(g, 6, seed=25)
+        a = TrivialShortcuts().assign(g, p)
+        assert a.alpha >= 1
+        assert a.beta >= 1
+
+    def test_tree_restricted_dilation_at_most_2d(self):
+        g = grid_graph(7, 7, seed=26)
+        d = nx.diameter(g)
+        p = mst_fragment_partition(g, 7, seed=27)
+        a = TreeRestrictedShortcuts().assign(g, p)
+        assert a.beta <= 2 * d
+
+    def test_size_threshold_congestion_bound(self):
+        g = erdos_renyi_2ec(100, seed=28)
+        p = mst_fragment_partition(g, 10, seed=29)
+        a = SizeThresholdShortcuts().assign(g, p)
+        big_parts = sum(1 for part in p.parts if len(part) >= 10)
+        assert a.alpha <= big_parts + 1
+
+    def test_best_of_picks_minimum(self):
+        g = grid_graph(6, 6, seed=30)
+        p = mst_fragment_partition(g, 6, seed=31)
+        best = BestOfShortcuts().assign(g, p)
+        st = SizeThresholdShortcuts().assign(g, p)
+        tr = TreeRestrictedShortcuts().assign(g, p)
+        assert best.quality <= min(st.quality, tr.quality)

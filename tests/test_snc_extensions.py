@@ -1,0 +1,108 @@
+"""Tests for the tau-SNC extension (Section 3.6.1's generalization)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import networkx as nx
+import pytest
+
+from repro.extensions.snc import (
+    interval_cover_instance,
+    snc_unweighted_cover,
+    vertex_cover_instance,
+)
+
+
+def brute_force_vertex_cover(edges) -> int:
+    vertices = sorted({v for e in edges for v in e})
+    for k in range(len(vertices) + 1):
+        for subset in itertools.combinations(vertices, k):
+            s = set(subset)
+            if all(u in s or v in s for u, v in edges):
+                return k
+    return len(vertices)
+
+
+def brute_force_interval_cover(points, intervals) -> int:
+    for k in range(len(intervals) + 1):
+        for subset in itertools.combinations(intervals, k):
+            if all(any(a <= p <= b for a, b in subset) for p in points):
+                return k
+    raise AssertionError("infeasible")
+
+
+class TestVertexCover:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_two_approx_vs_brute_force(self, seed):
+        g = nx.gnp_random_graph(10, 0.35, seed=seed)
+        edges = list(g.edges())
+        if not edges:
+            return
+        inst = vertex_cover_instance(edges)
+        res = snc_unweighted_cover(inst)
+        opt = brute_force_vertex_cover(edges)
+        assert len(res.chosen) <= 2 * opt
+        # result is a valid cover
+        s = set(res.chosen)
+        assert all(u in s or v in s for u, v in edges)
+
+    def test_mis_is_a_matching(self):
+        g = nx.gnp_random_graph(14, 0.3, seed=7)
+        inst = vertex_cover_instance(list(g.edges()))
+        res = snc_unweighted_cover(inst)
+        used = [v for e in res.mis for v in e]
+        assert len(used) == len(set(used)), "MIS elements must form a matching"
+
+    def test_certified_ratio_at_most_tau(self):
+        g = nx.gnp_random_graph(20, 0.25, seed=9)
+        inst = vertex_cover_instance(list(g.edges()))
+        res = snc_unweighted_cover(inst)
+        assert res.certified_ratio <= res.tau + 1e-9
+
+    def test_star_graph(self):
+        edges = [(0, i) for i in range(1, 6)]
+        res = snc_unweighted_cover(vertex_cover_instance(edges))
+        # matching has one edge; cover = its 2 endpoints; OPT = 1
+        assert len(res.mis) == 1
+        assert len(res.chosen) == 2
+
+
+class TestIntervalCover:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_two_approx_vs_brute_force(self, seed):
+        rng = random.Random(seed)
+        points = sorted(rng.uniform(0, 10) for _ in range(8))
+        intervals = []
+        for _ in range(10):
+            a = rng.uniform(0, 9)
+            intervals.append((a, a + rng.uniform(0.5, 4)))
+        # ensure feasibility
+        intervals.append((min(points) - 1, max(points) + 1))
+        inst = interval_cover_instance(points, intervals)
+        res = snc_unweighted_cover(inst)
+        opt = brute_force_interval_cover(points, intervals)
+        assert len(res.chosen) <= 2 * opt
+        assert res.certified_ratio <= 2 + 1e-9
+        chosen = set(res.chosen)
+        assert all(any(a <= p <= b for a, b in chosen) for p in points)
+
+    def test_single_big_interval(self):
+        inst = interval_cover_instance([1, 2, 3], [(0, 5)])
+        res = snc_unweighted_cover(inst)
+        assert res.chosen == [(0, 5)]
+        assert len(res.mis) == 1
+
+    def test_uncoverable_point(self):
+        inst = interval_cover_instance([100.0], [(0, 5)])
+        with pytest.raises(ValueError):
+            snc_unweighted_cover(inst)
+
+    def test_disjoint_points_need_many(self):
+        points = [0, 10, 20, 30]
+        intervals = [(p - 1, p + 1) for p in points]
+        res = snc_unweighted_cover(interval_cover_instance(points, intervals))
+        assert len(res.mis) == 4
+        assert len(res.chosen) == 4
+        assert res.certified_ratio == pytest.approx(1.0)

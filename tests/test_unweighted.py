@@ -1,0 +1,73 @@
+"""Tests for the unweighted TAP 2-approximation (Section 3.6.1)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.unweighted import unweighted_tap
+from repro.graphs import is_two_edge_connected
+
+from conftest import TREE_SHAPES, random_tap_links, random_tree
+
+
+def links_unweighted(tree, m, seed):
+    return [(u, v) for u, v, _ in random_tap_links(tree, m, seed=seed, unweighted=True)]
+
+
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+class TestUnweightedTap:
+    def test_valid_augmentation(self, shape):
+        # Path coverage (not simple-graph bridges: links parallel to tree
+        # edges are legitimate in TAP).
+        tree = random_tree(50, seed=1, shape=shape)
+        links = links_unweighted(tree, 100, seed=2)
+        res = unweighted_tap(tree, links)
+        covered = set()
+        for u, v in res.links:
+            covered.update(tree.path_edges(u, v))
+        assert covered == set(tree.tree_edges())
+
+    def test_two_approx_certificate(self, shape):
+        # |aug'| <= 2 |MIS| and |MIS| <= OPT' — the Section 3.6.1 argument.
+        tree = random_tree(50, seed=3, shape=shape)
+        links = links_unweighted(tree, 100, seed=4)
+        res = unweighted_tap(tree, links)
+        assert res.virtual_size <= 2 * len(res.mis)
+        assert res.certified_virtual_ratio <= 2.0 + 1e-9
+
+    def test_mis_members_span_layers(self, shape):
+        tree = random_tree(60, seed=5, shape=shape)
+        links = links_unweighted(tree, 120, seed=6)
+        res = unweighted_tap(tree, links)
+        assert len(res.mis) >= 1
+        assert res.num_layers >= 1
+
+
+def test_cycle_needs_one_link():
+    # A path tree plus the closing link: MIS = 1 edge, augmentation = 1 link.
+    tree = random_tree(12, shape="path")
+    res = unweighted_tap(tree, [(11, 0)])
+    assert res.links == [(11, 0)]
+    assert len(res.mis) == 1
+
+
+def test_star_needs_matching():
+    # Star with a perfect matching of the leaves.  On the *virtual* graph
+    # each link splits at the root into two single-edge virtual links, so
+    # all 6 leaf edges are pairwise independent: |MIS| = OPT' = 6, and the
+    # mapped-back solution is the 3 matching links.
+    tree = random_tree(7, shape="star")  # leaves 1..6
+    links = [(1, 2), (3, 4), (5, 6)]
+    res = unweighted_tap(tree, links)
+    assert sorted(res.links) == [(1, 2), (3, 4), (5, 6)]
+    assert len(res.mis) == 6
+    assert res.certified_virtual_ratio == pytest.approx(1.0)
+
+
+def test_infeasible_raises():
+    from repro.exceptions import NotTwoEdgeConnectedError
+
+    tree = random_tree(6, shape="path")
+    with pytest.raises(NotTwoEdgeConnectedError):
+        unweighted_tap(tree, [(5, 3)])

@@ -1,0 +1,106 @@
+"""Tests for the virtual graph G' (paper Section 4.1, Lemma 4.1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.virtual_graph import VirtualEdge, build_virtual_edges, map_back
+
+from conftest import TREE_SHAPES, random_tree
+
+
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+class TestConstruction:
+    def test_all_edges_vertical(self, shape):
+        t = random_tree(50, seed=1, shape=shape)
+        rng = random.Random(2)
+        links = []
+        for _ in range(120):
+            u, v = rng.randrange(t.n), rng.randrange(t.n)
+            if u != v:
+                links.append((u, v, rng.uniform(1, 10)))
+        edges = build_virtual_edges(t, links)
+        for e in edges:
+            assert t.is_strict_ancestor(e.anc, e.dec)
+
+    def test_same_coverage(self, shape):
+        # Lemma 4.1's backbone: the virtual replacements of a link cover
+        # exactly the tree edges of the original tree path.
+        t = random_tree(50, seed=3, shape=shape)
+        rng = random.Random(4)
+        for _ in range(150):
+            u, v = rng.randrange(t.n), rng.randrange(t.n)
+            if u == v:
+                continue
+            edges = build_virtual_edges(t, [(u, v, 1.0)])
+            covered = set()
+            for e in edges:
+                covered.update(t.chain(e.dec, e.anc))
+            assert covered == set(t.path_edges(u, v))
+
+    def test_split_count(self, shape):
+        # A link splits into 2 edges iff its LCA is interior to its path.
+        t = random_tree(50, seed=5, shape=shape)
+        rng = random.Random(6)
+        for _ in range(100):
+            u, v = rng.randrange(t.n), rng.randrange(t.n)
+            if u == v:
+                continue
+            w = t.lca(u, v)
+            edges = build_virtual_edges(t, [(u, v, 1.0)])
+            if w in (u, v):
+                assert len(edges) == 1
+            else:
+                assert len(edges) == 2
+                assert all(e.anc == w for e in edges)
+                assert {e.dec for e in edges} == {u, v}
+
+
+class TestWeightsAndOrigins:
+    def test_weights_copied_not_halved(self):
+        t = random_tree(20, seed=7, shape="binary")
+        # find a non-vertical pair
+        pair = None
+        for u in range(t.n):
+            for v in range(t.n):
+                if u != v and t.lca(u, v) not in (u, v):
+                    pair = (u, v)
+                    break
+            if pair:
+                break
+        assert pair is not None
+        edges = build_virtual_edges(t, [(*pair, 7.5)])
+        assert [e.weight for e in edges] == [7.5, 7.5]
+
+    def test_origin_defaults_and_custom(self):
+        t = random_tree(12, seed=8, shape="star")
+        links = [(1, 2, 1.0), (3, 4, 2.0)]
+        edges = build_virtual_edges(t, links)
+        assert {e.origin for e in edges} == {(1, 2), (3, 4)}
+        edges2 = build_virtual_edges(t, links, origins=["a", "b"])
+        assert {e.origin for e in edges2} == {"a", "b"}
+
+    def test_map_back_dedupes(self):
+        t = random_tree(12, seed=9, shape="star")
+        edges = build_virtual_edges(t, [(1, 2, 1.0)])
+        assert len(edges) == 2  # star: LCA of two leaves is the centre
+        assert map_back(edges, [e.eid for e in edges]) == [(1, 2)]
+
+    def test_tree_edge_link_is_kept_vertical(self):
+        t = random_tree(10, shape="path")
+        edges = build_virtual_edges(t, [(3, 4, 1.0)])
+        assert len(edges) == 1
+        assert (edges[0].dec, edges[0].anc) == (4, 3)
+
+    def test_eids_sequential(self):
+        t = random_tree(30, seed=10)
+        rng = random.Random(11)
+        links = []
+        for _ in range(20):
+            u, v = rng.randrange(t.n), rng.randrange(t.n)
+            if u != v:
+                links.append((u, v, 1.0))
+        edges = build_virtual_edges(t, links)
+        assert [e.eid for e in edges] == list(range(len(edges)))
