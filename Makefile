@@ -1,0 +1,24 @@
+# Developer entry points. `make check` is the gate CI runs.
+
+PYTHON ?= python
+
+.PHONY: check test bench bench-smoke example
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Smoke: one cheap micro-benchmark file on tiny settings, just to prove the
+# benchmark harness and the sim engine wire up (full runs: `make bench`).
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_micro_primitives.py -q \
+	    --benchmark-disable-gc --benchmark-min-rounds=1 \
+	    --benchmark-warmup=off
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+example:
+	PYTHONPATH=src $(PYTHON) examples/congest_simulation.py
+
+check: test bench-smoke example
+	@echo "check: OK"

@@ -14,6 +14,10 @@ from repro.core.reverse import reverse_delete
 from repro.decomp.layering import Layering
 from repro.decomp.petals import PetalOracle
 from repro.decomp.segments import SegmentDecomposition
+from repro.graphs import grid_graph
+from repro.model.network import Network
+from repro.model.programs import DistributedBFS
+from repro.sim import BatchedNetwork, RandomGossip
 from repro.trees.pathops import TreePathOps
 from repro.trees.rooted import RootedTree
 
@@ -83,3 +87,33 @@ def test_bench_full_tap(benchmark):
         return reverse_delete(inst, fwd, validate=False)
 
     benchmark.pedantic(full, rounds=2, iterations=1)
+
+
+# -- CONGEST engine micro-benchmarks ------------------------------------
+# The legacy/batched pair on the same 2000+-node workload is the
+# regression tripwire for the ISSUE-1 acceptance criterion (>= 3x).
+
+_SIM_GRID = (45, 45)  # 2025 nodes
+
+
+def test_bench_congest_legacy_bfs_2000(benchmark):
+    g = grid_graph(*_SIM_GRID, seed=1)
+    benchmark.pedantic(
+        lambda: Network(g).run(DistributedBFS(0)), rounds=2, iterations=1
+    )
+
+
+def test_bench_congest_batched_bfs_2000(benchmark):
+    g = grid_graph(*_SIM_GRID, seed=1)
+    benchmark.pedantic(
+        lambda: BatchedNetwork(g).run(DistributedBFS(0)), rounds=2, iterations=1
+    )
+
+
+def test_bench_congest_batched_gossip(benchmark):
+    g = grid_graph(*_SIM_GRID, seed=2)
+    benchmark.pedantic(
+        lambda: BatchedNetwork(g).run(RandomGossip(seed=3)),
+        rounds=2,
+        iterations=1,
+    )

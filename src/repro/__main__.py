@@ -31,6 +31,7 @@ EXPERIMENTS = {
     "e10": ("e10_forward_iters", E.e10_forward_iterations),
     "e11": ("e11_segments", E.e11_segments),
     "e12": ("e12_comparison", E.e12_comparison),
+    "e13": ("e13_sim_engine", E.e13_sim_engine),
 }
 
 

@@ -54,6 +54,7 @@ __all__ = [
     "e10_forward_iterations",
     "e11_segments",
     "e12_comparison",
+    "e13_sim_engine",
 ]
 
 SMALL_FAMILIES = ("cycle_chords", "erdos_renyi", "grid", "hub_cycle", "ktree2")
@@ -509,6 +510,59 @@ def e11_segments(sizes=(100, 400, 900, 1600), families=("erdos_renyi", "hub_cycl
                     "segments/sqrt_n": stats["num_segments"] / sq,
                     "max_diam": int(stats["max_diameter"]),
                     "max_diam/sqrt_n": stats["max_diameter"] / sq,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E13 — the batched simulation engine (repro.sim)
+# ----------------------------------------------------------------------
+
+def e13_sim_engine(
+    families=("grid", "cycle_chords", "erdos_renyi", "hub_cycle"),
+    sizes=(100, 400, 900),
+    seed: int = 1,
+):
+    """Differential + performance sweep of the batched CONGEST engine.
+
+    For each instance: run BFS on the legacy per-node ``Network`` and on
+    ``repro.sim.BatchedNetwork``, assert identical measured ``RunStats``
+    (the differential cross-check), record wall-clock speedup, and compare
+    the measured rounds against the Level-M price of one aggregate and the
+    Theorem 1.1 bound via :class:`~repro.sim.ScenarioRunner` pricing.
+    """
+    from repro.model.network import Network as LegacyNetwork
+    from repro.model.programs import DistributedBFS
+    from repro.sim import BatchedNetwork, ScenarioRunner, default_specs
+
+    bfs_spec = default_specs()[0]
+    runner = ScenarioRunner(engine="batched")
+    rows = []
+    for family in families:
+        for n in sizes:
+            g = make_family_instance(family, n, seed=seed)
+            res = runner.run_one(g, bfs_spec, family=family, seed=seed)
+            t0 = time.perf_counter()
+            legacy_stats = LegacyNetwork(g).run(DistributedBFS(0))
+            t_legacy = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            batched_stats = BatchedNetwork(g).run(DistributedBFS(0))
+            t_batched = time.perf_counter() - t0
+            rows.append(
+                {
+                    "family": family,
+                    "n": res.n,
+                    "D": res.diameter,
+                    "rounds": res.stats.rounds,
+                    "messages": res.stats.messages,
+                    "priced": res.priced_rounds,
+                    "within_price": res.within_price,
+                    "within_thm11": res.within_thm11,
+                    "stats_equal": legacy_stats == batched_stats,
+                    "t_legacy_ms": t_legacy * 1e3,
+                    "t_batched_ms": t_batched * 1e3,
+                    "speedup": t_legacy / max(t_batched, 1e-9),
                 }
             )
     return rows

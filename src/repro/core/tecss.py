@@ -58,9 +58,9 @@ def approximate_two_ecss(
     mst_simulation = None
     if simulate_mst:
         from repro.model.mst import BoruvkaMST
-        from repro.model.network import Network
+        from repro.sim import BatchedNetwork
 
-        outcome = BoruvkaMST(Network(g)).run()
+        outcome = BoruvkaMST(BatchedNetwork(g)).run()
         mst_simulation = outcome.stats
         tree = RootedTree.from_edges(g.number_of_nodes(), outcome.edges, root=0)
         mst_edges = outcome.edges

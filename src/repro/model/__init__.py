@@ -14,6 +14,14 @@ election and fragment relabeling), tree broadcast and convergecast
 Round counts reported by these programs are *measured*, not modeled — this
 is fidelity Level S of DESIGN.md, used to validate the Level-M cost model of
 :mod:`repro.core.rounds`.
+
+This package's :class:`~repro.model.network.Network` is the *reference
+oracle*: the simplest auditable implementation of the model, stepping every
+node every round.  Production runs use the batched engine in
+:mod:`repro.sim` (same programs, same ``Context``/``RunStats``, same
+enforcement, pluggable schedulers and failure injection); differential
+tests in ``tests/test_sim_differential.py`` pin the two together
+bit-for-bit.
 """
 
 from repro.model.network import Network, NodeProgram, RunStats

@@ -1,0 +1,87 @@
+"""``repro.sim`` — the batched, array-backed CONGEST simulation engine.
+
+Why a second engine
+===================
+
+The legacy :class:`repro.model.network.Network` steps *every* node *every*
+round through a per-node Python loop and rebuilds all message buffers from
+scratch each round.  That is the right reference semantics — simple enough
+to audit against Section 2 of the paper — but it caps experiments at toy
+sizes: a BFS over a 2000-node grid costs ``diameter * n`` program steps even
+though only the wavefront does any work.
+
+:class:`~repro.sim.engine.BatchedNetwork` keeps the exact same external
+contract (:class:`~repro.model.network.NodeProgram` protocol, the same
+:class:`~repro.model.network.Context` objects, the same
+:class:`~repro.model.network.RunStats`, the same
+:class:`~repro.exceptions.SimulationError` conditions) but reorganizes the
+data layout and the scheduling:
+
+* **CSR adjacency** — neighbor lists, edge weights, and directed edge ids
+  live in flat preallocated arrays (numpy-backed when numpy is importable,
+  pure-Python lists otherwise), built once at construction;
+* **double-buffered inboxes** — per-node inbox dicts come in a front and
+  a back buffer: sends are written straight into the back buffer during
+  the step loop and the buffers swap at the round edge, so there is no
+  staging list and no per-round rebuild of all n inboxes;
+* **pluggable schedulers** (:mod:`repro.sim.schedulers`) —
+  :class:`~repro.sim.schedulers.SynchronousScheduler` mirrors the legacy
+  engine call-for-call, while the default
+  :class:`~repro.sim.schedulers.EventDrivenScheduler` steps only *woken*
+  nodes (nodes that received a message, or whose last
+  ``wants_to_continue`` was true) and detects global quiescence early;
+* **per-round traces** — ``BatchedNetwork(..., trace=True)`` records a
+  :class:`~repro.sim.engine.RoundRecord` per round (messages, words,
+  stepped nodes, dropped messages) for message/word accounting plots;
+* **failure injection** (:mod:`repro.sim.failures`) — a
+  :class:`~repro.sim.failures.FailurePlan` drops messages crossing named
+  edges in named rounds (transient-loss model: sends are still validated
+  against the CONGEST budget and counted, delivery is suppressed).
+
+Choosing a backend
+==================
+
+Use ``BatchedNetwork`` (the default everywhere in this repo) unless you are
+writing a differential test, in which case run the same program on the
+legacy ``Network`` as the oracle.  The event-driven scheduler is
+bit-for-bit identical to the legacy engine for *event-driven* programs —
+programs whose ``step`` with an empty inbox, after returning an empty
+outbox with ``wants_to_continue`` false, would return an empty outbox and
+leave state (and any RNG in it) untouched.  Every program in
+:mod:`repro.model.programs` obeys this; a program that must act
+spontaneously each round just keeps ``wants_to_continue`` true, which keeps
+it in the active set.  ``scheduler="sync"`` removes even that caveat at the
+cost of the per-node loop.
+
+:class:`~repro.sim.runner.ScenarioRunner` sweeps graph families × sizes ×
+seeds, runs a program spec on each instance, and emits
+:class:`~repro.sim.runner.ScenarioResult` rows cross-checking the measured
+:class:`~repro.model.network.RunStats` against the Level-M
+:class:`~repro.core.rounds.RoundCostModel` prices (and the Theorem 1.1
+bound shape).
+"""
+
+from repro.model.network import Context, NodeProgram, Payload, RunStats
+from repro.sim.engine import BatchedNetwork, RoundRecord
+from repro.sim.failures import FailurePlan, random_failure_plan
+from repro.sim.programs import RandomGossip
+from repro.sim.runner import ProgramSpec, ScenarioResult, ScenarioRunner, default_specs
+from repro.sim.schedulers import EventDrivenScheduler, SynchronousScheduler
+
+__all__ = [
+    "BatchedNetwork",
+    "Context",
+    "EventDrivenScheduler",
+    "FailurePlan",
+    "NodeProgram",
+    "Payload",
+    "ProgramSpec",
+    "RandomGossip",
+    "RoundRecord",
+    "RunStats",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "SynchronousScheduler",
+    "default_specs",
+    "random_failure_plan",
+]

@@ -1,0 +1,89 @@
+"""Seeded random node programs for differential and fuzz testing.
+
+:class:`RandomGossip` is deliberately adversarial-but-lawful: every node
+runs an independent deterministic RNG (seeded by ``(program seed, node)``)
+and makes random forwarding decisions, so any divergence between two
+engines — in stepping order, delivery, or quiescence — snowballs into
+different message counts within a round or two.  It obeys the event-driven
+contract (RNG is only consumed in ``setup`` and when processing a
+non-empty inbox or an armed burst), which is exactly what makes it a fair
+differential workload for the event-driven scheduler against the legacy
+every-node-every-round loop.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.model.network import Context, Payload
+
+__all__ = ["RandomGossip"]
+
+
+class RandomGossip:
+    """Random token gossip with TTLs; terminates within ``ttl`` + O(1) rounds.
+
+    Each node starts (with probability ``start_frac``) holding a token
+    ``(ttl, value)``.  On receipt of a token with positive TTL a node
+    re-emits it, decremented and value-mixed, to a random subset of at most
+    ``fanout`` neighbors, each kept with probability ``forward_prob``.
+    Inbox iteration is sorted by sender so behavior is independent of dict
+    insertion order.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        start_frac: float = 0.35,
+        ttl: int = 6,
+        fanout: int = 2,
+        forward_prob: float = 0.85,
+    ) -> None:
+        self.seed = seed
+        self.start_frac = start_frac
+        self.ttl = ttl
+        self.fanout = fanout
+        self.forward_prob = forward_prob
+
+    def setup(self, ctx: Context) -> None:
+        rng = random.Random(self.seed * 1_000_003 + ctx.node)
+        burst: list[tuple[int, int]] = []
+        if rng.random() < self.start_frac:
+            burst.append((self.ttl, rng.randrange(1 << 16)))
+        ctx.state.update(rng=rng, burst=burst, seen=0)
+
+    def _emit(self, ctx: Context, tokens: list[tuple[int, int]]) -> dict[int, Payload]:
+        rng = ctx.state["rng"]
+        out: dict[int, Payload] = {}
+        for ttl, value in tokens:
+            if ttl <= 0 or not ctx.neighbors:
+                continue
+            k = min(self.fanout, len(ctx.neighbors))
+            for u in rng.sample(ctx.neighbors, k):
+                if rng.random() < self.forward_prob:
+                    # last writer wins on a shared receiver, like any
+                    # outbox dict; payload stays within 2 words
+                    out[u] = (ttl - 1, (value * 31 + u) % (1 << 16))
+        return out
+
+    def step(self, ctx: Context, inbox: dict[int, Payload]) -> dict[int, Payload]:
+        st = ctx.state
+        tokens: list[tuple[int, int]] = []
+        if st["burst"]:
+            tokens.extend(st["burst"])
+            st["burst"] = []
+        for sender in sorted(inbox):
+            ttl, value = inbox[sender]
+            st["seen"] += 1
+            tokens.append((int(ttl), int(value)))
+        if not tokens:
+            return {}
+        return self._emit(ctx, tokens)
+
+    def wants_to_continue(self, ctx: Context) -> bool:
+        return bool(ctx.state["burst"])
+
+    @staticmethod
+    def results(network) -> list[int]:
+        """Per-node count of tokens seen — a behavioral fingerprint."""
+        return [c.state["seen"] for c in network.contexts]

@@ -26,8 +26,10 @@ from repro.exceptions import (
     SimulationError,
 )
 from repro.model.network import Network
+from repro.model.programs import DistributedBFS, FloodMin
 from repro.shortcuts.setcover import parallel_setcover_tap
 from repro.shortcuts.tap_shortcut import shortcut_two_ecss
+from repro.sim import BatchedNetwork, FailurePlan, random_failure_plan
 from repro.trees.rooted import RootedTree
 
 from conftest import random_tap_links, random_tree
@@ -168,3 +170,125 @@ class TestSimulatorInputs:
         g.add_edge("a", "b", weight=1.0)
         with pytest.raises(SimulationError):
             Network(g)
+
+
+def _weighted_path(n):
+    g = nx.path_graph(n)
+    for _, _, d in g.edges(data=True):
+        d["weight"] = 1.0
+    return g
+
+
+class TestFailureInjectionScenarios:
+    """Edge-drop scenarios on the batched engine (transient-loss model)."""
+
+    def test_severed_edge_partitions_bfs(self):
+        # edge (2,3) down forever: BFS from 0 must stall at the cut, the
+        # run still quiesces, and every lost message is accounted
+        plan = FailurePlan().fail(2, 3)
+        net = BatchedNetwork(_weighted_path(6), failures=plan, trace=True)
+        stats = net.run(DistributedBFS(0))
+        dist, _ = DistributedBFS.results(net)
+        assert dist[:3] == [0, 1, 2]
+        assert dist[3:] == [None, None, None]
+        assert stats.quiescent
+        assert plan.dropped > 0
+        assert sum(r.dropped for r in net.trace) == plan.dropped == net.dropped
+        assert sum(r.delivered for r in net.trace) == stats.messages - plan.dropped
+
+    def test_bfs_reroutes_around_failed_cycle_edge(self):
+        # on a cycle the wavefront routes around a severed edge: everyone
+        # is still reached, but node 1 now sits a full lap away
+        g = nx.cycle_graph(10)
+        for _, _, d in g.edges(data=True):
+            d["weight"] = 1.0
+        clean = BatchedNetwork(g.copy())
+        clean_stats = clean.run(DistributedBFS(0))
+        plan = FailurePlan().fail(0, 1)
+        net = BatchedNetwork(g.copy(), failures=plan)
+        stats = net.run(DistributedBFS(0))
+        dist, _ = DistributedBFS.results(net)
+        clean_dist, _ = DistributedBFS.results(clean)
+        assert all(d is not None for d in dist)
+        assert dist[1] == 9 and clean_dist[1] == 1
+        assert all(dist[v] >= clean_dist[v] for v in range(10))
+        assert stats.rounds > clean_stats.rounds
+
+    def test_flood_min_routes_around_failed_edge(self):
+        # cycle: cutting one edge forces the minimum the long way round
+        g = nx.cycle_graph(12)
+        for _, _, d in g.edges(data=True):
+            d["weight"] = 1.0
+        values = [(v + 1,) for v in range(12)]
+        values[6] = (0,)  # unique minimum at node 6
+        active = {v: sorted(g.neighbors(v)) for v in g.nodes()}
+        clean = BatchedNetwork(g.copy())
+        clean_stats = clean.run(FloodMin(values, active))
+        plan = FailurePlan().fail(6, 7)
+        net = BatchedNetwork(g.copy(), failures=plan)
+        stats = net.run(FloodMin(values, active))
+        assert FloodMin.results(net) == FloodMin.results(clean) == [(0,)] * 12
+        assert stats.rounds > clean_stats.rounds
+
+    def test_asymmetric_failure_is_directional(self):
+        plan = FailurePlan().fail(0, 1, symmetric=False)
+        assert plan.is_down(1, 0, 1)
+        assert not plan.is_down(1, 1, 0)
+        sym = FailurePlan().fail(0, 1)
+        assert sym.is_down(3, 0, 1) and sym.is_down(3, 1, 0)
+
+    def test_budget_still_enforced_on_failed_edge(self):
+        plan = FailurePlan().fail(0, 1)
+
+        class Chatty:
+            def setup(self, ctx):
+                ctx.state["sent"] = False
+
+            def step(self, ctx, inbox):
+                if ctx.node == 0 and not ctx.state["sent"]:
+                    ctx.state["sent"] = True
+                    return {1: (1, 2, 3, 4, 5)}
+                return {}
+
+            def wants_to_continue(self, ctx):
+                return False
+
+        net = BatchedNetwork(_weighted_path(3), failures=plan)
+        with pytest.raises(SimulationError, match="budget"):
+            net.run(Chatty())
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FailurePlan().fail(0, 1, rounds=[0])
+        with pytest.raises(ValueError, match="probability"):
+            random_failure_plan(_weighted_path(4), p=1.5, max_rounds=3)
+
+    def test_random_plan_is_seeded(self):
+        g = _weighted_path(6)
+        a = random_failure_plan(g, p=0.3, max_rounds=10, seed=4)
+        b = random_failure_plan(g, p=0.3, max_rounds=10, seed=4)
+        c = random_failure_plan(g, p=0.3, max_rounds=10, seed=5)
+        assert a.by_round == b.by_round
+        assert a.by_round != c.by_round
+        stats_a = BatchedNetwork(g, failures=a).run(DistributedBFS(0))
+        stats_b = BatchedNetwork(g, failures=b).run(DistributedBFS(0))
+        assert stats_a == stats_b and a.dropped == b.dropped
+
+    def test_engine_dropped_is_per_run_plan_dropped_is_lifetime(self):
+        plan = FailurePlan().fail(2, 3)
+        net = BatchedNetwork(_weighted_path(6), failures=plan)
+        net.run(DistributedBFS(0))
+        per_run = net.dropped
+        assert per_run > 0
+        net.reset_state()
+        net.run(DistributedBFS(0))
+        assert net.dropped == per_run  # reset each run
+        assert plan.dropped == 2 * per_run  # accumulates across runs
+
+    def test_empty_plan_matches_oracle(self):
+        g = _weighted_path(10)
+        plan = FailurePlan()
+        assert plan.empty()
+        stats = BatchedNetwork(g, failures=plan).run(DistributedBFS(0))
+        assert stats == Network(g).run(DistributedBFS(0))
+        assert plan.dropped == 0

@@ -1,0 +1,148 @@
+"""Property/fuzz tests for the Level-M cost model (`repro.core.rounds`).
+
+Invariants: ``breakdown`` is an exact decomposition of ``total_rounds``,
+``log_star`` is monotone and agrees with hand-computed anchors, every
+priced primitive is positive and additive in its count, and the Theorem
+1.1 bound dominates the rounds actually measured by the simulation engine
+on small instances (via :class:`repro.sim.ScenarioRunner`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.rounds import PrimitiveLog, RoundCostModel, log_star
+from repro.sim import ScenarioRunner
+
+PRIMITIVES = [
+    "mst",
+    "lca_labels",
+    "segments_build",
+    "aggregate",
+    "layering_layer",
+    "global_mis_gather",
+    "petals",
+    "segment_scan",
+    "broadcast",
+]
+
+
+def random_log(rng: random.Random, max_count: int = 50) -> PrimitiveLog:
+    log = PrimitiveLog()
+    for p in PRIMITIVES:
+        if rng.random() < 0.7:
+            log.record(p, rng.randrange(1, max_count))
+    return log
+
+
+class TestBreakdownDecomposition:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_total_equals_breakdown_sum(self, seed):
+        rng = random.Random(seed)
+        model = RoundCostModel(n=rng.randrange(2, 5000), diameter=rng.randrange(1, 200))
+        log = random_log(rng)
+        breakdown = model.breakdown(log)
+        total = breakdown.pop("TOTAL")
+        assert total == pytest.approx(sum(breakdown.values()))
+        assert total == pytest.approx(model.total_rounds(log))
+        assert set(breakdown) == set(log.counts)
+
+    def test_empty_log_prices_to_zero(self):
+        model = RoundCostModel(10, 3)
+        log = PrimitiveLog()
+        assert model.total_rounds(log) == 0
+        assert model.breakdown(log) == {"TOTAL": 0}
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_costs_positive_and_additive(self, seed):
+        rng = random.Random(1000 + seed)
+        model = RoundCostModel(n=rng.randrange(4, 3000), diameter=rng.randrange(1, 100))
+        for p in PRIMITIVES:
+            assert model.cost_of(p) > 0
+            one, many = PrimitiveLog(), PrimitiveLog()
+            one.record(p)
+            k = rng.randrange(2, 20)
+            many.record(p, k)
+            assert model.total_rounds(many) == pytest.approx(
+                k * model.total_rounds(one)
+            )
+
+    def test_unknown_primitive_raises(self):
+        model = RoundCostModel(10, 3)
+        with pytest.raises(KeyError, match="teleport"):
+            model.cost_of("teleport")
+        bad = PrimitiveLog()
+        bad.record("teleport")
+        with pytest.raises(KeyError):
+            model.total_rounds(bad)
+
+    def test_merge_prices_like_sum(self):
+        rng = random.Random(7)
+        model = RoundCostModel(500, 12)
+        a, b = random_log(rng), random_log(rng)
+        merged = PrimitiveLog()
+        merged.merge(a)
+        merged.merge(b)
+        assert model.total_rounds(merged) == pytest.approx(
+            model.total_rounds(a) + model.total_rounds(b)
+        )
+
+
+class TestLogStar:
+    def test_anchor_values(self):
+        # log*(2)=1, log*(4)=2, log*(16)=3, log*(65536)=4
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+        assert log_star(1) == 1  # clamped floor
+
+    def test_monotone_over_range(self):
+        prev = 0
+        for n in range(1, 3000):
+            cur = log_star(n)
+            assert cur >= prev
+            prev = cur
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_monotone_random_pairs(self, seed):
+        rng = random.Random(seed)
+        a = rng.uniform(1, 1e12)
+        b = rng.uniform(1, 1e12)
+        lo, hi = min(a, b), max(a, b)
+        assert log_star(lo) <= log_star(hi)
+
+    def test_grows_without_bound_slowly(self):
+        assert log_star(2**70000) >= 5
+        assert log_star(1e12) <= 5
+
+
+class TestTheoremBoundDominance:
+    def test_bound_dominates_measured_rounds_small_instances(self):
+        runner = ScenarioRunner(eps=0.5)
+        results = runner.sweep(
+            families=("cycle_chords", "erdos_renyi", "grid", "hub_cycle"),
+            sizes=(20, 40),
+            seeds=(1, 2),
+        )
+        assert len(results) >= 16
+        for res in results:
+            assert res.stats.quiescent
+            assert res.within_thm11, res.row()
+            assert res.within_price, res.row()
+            # the priced rounds themselves sit under the theorem envelope
+            assert res.priced_rounds <= res.thm11_bound
+
+    @pytest.mark.parametrize("eps", [0.1, 0.5, 1.0, 5.0])
+    def test_bound_shape(self, eps):
+        for n, d in [(16, 3), (400, 25), (2048, 60)]:
+            model = RoundCostModel(n, d)
+            bound = model.theorem_1_1_bound(eps)
+            assert bound == pytest.approx(
+                (model.diameter + model.sqrt_n) * model.log_n**2 / eps
+            )
+            assert model.lower_bound() <= bound
+            assert model.theorem_1_1_bound(2 * eps) == pytest.approx(bound / 2)

@@ -1,0 +1,158 @@
+"""Differential tests: the batched engine against the legacy oracle.
+
+The legacy :class:`repro.model.network.Network` is the reference semantics;
+``repro.sim.BatchedNetwork`` must reproduce its :class:`RunStats`
+bit-for-bit — under both the synchronous scheduler (same stepping) and the
+event-driven scheduler (skips idle nodes) — on seeded random programs over
+random graph families, on every built-in program, and through the Borůvka
+MST driver.  A final timing test pins the point of the whole exercise: the
+event-driven engine beats the per-node loop by ≥3× on a 2000+-node grid.
+"""
+
+from __future__ import annotations
+
+import time
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    cycle_with_chords,
+    erdos_renyi_2ec,
+    grid_graph,
+    hub_and_cycle,
+)
+from repro.model.mst import BoruvkaMST
+from repro.model.network import Network
+from repro.model.programs import (
+    DistributedBFS,
+    FloodMin,
+    TreeAggregate,
+    TreeBroadcast,
+)
+from repro.sim import BatchedNetwork, RandomGossip
+
+from conftest import random_tree, tree_as_networkx
+
+GRAPH_MAKERS = {
+    "cycle_chords": lambda seed: cycle_with_chords(40, 15, seed=seed),
+    "erdos_renyi": lambda seed: erdos_renyi_2ec(45, seed=seed),
+    "grid": lambda seed: grid_graph(6, 7, seed=seed),
+    "hub_cycle": lambda seed: hub_and_cycle(40, seed=seed),
+    "path": lambda seed: nx.path_graph(35),
+    "tree": lambda seed: tree_as_networkx(random_tree(40, seed=seed)),
+}
+
+
+def _weighted(g: nx.Graph) -> nx.Graph:
+    for _, _, d in g.edges(data=True):
+        d.setdefault("weight", 1.0)
+    return g
+
+
+def run_three_ways(g: nx.Graph, make_program):
+    """(legacy, batched-event, batched-sync) stats + node fingerprints."""
+    outs = []
+    for net in (
+        Network(g),
+        BatchedNetwork(g),
+        BatchedNetwork(g, scheduler="sync"),
+    ):
+        stats = net.run(make_program())
+        outs.append((stats, [dict(c.state) for c in net.contexts]))
+    return outs
+
+
+def _strip_rngs(states):
+    return [{k: v for k, v in st.items() if k != "rng"} for st in states]
+
+
+class TestRandomGossipDifferential:
+    """24 seeded (graph, program) pairs — the acceptance-criteria sweep."""
+
+    @pytest.mark.parametrize("family", sorted(GRAPH_MAKERS))
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_identical_stats_and_states(self, family, seed):
+        g = _weighted(GRAPH_MAKERS[family](seed))
+        (s1, st1), (s2, st2), (s3, st3) = run_three_ways(
+            g, lambda: RandomGossip(seed=100 + seed)
+        )
+        assert s1 == s2 == s3
+        assert _strip_rngs(st1) == _strip_rngs(st2) == _strip_rngs(st3)
+        assert s1.messages > 0  # the sweep must exercise real traffic
+
+    def test_gossip_sees_traffic_fingerprint(self):
+        g = _weighted(erdos_renyi_2ec(45, seed=9))
+        net_a, net_b = Network(g), BatchedNetwork(g)
+        net_a.run(RandomGossip(seed=5))
+        net_b.run(RandomGossip(seed=5))
+        assert RandomGossip.results(net_a) == RandomGossip.results(net_b)
+
+
+class TestBuiltinProgramsDifferential:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_bfs(self, seed):
+        g = _weighted(erdos_renyi_2ec(40, seed=seed))
+        (s1, st1), (s2, st2), (s3, st3) = run_three_ways(
+            g, lambda: DistributedBFS(0)
+        )
+        assert s1 == s2 == s3
+        assert st1 == st2 == st3
+
+    def test_flood_min(self):
+        g = _weighted(cycle_with_chords(30, 8, seed=3))
+        active = {v: sorted(g.neighbors(v)) for v in g.nodes()}
+        values = [((v * 7) % 13, v) for v in range(g.number_of_nodes())]
+        (s1, st1), (s2, st2), (s3, st3) = run_three_ways(
+            g, lambda: FloodMin(values, active)
+        )
+        assert s1 == s2 == s3
+        assert st1 == st2 == st3
+
+    def test_tree_broadcast_and_aggregate(self):
+        t = random_tree(45, seed=8)
+        g = _weighted(tree_as_networkx(t))
+        for make in (
+            lambda: TreeBroadcast(t.parent, t.root, (17,)),
+            lambda: TreeAggregate(
+                t.parent, t.root, [(1.0,)] * t.n, lambda a, b: (a[0] + b[0],)
+            ),
+        ):
+            (s1, st1), (s2, st2), (s3, st3) = run_three_ways(g, make)
+            assert s1 == s2 == s3
+            assert st1 == st2 == st3
+
+
+class TestBoruvkaDifferential:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_identical_outcome(self, seed):
+        g = cycle_with_chords(30, 12, seed=seed)
+        legacy = BoruvkaMST(Network(g)).run()
+        batched = BoruvkaMST(BatchedNetwork(g)).run()
+        assert legacy.edges == batched.edges
+        assert legacy.weight == pytest.approx(batched.weight)
+        assert legacy.phases == batched.phases
+        assert legacy.stats == batched.stats
+
+
+class TestSpeedup:
+    def test_batched_beats_legacy_3x_on_2000_nodes(self):
+        g = grid_graph(45, 45, seed=1)  # 2025 nodes, diameter 88
+        assert g.number_of_nodes() >= 2000
+
+        def clock(make_net):
+            best, stats = float("inf"), None
+            for _ in range(3):  # best-of-3 damps shared-runner timer noise
+                net = make_net()
+                t0 = time.perf_counter()
+                stats = net.run(DistributedBFS(0))
+                best = min(best, time.perf_counter() - t0)
+            return best, stats
+
+        t_batched, s_batched = clock(lambda: BatchedNetwork(g))
+        t_legacy, s_legacy = clock(lambda: Network(g))
+        assert s_legacy == s_batched
+        assert t_legacy >= 3 * t_batched, (
+            f"legacy {t_legacy:.3f}s vs batched {t_batched:.3f}s — "
+            f"only {t_legacy / t_batched:.1f}x"
+        )
