@@ -20,5 +20,11 @@ bench:
 example:
 	PYTHONPATH=src $(PYTHON) examples/congest_simulation.py
 
-check: test bench-smoke example
+# Docs gate: relative links in docs/ + README resolve; modules, public
+# classes and public functions in repro.sim / repro.core / repro.fast
+# carry docstrings (the CI docs job runs the same script).
+docs-check:
+	$(PYTHON) tools/check_docs.py
+
+check: test bench-smoke example docs-check
 	@echo "check: OK"

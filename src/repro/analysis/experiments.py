@@ -77,13 +77,19 @@ def _links_of(graph: nx.Graph):
 # ----------------------------------------------------------------------
 
 def e01_tecss_approx(
-    families=SMALL_FAMILIES, n_small: int = 16, n_large: int = 150, seeds=(1, 2), eps: float = 0.5
+    families=SMALL_FAMILIES, n_small: int = 16, n_large: int = 150, seeds=(1, 2),
+    eps: float = 0.5, backend: str = "reference",
 ):
+    """Approximation quality vs MILP optimum / certified bound.
+
+    ``backend="fast"`` (with a large ``n_large``) runs the certified-bound
+    rows on the vectorized kernels — 20k+-node instances stay practical.
+    """
     rows = []
     for family in families:
         for seed in seeds:
             g = make_family_instance(family, n_small, seed=seed)
-            res = approximate_two_ecss(g, eps=eps)
+            res = approximate_two_ecss(g, eps=eps, backend=backend)
             opt = exact_two_ecss_milp(g)
             rows.append(
                 {
@@ -97,7 +103,7 @@ def e01_tecss_approx(
                 }
             )
         g = make_family_instance(family, n_large, seed=seeds[0])
-        res = approximate_two_ecss(g, eps=eps)
+        res = approximate_two_ecss(g, eps=eps, backend=backend)
         rows.append(
             {
                 "family": family,
@@ -121,12 +127,14 @@ def e02_round_complexity(
     sizes=(60, 120, 240, 480),
     eps: float = 0.5,
     seed: int = 1,
+    backend: str = "reference",
 ):
+    """Modeled rounds vs the Theorem 1.1 bound across sizes."""
     rows = []
     for family in families:
         for n in sizes:
             g = make_family_instance(family, n, seed=seed)
-            res = approximate_two_ecss(g, eps=eps)
+            res = approximate_two_ecss(g, eps=eps, backend=backend)
             model = RoundCostModel(res.n, res.diameter)
             rounds = res.modeled_rounds()
             bound = model.theorem_1_1_bound(eps)
@@ -166,7 +174,11 @@ def _adversarial_tap_instance(n: int, seed: int) -> TAPInstance:
     return TAPInstance.from_links(tree, links)
 
 
-def e03_tap_approx(sizes=(80, 160, 320), seeds=(1, 2, 3), eps: float = 0.5):
+def e03_tap_approx(
+    sizes=(80, 160, 320), seeds=(1, 2, 3), eps: float = 0.5,
+    backend: str = "reference",
+):
+    """TAP quality on G' vs the exact vertical-TAP optimum."""
     rows = []
     for kind in ("erdos_renyi", "adversarial"):
         for n in sizes:
@@ -174,10 +186,12 @@ def e03_tap_approx(sizes=(80, 160, 320), seeds=(1, 2, 3), eps: float = 0.5):
                 if kind == "erdos_renyi":
                     g = make_family_instance("erdos_renyi", n, seed=seed)
                     _, tree, links = _links_of(g)
-                    inst = TAPInstance.from_links(tree, links)
+                    inst = TAPInstance.from_links(tree, links, backend=backend)
                 else:
                     inst = _adversarial_tap_instance(n, seed)
-                fwd, rev = solve_virtual_tap(inst, eps=eps / 2, variant="improved")
+                fwd, rev = solve_virtual_tap(
+                    inst, eps=eps / 2, variant="improved", backend=backend
+                )
                 opt_prime = exact_vertical_tap(inst.tree, inst.edges)
                 w_b = inst.weight_of(rev.b)
                 rows.append(

@@ -1,0 +1,258 @@
+"""Parallel scenario sweeps: family × size × eps grids of the 2-ECSS solver.
+
+The sweep engine behind ``python -m repro sweep``.  A grid of
+:class:`SweepTask` cells (graph family, target size, seed, eps, variant,
+backend) fans out over a process pool; every completed cell lands in an
+on-disk cache keyed by the task fingerprint, so re-running a sweep — after
+a crash, with more seeds, or with a finer eps grid — only computes the new
+cells.  Results are row dicts written as text, JSON, and CSV via
+:mod:`repro.analysis.tables`.
+
+Three design points worth knowing:
+
+* **process pool, not threads** — the solver is pure Python + numpy and
+  holds the GIL for most of a cell; ``ProcessPoolExecutor`` gives real
+  parallelism.  ``workers=0`` runs serially in-process (deterministic
+  profiles, simpler debugging, used by the tests);
+* **cache keys** are SHA-1 fingerprints of the full task tuple plus a
+  schema version — bump :data:`CACHE_VERSION` when row contents change;
+* **backends** — the default is ``backend="fast"`` (the vectorized kernels
+  of :mod:`repro.fast`), which is what makes 20k–50k-node cells practical;
+  since the backends are bit-identical, cached reference rows differ only
+  in their timing fields.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["CACHE_VERSION", "SweepReport", "SweepTask", "run_sweep", "run_task"]
+
+#: Bump when the row schema changes; stale cache entries are then recomputed.
+CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One grid cell: a seeded instance plus solver configuration."""
+
+    family: str
+    n: int
+    seed: int
+    eps: float
+    variant: str = "improved"
+    backend: str = "fast"
+    validate: bool = True
+
+    def fingerprint(self) -> str:
+        """Stable cache key for this cell (includes the schema version)."""
+        payload = json.dumps(
+            {"v": CACHE_VERSION, **asdict(self)}, sort_keys=True
+        )
+        return hashlib.sha1(payload.encode()).hexdigest()
+
+
+@dataclass
+class SweepReport:
+    """What a sweep produced: rows plus cache and output bookkeeping."""
+
+    rows: list[dict]
+    cache_hits: int
+    cache_misses: int
+    json_path: str | None = None
+    csv_path: str | None = None
+    text_path: str | None = None
+
+
+def run_task(task: SweepTask) -> dict:
+    """Run one grid cell and return its result row (process-pool entry point)."""
+    from repro.core.tecss import approximate_two_ecss
+    from repro.graphs.families import make_family_instance
+
+    t0 = time.perf_counter()
+    graph = make_family_instance(task.family, task.n, seed=task.seed)
+    build_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    res = approximate_two_ecss(
+        graph,
+        eps=task.eps,
+        variant=task.variant,
+        validate=task.validate,
+        backend=task.backend,
+    )
+    solve_s = time.perf_counter() - t0
+    aug = res.augmentation
+    return {
+        "family": task.family,
+        "n": res.n,
+        "m": graph.number_of_edges(),
+        "seed": task.seed,
+        "eps": task.eps,
+        "variant": task.variant,
+        "backend": task.backend,
+        "weight": res.weight,
+        "mst_weight": res.mst_weight,
+        "certified_ratio": res.certified_ratio,
+        "guarantee": res.guarantee,
+        "layers": aug.num_layers,
+        "max_iters": max(aug.iterations_per_epoch.values(), default=0),
+        "build_s": build_s,
+        "solve_s": solve_s,
+    }
+
+
+def _read_cache(cache_dir: str, key: str) -> dict | None:
+    """Load one cached row; unreadable/corrupt entries count as misses."""
+    path = os.path.join(cache_dir, f"{key}.json")
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as fh:
+            return json.load(fh)["row"]
+    except (OSError, ValueError, KeyError):
+        return None  # e.g. a truncated write from a killed run: recompute
+
+
+def _write_cache(cache_dir: str, task: SweepTask, row: dict) -> None:
+    """Atomically persist one cell (temp file + rename, never torn)."""
+    path = os.path.join(cache_dir, f"{task.fingerprint()}.json")
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as fh:
+        json.dump({"task": asdict(task), "row": row}, fh, indent=2)
+    os.replace(tmp, path)
+
+
+def _run_and_cache(cache_dir: str, task: SweepTask) -> dict:
+    """Serial path: compute one cell and persist it immediately."""
+    row = run_task(task)
+    _write_cache(cache_dir, task, row)
+    return row
+
+
+def _grid(
+    families: Iterable[str],
+    sizes: Iterable[int],
+    seeds: Iterable[int],
+    eps_values: Iterable[float],
+    variant: str,
+    backend: str,
+    validate: bool,
+) -> list[SweepTask]:
+    """Materialize the task grid in deterministic order."""
+    return [
+        SweepTask(family, n, seed, eps, variant, backend, validate)
+        for family in families
+        for n in sizes
+        for eps in eps_values
+        for seed in seeds
+    ]
+
+
+def run_sweep(
+    families: Sequence[str],
+    sizes: Sequence[int],
+    seeds: Sequence[int] = (1,),
+    eps_values: Sequence[float] = (0.5,),
+    variant: str = "improved",
+    backend: str = "fast",
+    validate: bool = True,
+    workers: int | None = None,
+    cache_dir: str | None = None,
+    name: str = "sweep",
+    out_dir: str | None = None,
+    write_outputs: bool = True,
+) -> SweepReport:
+    """Run (or resume) a sweep grid; returns rows plus cache statistics.
+
+    Parameters
+    ----------
+    families, sizes, seeds, eps_values:
+        The grid axes (crossed in full).
+    variant, backend, validate:
+        Solver configuration forwarded to
+        :func:`repro.core.tecss.approximate_two_ecss`.
+    workers:
+        Process-pool width; ``None`` lets the executor pick
+        (``os.cpu_count()``), ``0`` or ``1`` runs serially in-process.
+    cache_dir:
+        Per-cell JSON cache directory (default
+        ``benchmarks/out/sweep_cache``); delete it — or bump
+        :data:`CACHE_VERSION` — to force recomputation.
+    name, out_dir, write_outputs:
+        When ``write_outputs`` is true, write ``<name>.txt/.json/.csv``
+        under ``out_dir`` (default ``benchmarks/out``).
+    """
+    from repro.analysis.tables import (
+        default_out_dir,
+        format_table,
+        write_csv,
+        write_json,
+        write_report,
+    )
+    from repro.fast import resolve_backend
+
+    backend = resolve_backend(backend)
+    if cache_dir is None:
+        cache_dir = os.path.join(default_out_dir(), "sweep_cache")
+    os.makedirs(cache_dir, exist_ok=True)
+
+    tasks = _grid(families, sizes, seeds, eps_values, variant, backend, validate)
+    rows_by_key: dict[str, dict] = {}
+    pending: list[SweepTask] = []
+    hits = 0
+    for task in tasks:
+        key = task.fingerprint()
+        cached = _read_cache(cache_dir, key)
+        if cached is not None:
+            rows_by_key[key] = cached
+            hits += 1
+        else:
+            pending.append(task)
+
+    if pending:
+        if workers in (0, 1):
+            for task in pending:
+                rows_by_key[task.fingerprint()] = _run_and_cache(cache_dir, task)
+        else:
+            # Cache each cell as soon as it completes, and harvest every
+            # future even when some fail: a failing cell (or a kill) never
+            # discards the finished ones — that is the crash-resume the
+            # cache exists for.  Failures are reported together at the end.
+            failures: list[tuple[SweepTask, BaseException]] = []
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(run_task, task): task for task in pending}
+                for future in as_completed(futures):
+                    task = futures[future]
+                    try:
+                        row = future.result()
+                    except Exception as exc:  # noqa: BLE001 - reported below
+                        failures.append((task, exc))
+                        continue
+                    _write_cache(cache_dir, task, row)
+                    rows_by_key[task.fingerprint()] = row
+            if failures:
+                detail = "; ".join(
+                    f"{t.family}/n={t.n}/seed={t.seed}/eps={t.eps}: {e}"
+                    for t, e in failures
+                )
+                raise RuntimeError(
+                    f"{len(failures)} sweep cell(s) failed (completed cells "
+                    f"are cached and will be reused): {detail}"
+                ) from failures[0][1]
+
+    rows = [rows_by_key[task.fingerprint()] for task in tasks]
+    report = SweepReport(rows=rows, cache_hits=hits, cache_misses=len(pending))
+    if write_outputs:
+        report.text_path = write_report(
+            name, format_table(rows, title=name), directory=out_dir
+        )
+        report.json_path = write_json(name, rows, directory=out_dir)
+        report.csv_path = write_csv(name, rows, directory=out_dir)
+    return report

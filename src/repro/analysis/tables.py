@@ -1,11 +1,26 @@
-"""Plain-text tables for the experiment reports (EXPERIMENTS.md rows)."""
+"""Tables and machine-readable reports for the experiment runners.
+
+Row-dict lists (the interchange format of :mod:`repro.analysis.experiments`
+and :mod:`repro.analysis.sweep`) render three ways: aligned plain text
+(:func:`format_table`, written by :func:`write_report`), JSON
+(:func:`write_json`) and CSV (:func:`write_csv`) for downstream tooling —
+the sweep CLI emits all three.
+"""
 
 from __future__ import annotations
 
+import csv
+import json
 import os
 from typing import Mapping, Sequence
 
-__all__ = ["format_table", "write_report"]
+__all__ = [
+    "default_out_dir",
+    "format_table",
+    "write_report",
+    "write_json",
+    "write_csv",
+]
 
 
 def _fmt(value) -> str:
@@ -38,13 +53,49 @@ def format_table(rows: Sequence[Mapping], title: str = "") -> str:
     return "\n".join(out) + "\n"
 
 
+def default_out_dir() -> str:
+    """The repo's ``benchmarks/out`` directory (created on demand)."""
+    return os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "out")
+
+
 def write_report(name: str, content: str, directory: str | None = None) -> str:
     """Write a benchmark's table to ``benchmarks/out/<name>.txt``."""
     if directory is None:
-        directory = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
-            os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "out")
+        directory = default_out_dir()
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"{name}.txt")
     with open(path, "w") as fh:
         fh.write(content)
+    return path
+
+
+def write_json(name: str, rows: Sequence[Mapping], directory: str | None = None) -> str:
+    """Write row dicts to ``<directory>/<name>.json`` (benchmarks/out default)."""
+    if directory is None:
+        directory = default_out_dir()
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump(list(rows), fh, indent=2, default=str)
+        fh.write("\n")
+    return path
+
+
+def write_csv(name: str, rows: Sequence[Mapping], directory: str | None = None) -> str:
+    """Write row dicts to ``<directory>/<name>.csv`` (union of keys, row order)."""
+    if directory is None:
+        directory = default_out_dir()
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.csv")
+    cols: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in cols:
+                cols.append(key)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=cols)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(dict(row))
     return path

@@ -50,18 +50,33 @@ class ForwardResult:
 
     @property
     def max_iterations(self) -> int:
+        """Worst per-epoch iteration count (checked against Lemma 4.12)."""
         return max(self.iterations_per_epoch.values(), default=0)
 
 
 def forward_phase(
-    inst: TAPInstance, eps: float = 0.25, max_iter_slack: int = 8
+    inst: TAPInstance,
+    eps: float = 0.25,
+    max_iter_slack: int = 8,
+    backend: str = "reference",
 ) -> ForwardResult:
     """Run the forward phase; returns duals, the (over-)cover ``A`` and stats.
 
     ``max_iter_slack`` pads the proof's per-epoch iteration bound
     ``log_{1+eps}(n) + 2``; exceeding the padded bound raises
     :class:`InvariantViolation` (it would indicate an implementation bug).
+
+    ``backend="fast"`` dispatches to the vectorized kernels
+    (:func:`repro.fast.forward.forward_phase_fast`, requires numpy), whose
+    output is bit-identical to this reference loop — the differential suite
+    in ``tests/test_backend_differential.py`` holds the two to equality.
     """
+    from repro.fast import resolve_backend
+
+    if resolve_backend(backend) == "fast":
+        from repro.fast.forward import forward_phase_fast
+
+        return forward_phase_fast(inst, eps=eps, max_iter_slack=max_iter_slack)
     if eps <= 0:
         raise ValueError("eps must be positive")
     inst.check_feasible()

@@ -15,7 +15,11 @@ from typing import Hashable, Iterable, Sequence
 from repro.decomp.layering import Layering
 from repro.decomp.segments import SegmentDecomposition
 from repro.exceptions import NotTwoEdgeConnectedError
-from repro.core.virtual_graph import VirtualEdge, build_virtual_edges
+from repro.core.virtual_graph import (
+    VirtualEdge,
+    VirtualEdgeColumns,
+    build_virtual_edges,
+)
 from repro.trees.heavy_light import HeavyLightDecomposition
 from repro.trees.pathops import TreePathOps
 from repro.trees.rooted import RootedTree
@@ -38,11 +42,22 @@ class TAPInstance:
         segment_size: int | None = None,
     ) -> None:
         self.tree = tree
-        self.edges = list(edges)
-        self.hld = HeavyLightDecomposition(tree)
-        self.ops = TreePathOps(tree, self.hld)
+        # The fast backend hands over column-oriented edges; keep them as-is
+        # (they satisfy the Sequence protocol and materialize lazily).
+        self.edges = edges if isinstance(edges, VirtualEdgeColumns) else list(edges)
         self.layering = Layering(tree)
         self.segment_size = segment_size
+
+    @cached_property
+    def hld(self) -> HeavyLightDecomposition:
+        """Heavy-light decomposition, built lazily (the fast backend never
+        touches it; the reference path operations do)."""
+        return HeavyLightDecomposition(self.tree)
+
+    @cached_property
+    def ops(self) -> TreePathOps:
+        """Reference batch path operations bound to the tree (lazy)."""
+        return TreePathOps(self.tree, self.hld)
 
     @classmethod
     def from_links(
@@ -51,15 +66,52 @@ class TAPInstance:
         links: Iterable[tuple[int, int, float]],
         origins: Sequence[Hashable] | None = None,
         segment_size: int | None = None,
+        backend: str = "reference",
     ) -> "TAPInstance":
-        """Build the instance from arbitrary (possibly non-vertical) links."""
-        return cls(tree, build_virtual_edges(tree, links, origins), segment_size)
+        """Build the instance from arbitrary (possibly non-vertical) links.
+
+        ``backend="fast"`` (or ``"auto"`` with numpy available) splits the
+        links at their LCAs with the vectorized batch-LCA kernel (identical
+        integer results, see
+        :func:`repro.core.virtual_graph.build_virtual_edges`) and pre-seeds
+        the :attr:`arrays` cache so the kernels reuse one set of tree
+        arrays across instance construction and both phases.
+        """
+        from repro.fast import resolve_backend
+
+        backend = resolve_backend(backend)
+        if backend == "fast":
+            from repro.fast.treearrays import InstanceArrays, TreeArrays
+
+            ta = TreeArrays(tree)
+            edges = build_virtual_edges(
+                tree, links, origins, backend, tree_arrays=ta
+            )
+            inst = cls(tree, edges, segment_size)
+            inst.__dict__["arrays"] = InstanceArrays(inst, ta=ta)
+            return inst
+        return cls(
+            tree, build_virtual_edges(tree, links, origins, backend), segment_size
+        )
 
     # ------------------------------------------------------------------
 
     @cached_property
     def segments(self) -> SegmentDecomposition:
+        """The segment decomposition (Section 4.2.1), built on first use."""
         return SegmentDecomposition(self.tree, s=self.segment_size)
+
+    @cached_property
+    def arrays(self):
+        """Numpy views for the fast kernels (requires numpy; built once).
+
+        See :class:`repro.fast.treearrays.InstanceArrays`; shared by the
+        fast forward phase, every reverse-delete epoch, and the vectorized
+        certificates.
+        """
+        from repro.fast.treearrays import InstanceArrays
+
+        return InstanceArrays(self)
 
     @cached_property
     def coverage(self) -> list[int]:
@@ -79,18 +131,22 @@ class TAPInstance:
     # ------------------------------------------------------------------
 
     def weight_of(self, eids: Iterable[int]) -> float:
+        """Total weight of the given virtual edges."""
         return sum(self.edges[e].weight for e in eids)
 
     def covers(self, eid: int, t: int) -> bool:
+        """Does virtual edge ``eid`` cover tree edge ``t``?"""
         e = self.edges[eid]
         return self.tree.covers_vertical(e.dec, e.anc, t)
 
     def covered_edges(self, eid: int) -> Iterable[int]:
+        """The tree edges (child ids) covered by virtual edge ``eid``."""
         e = self.edges[eid]
         return self.tree.chain(e.dec, e.anc)
 
     @property
     def num_tree_edges(self) -> int:
+        """Number of tree edges (``n - 1``)."""
         return self.tree.n - 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -77,48 +77,75 @@ class EpochContext:
         "counter",
         "x_cov",
         "anchors",
+        "_pairs",
     )
 
     def __init__(self, inst: TAPInstance, epoch: int, x_list: Sequence[int]) -> None:
         self.inst = inst
         self.epoch = epoch
         self.x_list = list(x_list)
-        pairs = [inst.edges[eid].pair for eid in self.x_list]
-        self.oracle = PetalOracle(inst.ops, inst.layering, pairs)
+        self._pairs: list[tuple[int, int]] | None = None
+        self.oracle = self._make_oracle()
         self.y_set: set[int] = set()
-        self.counter: CoverageCounter = inst.ops.make_coverage_counter()
-        cov = inst.ops.coverage_counts(pairs)
-        self.x_cov = cov
+        self.counter = self._make_counter()
+        self.x_cov = self._make_x_coverage()
         self.anchors: list[Anchor] = []
+
+    # -- construction hooks (overridden by the fast backend) ---------------
+
+    def _x_pairs(self) -> list[tuple[int, int]]:
+        """``X`` as (dec, anc) pairs, built lazily (the fast hooks work on
+        the instance arrays and never materialize edge objects)."""
+        if self._pairs is None:
+            self._pairs = [self.inst.edges[eid].pair for eid in self.x_list]
+        return self._pairs
+
+    def _make_oracle(self):
+        """Petal oracle for the epoch's fixed edge set ``X`` (Claim 4.11)."""
+        return PetalOracle(self.inst.ops, self.inst.layering, self._x_pairs())
+
+    def _make_counter(self) -> CoverageCounter:
+        """Incremental coverage counter tracking the growing cover ``Y``."""
+        return self.inst.ops.make_coverage_counter()
+
+    def _make_x_coverage(self):
+        """Per-tree-edge coverage counts of ``X`` (indexable by edge id)."""
+        return self.inst.ops.coverage_counts(self._x_pairs())
 
     # -- petals (as instance eids) ----------------------------------------
 
     def higher_petal(self, t: int) -> int:
+        """Instance eid of ``t``'s higher petal w.r.t. ``X`` (-1 if uncovered)."""
         i = self.oracle.higher(t)
         return self.x_list[i] if i != -1 else -1
 
     def lower_petal(self, t: int) -> int:
+        """Instance eid of ``t``'s lower petal w.r.t. ``X`` (-1 if uncovered)."""
         i = self.oracle.lower(t)
         return self.x_list[i] if i != -1 else -1
 
     # -- Y maintenance ------------------------------------------------------
 
     def add_to_y(self, eid: int) -> None:
+        """Add edge ``eid`` to the cover ``Y`` (idempotent; -1 is a no-op)."""
         if eid != -1 and eid not in self.y_set:
             self.y_set.add(eid)
             e = self.inst.edges[eid]
             self.counter.add_path(e.dec, e.anc)
 
     def remove_from_y(self, eid: int) -> None:
+        """Remove edge ``eid`` from ``Y`` (the cleaning phase's operation)."""
         if eid in self.y_set:
             self.y_set.discard(eid)
             e = self.inst.edges[eid]
             self.counter.remove_path(e.dec, e.anc)
 
     def y_covers(self, t: int) -> bool:
+        """Does the current cover ``Y`` cover tree edge ``t``?"""
         return self.counter.is_covered(t)
 
     def x_covers(self, t: int) -> bool:
+        """Does the epoch's edge set ``X`` cover tree edge ``t``?"""
         return self.x_cov[t] > 0
 
     def conflicts(self, t1: int, t2: int) -> bool:

@@ -44,6 +44,7 @@ class TapResult:
         return self.virtual_weight / self.dual_bound
 
     def modeled_rounds(self, n: int, diameter: int) -> float:
+        """Level-M price of this run's primitive log on an (n, D) network."""
         return RoundCostModel(n, diameter).total_rounds(self.log)
 
 
@@ -72,10 +73,12 @@ class TwoEcssResult:
 
     @property
     def certified_ratio(self) -> float:
+        """Checked upper bound on this run's approximation ratio."""
         lb = self.certified_lower_bound
         return self.weight / lb if lb > 0 else float("inf")
 
     def modeled_rounds(self) -> float:
+        """Level-M price of the whole run (MST + labels + TAP phases)."""
         model = RoundCostModel(self.n, self.diameter)
         log = PrimitiveLog()
         log.record("mst")
@@ -84,6 +87,7 @@ class TwoEcssResult:
         return model.total_rounds(log)
 
     def summary(self) -> str:
+        """One-line human-readable report (used by the demo CLI)."""
         return (
             f"2-ECSS: n={self.n}, weight={self.weight:.2f} "
             f"(MST {self.mst_weight:.2f} + aug {self.augmentation.weight:.2f}), "

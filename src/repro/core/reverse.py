@@ -68,10 +68,27 @@ def reverse_delete(
     variant: str = "improved",
     segmented: bool = True,
     validate: bool = True,
+    backend: str = "reference",
 ) -> ReverseResult:
-    """Run the reverse-delete phase on the forward phase's output."""
+    """Run the reverse-delete phase on the forward phase's output.
+
+    ``backend="fast"`` runs the *same* control flow (global MIS, local
+    scans, cleaning — Claims 4.13/4.15/4.17 live here and are shared) over
+    the vectorized epoch primitives of
+    :class:`repro.fast.context.FastEpochContext`; petal indices and
+    coverage counts are integer-exact in both backends, so the resulting
+    cover ``B`` is identical.
+    """
     if variant not in COVER_BOUND:
         raise ValueError(f"variant must be one of {sorted(COVER_BOUND)}")
+    from repro.fast import resolve_backend
+
+    if resolve_backend(backend) == "fast":
+        from repro.fast.context import FastEpochContext
+
+        context_cls = FastEpochContext
+    else:
+        context_cls = EpochContext
     tree = inst.tree
     layering = inst.layering
     num_layers = layering.num_layers
@@ -110,7 +127,7 @@ def reverse_delete(
         a_k = a_by_epoch.get(k, [])
         x_list = sorted(b.union(a_k))
         x_by_epoch[k] = x_list
-        ctx = EpochContext(inst, k, x_list)
+        ctx = context_cls(inst, k, x_list)
         log.record("aggregate")  # each edge learns X-coverage
         for eid in always_in_b:
             ctx.add_to_y(eid)

@@ -46,9 +46,11 @@ class PrimitiveLog:
     counts: Counter = field(default_factory=Counter)
 
     def record(self, primitive: str, times: int = 1) -> None:
+        """Count ``times`` invocations of a named primitive."""
         self.counts[primitive] += times
 
     def merge(self, other: "PrimitiveLog") -> None:
+        """Absorb another log's counts (phases merge into the run log)."""
         self.counts.update(other.counts)
 
     def __getitem__(self, primitive: str) -> int:
@@ -75,6 +77,7 @@ class RoundCostModel:
     # -- per-primitive round costs ---------------------------------------
 
     def cost_of(self, primitive: str) -> float:
+        """Rounds one invocation of ``primitive`` costs (paper's formulas)."""
         D, sq, ls = self.diameter, self.sqrt_n, self.log_star_n
         if primitive in ("mst", "lca_labels", "segments_build"):
             return D + sq * ls
@@ -93,9 +96,11 @@ class RoundCostModel:
         raise KeyError(f"unknown primitive {primitive!r}")
 
     def total_rounds(self, log: PrimitiveLog) -> float:
+        """Total priced rounds of a primitive log."""
         return sum(self.cost_of(p) * c for p, c in log.counts.items())
 
     def breakdown(self, log: PrimitiveLog) -> dict[str, float]:
+        """Per-primitive priced rounds plus a TOTAL row."""
         out = {p: self.cost_of(p) * c for p, c in log.counts.items()}
         out["TOTAL"] = sum(out.values())
         return out

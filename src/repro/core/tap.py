@@ -25,6 +25,7 @@ from repro.core.result import TapResult
 from repro.core.reverse import COVER_BOUND, reverse_delete
 from repro.core.rounds import PrimitiveLog
 from repro.core.virtual_graph import map_back
+from repro.fast import resolve_backend
 from repro.trees.rooted import RootedTree
 
 __all__ = ["approximate_tap", "solve_virtual_tap"]
@@ -36,24 +37,45 @@ def solve_virtual_tap(
     variant: str = "improved",
     segmented: bool = True,
     validate: bool = True,
+    backend: str = "reference",
 ):
     """Solve TAP on an already-virtual instance; returns (fwd, rev).
 
     The dual-growth parameter is ``eps' = eps / c`` so the final factor on
     the virtual instance is ``c (1 + eps/c) <= c + eps`` (Lemma 3.1).
+
+    ``backend`` selects the execution engine for both phases:
+    ``"reference"`` (per-edge Python loops, the auditable baseline) or
+    ``"fast"`` (vectorized kernels in :mod:`repro.fast`, bit-identical
+    output, requires numpy).
     """
     if variant not in COVER_BOUND:
         raise ValueError(f"variant must be one of {sorted(COVER_BOUND)}")
+    backend = resolve_backend(backend)
     c = COVER_BOUND[variant]
     eps_prime = eps / c
-    fwd = forward_phase(inst, eps=eps_prime)
-    rev = reverse_delete(inst, fwd, variant=variant, segmented=segmented, validate=validate)
+    fwd = forward_phase(inst, eps=eps_prime, backend=backend)
+    rev = reverse_delete(
+        inst, fwd, variant=variant, segmented=segmented, validate=validate,
+        backend=backend,
+    )
     if validate:
-        cert.validate_dual_feasibility(inst, fwd.y, eps_prime)
-        cert.validate_tightness(inst, fwd.y, rev.b)
-        cert.validate_cover(inst, rev.b)
-        cert.validate_coverage_bound(inst, fwd.y, rev.b, c)
+        certs = _certificates(backend)
+        certs.validate_dual_feasibility(inst, fwd.y, eps_prime)
+        certs.validate_tightness(inst, fwd.y, rev.b)
+        certs.validate_cover(inst, rev.b)
+        certs.validate_coverage_bound(inst, fwd.y, rev.b, c)
     return fwd, rev
+
+
+def _certificates(backend: str):
+    """The certificate implementation for a backend (same checks, same
+    return values; the fast one is vectorized)."""
+    if backend == "fast":
+        from repro.fast import certificates as fast_cert
+
+        return fast_cert
+    return cert
 
 
 def approximate_tap(
@@ -64,6 +86,7 @@ def approximate_tap(
     segmented: bool = True,
     validate: bool = True,
     origins: Sequence[Hashable] | None = None,
+    backend: str = "reference",
 ) -> TapResult:
     """Approximate weighted TAP on tree ``tree`` with candidate ``links``.
 
@@ -86,10 +109,16 @@ def approximate_tap(
         Check every proven invariant at runtime (slower; recommended).
     origins:
         Optional identities for the links (defaults to their ``(u, v)``).
+    backend:
+        ``"reference"`` (default: the auditable per-edge Python loops),
+        ``"fast"`` (vectorized numpy kernels, bit-identical output), or
+        ``"auto"`` (fast when numpy is importable).
     """
-    inst = TAPInstance.from_links(tree, links, origins)
+    backend = resolve_backend(backend)
+    inst = TAPInstance.from_links(tree, links, origins, backend=backend)
     fwd, rev = solve_virtual_tap(
-        inst, eps=eps, variant=variant, segmented=segmented, validate=validate
+        inst, eps=eps, variant=variant, segmented=segmented, validate=validate,
+        backend=backend,
     )
     c = COVER_BOUND[variant]
     eps_prime = eps / c
@@ -110,7 +139,11 @@ def approximate_tap(
     log.merge(fwd.log)
     log.merge(rev.log)
 
-    max_cov = cert.validate_coverage_bound(inst, fwd.y, rev.b, c) if validate else -1
+    max_cov = (
+        _certificates(backend).validate_coverage_bound(inst, fwd.y, rev.b, c)
+        if validate
+        else -1
+    )
 
     return TapResult(
         links=links_back,

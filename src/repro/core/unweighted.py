@@ -29,6 +29,8 @@ __all__ = ["UnweightedTapResult", "unweighted_tap"]
 
 @dataclass
 class UnweightedTapResult:
+    """Output of :func:`unweighted_tap`: chosen links plus the MIS certificate."""
+
     links: list[Hashable]
     virtual_eids: list[int]
     mis: list[int]  # the independent tree edges (certified lower bound)
@@ -36,14 +38,17 @@ class UnweightedTapResult:
 
     @property
     def size(self) -> int:
+        """Number of chosen original links."""
         return len(self.links)
 
     @property
     def virtual_size(self) -> int:
+        """Number of chosen virtual edges (before collapsing origins)."""
         return len(self.virtual_eids)
 
     @property
     def certified_virtual_ratio(self) -> float:
+        """Checked ratio vs the MIS lower bound on the virtual instance."""
         if not self.mis:
             return 1.0 if not self.virtual_eids else float("inf")
         return self.virtual_size / len(self.mis)

@@ -80,19 +80,47 @@ class SegmentDecomposition:
         "skeleton_parent",
     )
 
-    def __init__(self, tree: RootedTree, s: int | None = None) -> None:
+    def __init__(
+        self, tree: RootedTree, s: int | None = None, backend: str = "auto"
+    ) -> None:
         self.tree = tree
         n = tree.n
         self.s = s if s is not None else max(1, math.isqrt(n - 1) + 1)
-        sizes = tree.subtree_sizes()
-        marked = [sizes[v] >= self.s for v in range(n)]
-        marked[tree.root] = True
+        if backend == "auto":
+            from repro.fast import HAVE_NUMPY
 
-        # Marked children counts within T_top.
-        mc = [0] * n
-        for v in range(n):
-            if marked[v] and v != tree.root:
-                mc[tree.parent[v]] += 1
+            backend = "array" if HAVE_NUMPY else "reference"
+        if backend == "array":
+            # Array-backed marking: the Euler interval length IS the
+            # subtree size (tout - tin counts one entry per descendant), so
+            # the marked set and the marked-children counts are two
+            # vectorized expressions.  Identical booleans/counts to the
+            # reference scan.
+            from repro.fast import require_numpy
+
+            np = require_numpy()
+
+            tin = np.asarray(tree.tin, dtype=np.int64)
+            tout = np.asarray(tree.tout, dtype=np.int64)
+            marked_arr = (tout - tin) >= self.s
+            marked_arr[tree.root] = True
+            kids = np.flatnonzero(marked_arr)
+            kids = kids[kids != tree.root]
+            parents = np.asarray(tree.parent, dtype=np.int64)[kids]
+            mc = np.bincount(parents, minlength=n).astype(np.int64).tolist()
+            marked = marked_arr.tolist()
+        else:
+            if backend != "reference":
+                raise ValueError(f"unknown segments backend {backend!r}")
+            sizes = tree.subtree_sizes()
+            marked = [sizes[v] >= self.s for v in range(n)]
+            marked[tree.root] = True
+
+            # Marked children counts within T_top.
+            mc = [0] * n
+            for v in range(n):
+                if marked[v] and v != tree.root:
+                    mc[tree.parent[v]] += 1
 
         def is_terminal(v: int) -> bool:
             return v == tree.root or mc[v] != 1

@@ -1,0 +1,175 @@
+"""Vectorized primal-dual forward phase (paper Sections 3.4 and 4.4).
+
+Same algorithm, same epoch/iteration structure, same
+:class:`~repro.core.rounds.PrimitiveLog` entries, and bit-identical output
+as :func:`repro.core.forward.forward_phase` — but every per-edge and
+per-tree-edge loop becomes an array kernel:
+
+* dual prefix sums ``s(e) = cum[dec] - cum[anc]`` via the level-synchronous
+  :func:`~repro.fast.kernels.ancestor_sums_levels` (same floating-point
+  operation tree as the reference recurrence);
+* the first-iteration uniform start ``min over covering e of
+  (w(e) - s(e)) / |S_e^k|`` via the jump-table
+  :func:`~repro.fast.kernels.path_chmin` (minimum of doubles is
+  association-free, so it matches the reference segment tree exactly);
+* tightness detection and the ``(1 + eps)`` dual raise as masked array
+  expressions (one IEEE-754 multiply per element, as in the loop);
+* the coverage counter as int64 Euler-tour subtree counts
+  (:func:`~repro.fast.kernels.subtree_counts`) — exact integers.
+
+See ``tests/test_backend_differential.py`` for the suite asserting
+equality of every :class:`~repro.core.forward.ForwardResult` field against
+the reference on seeded graph-family instances.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.forward import _REL_TOL, ForwardResult
+from repro.core.rounds import PrimitiveLog
+from repro.exceptions import InvariantViolation, NotTwoEdgeConnectedError
+from repro.fast import require_numpy
+
+__all__ = ["forward_phase_fast"]
+
+
+def forward_phase_fast(inst, eps: float = 0.25, max_iter_slack: int = 8) -> ForwardResult:
+    """Drop-in replacement for :func:`repro.core.forward.forward_phase`.
+
+    Identical signature, identical result (including the primitive log and
+    the Lemma 4.12 iteration-bound enforcement); requires numpy.
+    """
+    np = require_numpy()
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+
+    arrays = inst.arrays
+    ta = arrays.ta
+    tree = inst.tree
+    n = tree.n
+    m = len(inst.edges)
+    dec, anc, w = arrays.dec, arrays.anc, arrays.weight
+
+    # Feasibility (2-edge-connectivity): every tree edge must be covered.
+    cov0 = ta.path_cover_counts(dec, anc)
+    uncovered = np.flatnonzero((cov0 == 0) & ta.nonroot)
+    if uncovered.size:
+        t = int(uncovered[0])
+        raise NotTwoEdgeConnectedError(
+            f"tree edge ({t}, {tree.parent[t]}) is covered by no "
+            "link; the underlying graph has a bridge"
+        )
+
+    y = np.zeros(n, dtype=np.float64)
+    covered = np.zeros(n, dtype=bool)
+    covered[tree.root] = True
+    first_cover_epoch = np.zeros(n, dtype=np.int64)
+    in_a = np.zeros(m, dtype=bool)
+    added: list[int] = []
+    epoch_added: dict[int, int] = {}
+    r_sets: dict[int, list[int]] = {}
+    iterations_per_epoch: dict[int, int] = {}
+    log = PrimitiveLog()
+    # Coverage of A as a scatter domain: +1 at dec, -1 at anc per chosen
+    # edge; subtree sums give the counts (the kernel counterpart of the
+    # reference CoverageCounter).
+    cover_delta = np.zeros(n, dtype=np.int64)
+
+    # Zero-weight links can never pay a positive dual; add them up front
+    # (they only ever help the solution and cost nothing).
+    zero_w = np.flatnonzero(w <= 0.0)
+    if zero_w.size:
+        in_a[zero_w] = True
+        for eid in zero_w:
+            added.append(int(eid))
+            epoch_added[int(eid)] = 0
+        np.add.at(cover_delta, dec[zero_w], 1)
+        np.add.at(cover_delta, anc[zero_w], -1)
+        counts = ta.subtree_counts(cover_delta)
+        covered |= counts > 0
+        covered[tree.root] = True
+        # first_cover_epoch stays 0: covered before epoch 1
+
+    iter_bound = math.ceil(math.log(max(2, n)) / math.log1p(eps)) + max_iter_slack
+    layer = arrays.layer
+
+    for k in range(1, inst.layering.num_layers + 1):
+        remaining = (layer == k) & ~covered
+        r_sets[k] = [int(t) for t in np.flatnonzero(remaining)]
+        if not r_sets[k]:
+            iterations_per_epoch[k] = 0
+            continue
+
+        iteration = 0
+        while remaining.any():
+            iteration += 1
+            if iteration > iter_bound:
+                raise InvariantViolation(
+                    f"epoch {k} exceeded the Lemma 4.12 iteration bound "
+                    f"({iter_bound}); eps={eps}"
+                )
+            cum = ta.ancestor_sums(y)
+            log.record("aggregate")  # every non-tree edge computes s(e)
+            if iteration == 1:
+                # |S_e^k|: how many uncovered layer-k edges each link covers.
+                cum_z = ta.ancestor_sums(remaining.astype(np.float64))
+                log.record("aggregate")
+                # Every uncovered t learns min (w(e)-s(e))/|S_e^k| over
+                # covering edges e — an aggregate of the covering links.
+                active = np.flatnonzero(~in_a)
+                cnt = np.rint(cum_z[dec[active]] - cum_z[anc[active]]).astype(
+                    np.int64
+                )
+                sel = active[cnt > 0]
+                s_sel = cum[dec[sel]] - cum[anc[sel]]
+                vals = (w[sel] - s_sel) / cnt[cnt > 0]
+                start = ta.path_chmin(dec[sel], anc[sel], vals, np.inf)
+                log.record("aggregate")
+                rem_idx = np.flatnonzero(remaining)
+                start_rem = start[rem_idx]
+                bad = np.flatnonzero(np.isinf(start_rem))
+                if bad.size:  # pragma: no cover
+                    raise InvariantViolation(
+                        f"uncovered edge {int(rem_idx[bad[0]])} has no "
+                        "non-tight covering link"
+                    )
+                y[rem_idx] = np.maximum(start_rem, 0.0)
+                cum = ta.ancestor_sums(y)
+                log.record("aggregate")
+            else:
+                y[remaining] *= 1.0 + eps
+                cum = ta.ancestor_sums(y)
+                log.record("aggregate")
+
+            # Collect edges whose dual constraint is (numerically) tight.
+            active = np.flatnonzero(~in_a)
+            s_act = cum[dec[active]] - cum[anc[active]]
+            new_edges = active[s_act >= w[active] * (1.0 - _REL_TOL)]
+            if new_edges.size:
+                in_a[new_edges] = True
+                for eid in new_edges:
+                    epoch_added[int(eid)] = k
+                    added.append(int(eid))
+                np.add.at(cover_delta, dec[new_edges], 1)
+                np.add.at(cover_delta, anc[new_edges], -1)
+                log.record("aggregate")  # tree edges learn whether A covers them
+                counts = ta.subtree_counts(cover_delta)
+                newly = ~covered & (counts > 0)
+                newly[tree.root] = False
+                covered |= newly
+                first_cover_epoch[newly] = k
+                remaining &= ~newly
+            log.record("broadcast")  # "is layer k fully covered?" over BFS tree
+
+        iterations_per_epoch[k] = iteration
+
+    return ForwardResult(
+        y=[float(v) for v in y],
+        added=added,
+        epoch_added=epoch_added,
+        first_cover_epoch=[int(v) for v in first_cover_epoch],
+        r_sets=r_sets,
+        iterations_per_epoch=iterations_per_epoch,
+        log=log,
+    )

@@ -143,10 +143,12 @@ class BatchedNetwork:
     # -- mirrors of the legacy API ----------------------------------------
 
     def reset_state(self) -> None:
+        """Clear every node's program state (contexts are reused across runs)."""
         for ctx in self.contexts:
             ctx.state = {}
 
     def degree(self, v: int) -> int:
+        """Number of neighbors of node ``v`` (CSR row length)."""
         return int(self.indptr[v + 1] - self.indptr[v])
 
     def adjacency(self):

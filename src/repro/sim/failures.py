@@ -57,6 +57,7 @@ class FailurePlan:
         return self
 
     def is_down(self, round_no: int, sender: int, receiver: int) -> bool:
+        """Is the directed edge ``sender -> receiver`` down in this round?"""
         pair = (sender, receiver)
         if pair in self.always:
             return True
@@ -64,6 +65,7 @@ class FailurePlan:
         return hits is not None and pair in hits
 
     def empty(self) -> bool:
+        """True when the plan fails nothing (the engine then skips checks)."""
         return not self.always and not self.by_round
 
 

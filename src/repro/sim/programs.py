@@ -46,6 +46,7 @@ class RandomGossip:
         self.forward_prob = forward_prob
 
     def setup(self, ctx: Context) -> None:
+        """Seed the node RNG and (maybe) arm an initial token burst."""
         rng = random.Random(self.seed * 1_000_003 + ctx.node)
         burst: list[tuple[int, int]] = []
         if rng.random() < self.start_frac:
@@ -67,6 +68,7 @@ class RandomGossip:
         return out
 
     def step(self, ctx: Context, inbox: dict[int, Payload]) -> dict[int, Payload]:
+        """Forward received (and burst) tokens to random neighbor subsets."""
         st = ctx.state
         tokens: list[tuple[int, int]] = []
         if st["burst"]:
@@ -81,6 +83,7 @@ class RandomGossip:
         return self._emit(ctx, tokens)
 
     def wants_to_continue(self, ctx: Context) -> bool:
+        """Stay scheduled only while an unsent burst is armed."""
         return bool(ctx.state["burst"])
 
     @staticmethod

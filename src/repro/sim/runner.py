@@ -60,6 +60,14 @@ def default_specs() -> tuple[ProgramSpec, ...]:
 
 @dataclass
 class ScenarioResult:
+    """One instance × program run: measured stats plus Level-M cross-checks.
+
+    ``within_price`` compares the measured rounds against the Level-M price
+    of the spec's declared primitives; ``within_thm11`` against the
+    Theorem 1.1 bound shape — both must hold for the cost model to be
+    honest on this instance.
+    """
+
     family: str
     n: int
     seed: int
@@ -125,6 +133,12 @@ class ScenarioRunner:
         seed: int = 0,
         max_rounds: int | None = None,
     ) -> ScenarioResult:
+        """Run one program spec on one prepared graph and price the rounds.
+
+        Missing edge weights default to 1.0; the measured
+        :class:`~repro.model.network.RunStats` are compared against the
+        spec's declared primitive price and the Theorem 1.1 bound.
+        """
         for _, _, data in graph.edges(data=True):
             data.setdefault("weight", 1.0)
         net = self._make(graph, self.words_per_edge)
@@ -157,6 +171,12 @@ class ScenarioRunner:
         seeds: Iterable[int],
         specs: Sequence[ProgramSpec] | None = None,
     ) -> list[ScenarioResult]:
+        """Cross every family × size × seed with every spec; collect results.
+
+        For parallel *solver* sweeps with caching see
+        :func:`repro.analysis.sweep.run_sweep`; this in-process sweep is
+        about engine behavior (rounds/messages vs the cost model).
+        """
         specs = tuple(specs) if specs is not None else default_specs()
         results = []
         for family in families:

@@ -28,6 +28,7 @@ class SynchronousScheduler:
     tracks_activity = False  # the engine may skip woken-set bookkeeping
 
     def select(self, n: int, woken: set[int], continuing: set[int]) -> Iterable[int]:
+        """Every node, every round, in ascending order."""
         return range(n)
 
 
@@ -38,6 +39,7 @@ class EventDrivenScheduler:
     tracks_activity = True
 
     def select(self, n: int, woken: set[int], continuing: set[int]) -> Iterable[int]:
+        """The woken/continuing nodes, ascending (legacy-identical order)."""
         if not continuing:
             return sorted(woken)
         if not woken:

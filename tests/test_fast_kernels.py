@@ -1,0 +1,150 @@
+"""Unit tests for the numpy kernels against the reference tree machinery.
+
+Every kernel in :mod:`repro.fast.kernels` claims exactness (bit-identical
+floats for the ancestor sums, exact integers everywhere else); these tests
+hold each one to the corresponding reference primitive over the shared
+random-tree shapes, plus the array backends of the layering and segment
+decompositions against their reference constructions.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from conftest import TREE_SHAPES, random_tree, random_vertical_edges
+
+from repro.decomp.layering import Layering
+from repro.decomp.segments import SegmentDecomposition
+from repro.fast import HAVE_NUMPY, resolve_backend
+from repro.fast.kernels import INT_SENTINEL
+from repro.fast.treearrays import TreeArrays
+from repro.trees.pathops import TreePathOps
+
+
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+@pytest.mark.parametrize("n", [2, 3, 17, 90])
+def test_ancestor_sums_bit_identical(shape: str, n: int) -> None:
+    tree = random_tree(n, seed=7, shape=shape)
+    ta = TreeArrays(tree)
+    ops = TreePathOps(tree)
+    rng = random.Random(3)
+    values = [rng.uniform(-5, 5) for _ in range(n)]
+    ref = ops.ancestor_sums(values)
+    fast = ta.ancestor_sums(np.asarray(values))
+    assert [float(x) for x in fast] == ref  # equality, not approx: bit-identical
+
+
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+def test_coverage_counts_exact(shape: str) -> None:
+    tree = random_tree(60, seed=11, shape=shape)
+    ta = TreeArrays(tree)
+    ops = TreePathOps(tree)
+    paths = random_vertical_edges(tree, 40, seed=5)
+    ref = ops.coverage_counts(paths)
+    dec = np.asarray([d for d, _ in paths])
+    anc = np.asarray([a for _, a in paths])
+    fast = ta.path_cover_counts(dec, anc)
+    assert fast.tolist() == ref
+
+
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+@pytest.mark.parametrize("n", [2, 5, 33, 128])
+def test_batch_lca_matches_tree(shape: str, n: int) -> None:
+    tree = random_tree(n, seed=13, shape=shape)
+    ta = TreeArrays(tree)
+    rng = random.Random(n)
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(120)]
+    us = np.asarray([u for u, _ in pairs])
+    vs = np.asarray([v for _, v in pairs])
+    got = ta.batch_lca(us, vs)
+    assert got.tolist() == [tree.lca(u, v) for u, v in pairs]
+
+
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+def test_path_chmin_float_matches_reference(shape: str) -> None:
+    tree = random_tree(70, seed=23, shape=shape)
+    ta = TreeArrays(tree)
+    ops = TreePathOps(tree)
+    rng = random.Random(9)
+    paths = random_vertical_edges(tree, 50, seed=8)
+    vals = [rng.uniform(0, 10) for _ in paths]
+    ref = ops.chmin_over_paths(
+        (dec, anc, (v, i)) for i, ((dec, anc), v) in enumerate(zip(paths, vals))
+    )
+    dec = np.asarray([d for d, _ in paths])
+    anc = np.asarray([a for _, a in paths])
+    fast = ta.path_chmin(dec, anc, np.asarray(vals), np.inf)
+    for t in tree.tree_edges():
+        got = ref.get(t)
+        if got == ref.identity:
+            assert np.isinf(fast[t])
+        else:
+            assert fast[t] == got[0]
+
+
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+def test_path_chmin_int_keys_lexicographic(shape: str) -> None:
+    """Integer-encoded (primary, index) keys reproduce tuple-chmin argmins."""
+    tree = random_tree(55, seed=31, shape=shape)
+    ta = TreeArrays(tree)
+    ops = TreePathOps(tree)
+    rng = random.Random(2)
+    paths = random_vertical_edges(tree, 35, seed=4)
+    primary = [rng.randrange(6) for _ in paths]  # many ties: exercises index tie-break
+    ref = ops.chmin_over_paths(
+        (dec, anc, (p, i)) for i, ((dec, anc), p) in enumerate(zip(paths, primary))
+    )
+    m = len(paths)
+    dec = np.asarray([d for d, _ in paths])
+    anc = np.asarray([a for _, a in paths])
+    key = np.asarray(primary, dtype=np.int64) * m + np.arange(m)
+    fast = ta.path_chmin(dec, anc, key, INT_SENTINEL)
+    for t in tree.tree_edges():
+        got = ref.get(t)
+        if got == ref.identity:
+            assert fast[t] == INT_SENTINEL
+        else:
+            assert (int(fast[t]) // m, int(fast[t]) % m) == got
+
+
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+@pytest.mark.parametrize("n", [1, 2, 3, 9, 64, 257])
+def test_layering_array_backend_identical(shape: str, n: int) -> None:
+    tree = random_tree(n, seed=n, shape=shape)
+    ref = Layering(tree, backend="reference")
+    arr = Layering(tree, backend="array")
+    assert arr.layer == ref.layer
+    assert arr.num_layers == ref.num_layers
+    assert arr.path_id == ref.path_id
+    assert arr.paths == ref.paths
+
+
+@pytest.mark.parametrize("shape", TREE_SHAPES)
+@pytest.mark.parametrize("segment_size", [None, 4])
+def test_segments_array_backend_identical(shape: str, segment_size) -> None:
+    tree = random_tree(120, seed=5, shape=shape)
+    ref = SegmentDecomposition(tree, s=segment_size, backend="reference")
+    arr = SegmentDecomposition(tree, s=segment_size, backend="array")
+    assert arr.seg_of_edge == ref.seg_of_edge
+    assert arr.on_highway == ref.on_highway
+    assert arr.boundary == ref.boundary
+    assert arr.skeleton_parent == ref.skeleton_parent
+    assert [
+        (s.sid, s.r, s.d, s.highway, s.highway_edges, s.attached)
+        for s in arr.segments
+    ] == [
+        (s.sid, s.r, s.d, s.highway, s.highway_edges, s.attached)
+        for s in ref.segments
+    ]
+
+
+def test_resolve_backend() -> None:
+    assert resolve_backend("reference") == "reference"
+    assert resolve_backend("auto") == ("fast" if HAVE_NUMPY else "reference")
+    assert resolve_backend("fast") == "fast"
+    with pytest.raises(ValueError):
+        resolve_backend("warp-drive")

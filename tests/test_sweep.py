@@ -1,0 +1,130 @@
+"""Tests for the parallel sweep engine and its CLI wiring.
+
+The grid itself runs serially (``workers=0``) to keep the suite fast and
+deterministic; one small case exercises the real process pool.  Caching is
+asserted by re-running the same grid and checking that no cell recomputes.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.analysis.sweep import SweepTask, run_sweep
+from repro.core.tecss import approximate_two_ecss
+from repro.graphs.families import make_family_instance
+
+
+def _run(tmp_path, workers=0, **kwargs):
+    defaults = dict(
+        families=["cycle_chords", "grid"],
+        sizes=[40, 70],
+        seeds=[1],
+        eps_values=[0.5],
+        workers=workers,
+        cache_dir=str(tmp_path / "cache"),
+        out_dir=str(tmp_path / "out"),
+        name="tiny",
+    )
+    defaults.update(kwargs)
+    return run_sweep(**defaults)
+
+
+def test_sweep_rows_and_outputs(tmp_path) -> None:
+    report = _run(tmp_path)
+    assert len(report.rows) == 4
+    assert report.cache_hits == 0 and report.cache_misses == 4
+    for row in report.rows:
+        assert row["backend"] == "fast"
+        assert row["weight"] >= row["mst_weight"] > 0
+        assert row["certified_ratio"] <= row["guarantee"] + 1e-6
+        assert row["solve_s"] >= 0
+    # Outputs exist and parse.
+    with open(report.json_path) as fh:
+        assert len(json.load(fh)) == 4
+    with open(report.csv_path) as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 4 and rows[0]["family"] == "cycle_chords"
+    assert os.path.exists(report.text_path)
+
+
+def test_sweep_cache_hits_on_rerun(tmp_path) -> None:
+    first = _run(tmp_path)
+    again = _run(tmp_path)
+    assert again.cache_hits == 4 and again.cache_misses == 0
+    assert again.rows == first.rows
+    # A new eps value only computes the new cells.
+    wider = _run(tmp_path, eps_values=[0.5, 1.0])
+    assert wider.cache_hits == 4 and wider.cache_misses == 4
+
+
+def test_sweep_rows_match_direct_solver_run(tmp_path) -> None:
+    report = _run(tmp_path, families=["grid"], sizes=[50], seeds=[3])
+    (row,) = report.rows
+    graph = make_family_instance("grid", 50, seed=3)
+    res = approximate_two_ecss(graph, eps=0.5, backend="fast")
+    assert row["weight"] == res.weight
+    assert row["mst_weight"] == res.mst_weight
+    assert row["n"] == res.n
+
+
+def test_sweep_process_pool(tmp_path) -> None:
+    report = _run(tmp_path, workers=2, families=["cycle_chords"], sizes=[40, 60])
+    assert len(report.rows) == 2
+    assert [r["n"] for r in report.rows] == [40, 60]
+
+
+def test_sweep_reference_backend_rows_same_weights(tmp_path) -> None:
+    fast = _run(tmp_path, families=["grid"], sizes=[40])
+    ref = _run(tmp_path, families=["grid"], sizes=[40], backend="reference")
+    assert fast.rows[0]["weight"] == ref.rows[0]["weight"]
+    # Different backends are distinct cache cells.
+    assert ref.cache_misses == 1
+
+
+def test_sweep_corrupt_cache_entry_is_recomputed(tmp_path) -> None:
+    """A truncated cache file (killed mid-write) counts as a miss, not a crash."""
+    report = _run(tmp_path, families=["grid"], sizes=[40])
+    cache = tmp_path / "cache"
+    (entry,) = list(cache.iterdir())
+    entry.write_text("{not json")
+    again = _run(tmp_path, families=["grid"], sizes=[40])
+    assert again.cache_misses == 1
+
+    def stable(row: dict) -> dict:
+        return {k: v for k, v in row.items() if not k.endswith("_s")}
+
+    assert [stable(r) for r in again.rows] == [stable(r) for r in report.rows]
+
+
+def test_sweep_task_fingerprint_stability() -> None:
+    a = SweepTask("grid", 100, 1, 0.5)
+    b = SweepTask("grid", 100, 1, 0.5)
+    c = SweepTask("grid", 100, 2, 0.5)
+    assert a.fingerprint() == b.fingerprint() != c.fingerprint()
+
+
+def test_sweep_cli_smoke(tmp_path, capsys) -> None:
+    from repro.__main__ import main
+
+    rc = main(
+        [
+            "sweep",
+            "--families", "cycle_chords",
+            "--sizes", "40",
+            "--seeds", "1",
+            "--eps", "0.5",
+            "--workers", "0",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out-dir", str(tmp_path / "out"),
+            "--name", "cli_smoke",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "cli_smoke" in out and "cells: 1" in out

@@ -1,0 +1,125 @@
+"""Documentation gate: docs/ link resolution + docstring presence.
+
+Two checks, both dependency-free so they run in any environment:
+
+* :func:`check_links` — every relative markdown link/image in ``docs/*.md``
+  and ``README.md`` must resolve to an existing file in the repo;
+* :func:`check_docstrings` — every module, public class, and public
+  function/method under the given source trees must carry a docstring
+  (the D100–D104 subset of pydocstyle, re-implemented here so the check
+  also runs where pydocstyle is not installed; CI additionally runs
+  ``python -m pydocstyle`` with the matching ``select`` list from
+  ``pyproject.toml``).
+
+Used by the CI ``docs`` job and by ``tests/test_docs.py``:
+
+    python tools/check_docs.py            # check the repo, exit 1 on issues
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import sys
+
+#: Source trees held to the docstring requirement.
+DOCSTRING_TREES = ("src/repro/sim", "src/repro/core", "src/repro/fast")
+
+#: Markdown files whose links must resolve.
+LINKED_DOCS = ("README.md", "docs")
+
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def check_links(root: str | None = None) -> list[str]:
+    """Return one error string per broken relative link in the doc set."""
+    root = root or _repo_root()
+    errors: list[str] = []
+    files: list[str] = []
+    for entry in LINKED_DOCS:
+        path = os.path.join(root, entry)
+        if os.path.isdir(path):
+            files.extend(
+                os.path.join(path, f)
+                for f in sorted(os.listdir(path))
+                if f.endswith(".md")
+            )
+        elif os.path.exists(path):
+            files.append(path)
+    for md in files:
+        base = os.path.dirname(md)
+        with open(md, encoding="utf-8") as fh:
+            text = fh.read()
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if "://" in target or target.startswith(("#", "mailto:")):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = os.path.normpath(os.path.join(base, rel))
+            if not os.path.exists(resolved):
+                errors.append(
+                    f"{os.path.relpath(md, root)}: broken link -> {target}"
+                )
+    return errors
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def check_docstrings(
+    root: str | None = None, trees: tuple[str, ...] = DOCSTRING_TREES
+) -> list[str]:
+    """Return one error per missing module/class/function docstring."""
+    root = root or _repo_root()
+    errors: list[str] = []
+    for tree in trees:
+        top = os.path.join(root, tree)
+        for dirpath, _, filenames in os.walk(top):
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                rel = os.path.relpath(path, root)
+                with open(path, encoding="utf-8") as fh:
+                    node = ast.parse(fh.read(), filename=rel)
+                if not ast.get_docstring(node):
+                    errors.append(f"{rel}: missing module docstring")
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.ClassDef) and _is_public(sub.name):
+                        if not ast.get_docstring(sub):
+                            errors.append(
+                                f"{rel}: class {sub.name} missing docstring"
+                            )
+                    elif isinstance(
+                        sub, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ) and _is_public(sub.name):
+                        if not ast.get_docstring(sub):
+                            errors.append(
+                                f"{rel}:{sub.lineno}: def {sub.name} "
+                                "missing docstring"
+                            )
+    return errors
+
+
+def main() -> int:
+    """Run both checks and report; non-zero exit on any finding."""
+    errors = check_links() + check_docstrings()
+    for err in errors:
+        print(f"check_docs: {err}")
+    if errors:
+        print(f"check_docs: {len(errors)} issue(s)")
+        return 1
+    print("check_docs: OK (links resolve, docstrings present)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
