@@ -75,10 +75,10 @@ def main() -> None:
         d["weight"] = 1.0
     plan = FailurePlan().fail(0, 1)
     lossy = BatchedNetwork(ring, failures=plan)
-    lossy.run(DistributedBFS(0))
+    lossy_stats = lossy.run(DistributedBFS(0))
     dist, _ = DistributedBFS.results(lossy)
     print(f"\nfailure injection on a 12-cycle with edge (0,1) down: "
-          f"dist(1)={dist[1]} (clean: 1), {plan.dropped} messages dropped")
+          f"dist(1)={dist[1]} (clean: 1), {lossy_stats.dropped} messages dropped")
     assert dist[1] == 11
 
 

@@ -18,12 +18,14 @@ from repro import graphs
 from repro.core.tap import approximate_tap
 from repro.core.tecss import approximate_two_ecss
 from repro.core.unweighted import unweighted_tap
+from repro.dist import distributed_two_ecss
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "approximate_tap",
     "approximate_two_ecss",
+    "distributed_two_ecss",
     "unweighted_tap",
     "graphs",
     "__version__",

@@ -15,6 +15,13 @@ caching (see ``python -m repro sweep --help``); with the default
 
     python -m repro sweep --families grid,erdos_renyi --sizes 2000,20000 \\
         --eps 0.25,0.5 --seeds 1,2 --workers 4
+
+``sweep --engine sim`` runs every cell as the full message-level pipeline
+on the CONGEST engine (small sizes; identical solutions) and adds
+measured-vs-priced round columns to the report:
+
+    python -m repro sweep --engine sim --families grid,cycle_chords \\
+        --sizes 30,60 --seeds 1,2
 """
 
 from __future__ import annotations
@@ -109,6 +116,14 @@ def run_sweep_cli(argv: list[str]) -> int:
         help="execution backend (default: %(default)s)",
     )
     parser.add_argument(
+        "--engine", default="local", choices=("local", "sim"),
+        help=(
+            "'local' runs the centralized solver; 'sim' runs the full "
+            "message-level pipeline on the CONGEST engine and adds "
+            "rounds-vs-model columns (default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
         "--no-validate", action="store_true",
         help="skip the runtime certificates (faster, less checked)",
     )
@@ -138,6 +153,7 @@ def run_sweep_cli(argv: list[str]) -> int:
         variant=args.variant,
         backend=args.backend,
         validate=not args.no_validate,
+        engine=args.engine,
         workers=args.workers,
         cache_dir=args.cache_dir,
         name=args.name,

@@ -8,18 +8,31 @@ a crash, with more seeds, or with a finer eps grid — only computes the new
 cells.  Results are row dicts written as text, JSON, and CSV via
 :mod:`repro.analysis.tables`.
 
-Three design points worth knowing:
+Design points worth knowing:
 
 * **process pool, not threads** — the solver is pure Python + numpy and
   holds the GIL for most of a cell; ``ProcessPoolExecutor`` gives real
   parallelism.  ``workers=0`` runs serially in-process (deterministic
   profiles, simpler debugging, used by the tests);
 * **cache keys** are SHA-1 fingerprints of the full task tuple plus a
-  schema version — bump :data:`CACHE_VERSION` when row contents change;
+  schema version (:data:`CACHE_VERSION`) — and reads *verify* the stored
+  task against the requested one field-by-field, so a fingerprint
+  collision or schema drift can never silently return a wrong row;
+* **deterministic reports** — rows are sorted by grid key before writing,
+  so two sweep outputs diff meaningfully no matter how the grid axes were
+  ordered or which pool worker finished first;
+* **warm workers** — pool workers pre-import the solver stack
+  (:func:`warm_worker`), so ``build_s``/``solve_s`` measure the work, not
+  first-use imports;
 * **backends** — the default is ``backend="fast"`` (the vectorized kernels
   of :mod:`repro.fast`), which is what makes 20k–50k-node cells practical;
   since the backends are bit-identical, cached reference rows differ only
-  in their timing fields.
+  in their timing fields;
+* **engines** — ``engine="local"`` (default) runs the centralized solver;
+  ``engine="sim"`` runs the full message-level pipeline
+  (:func:`repro.dist.pipeline.distributed_two_ecss`) and adds
+  rounds-vs-model columns (``measured_rounds``, ``priced_rounds``,
+  ``max_ratio``, ``rounds_within_bound``) to each row.
 """
 
 from __future__ import annotations
@@ -32,10 +45,19 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass
 from typing import Iterable, Sequence
 
-__all__ = ["CACHE_VERSION", "SweepReport", "SweepTask", "run_sweep", "run_task"]
+__all__ = [
+    "CACHE_VERSION",
+    "SweepReport",
+    "SweepTask",
+    "run_sweep",
+    "run_task",
+    "warm_worker",
+]
 
-#: Bump when the row schema changes; stale cache entries are then recomputed.
-CACHE_VERSION = 1
+#: Bump when the row or task schema changes; stale entries are recomputed.
+#: v2: task gained the ``engine`` field; cache entries store the version
+#: explicitly and reads verify the stored task field-by-field.
+CACHE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -49,6 +71,7 @@ class SweepTask:
     variant: str = "improved"
     backend: str = "fast"
     validate: bool = True
+    engine: str = "local"
 
     def fingerprint(self) -> str:
         """Stable cache key for this cell (includes the schema version)."""
@@ -56,6 +79,13 @@ class SweepTask:
             {"v": CACHE_VERSION, **asdict(self)}, sort_keys=True
         )
         return hashlib.sha1(payload.encode()).hexdigest()
+
+    def sort_key(self) -> tuple:
+        """The grid key rows are ordered by in every report."""
+        return (
+            self.engine, self.family, self.n, self.eps, self.seed,
+            self.variant, self.backend,
+        )
 
 
 @dataclass
@@ -70,52 +100,107 @@ class SweepReport:
     text_path: str | None = None
 
 
+def warm_worker(engine: str = "local") -> None:
+    """Pre-import the solver stack (process-pool initializer).
+
+    First-use imports of ``repro.core``/``repro.graphs``/``repro.fast``
+    cost tens of milliseconds; without warmup they landed inside the first
+    cell's timed sections on every fresh pool worker, skewing small-n
+    ``build_s``/``solve_s`` rows.  Idempotent (imports are cached), so
+    :func:`run_task` also calls it defensively before starting its timers.
+    """
+    import repro.core.tecss  # noqa: F401
+    import repro.fast  # noqa: F401
+    import repro.graphs.families  # noqa: F401
+
+    if engine == "sim":
+        import repro.dist.pipeline  # noqa: F401
+
+
 def run_task(task: SweepTask) -> dict:
     """Run one grid cell and return its result row (process-pool entry point)."""
+    warm_worker(task.engine)
     from repro.core.tecss import approximate_two_ecss
     from repro.graphs.families import make_family_instance
+
+    # The sim engine always executes the reference code path; normalize the
+    # label here too so a directly-constructed task can't mislabel its row.
+    backend = "reference" if task.engine == "sim" else task.backend
 
     t0 = time.perf_counter()
     graph = make_family_instance(task.family, task.n, seed=task.seed)
     build_s = time.perf_counter() - t0
 
+    sim_columns: dict = {}
     t0 = time.perf_counter()
-    res = approximate_two_ecss(
-        graph,
-        eps=task.eps,
-        variant=task.variant,
-        validate=task.validate,
-        backend=task.backend,
-    )
+    if task.engine == "sim":
+        from repro.dist.pipeline import distributed_two_ecss
+
+        dist = distributed_two_ecss(
+            graph,
+            eps=task.eps,
+            variant=task.variant,
+            validate=task.validate,
+        )
+        res = dist.result
+        sim_columns = {
+            "D": dist.diameter,
+            "measured_rounds": dist.measured_rounds,
+            "priced_rounds": dist.priced_rounds,
+            "max_ratio": dist.max_ratio,
+            "rounds_within_bound": dist.within_bound,
+        }
+    else:
+        res = approximate_two_ecss(
+            graph,
+            eps=task.eps,
+            variant=task.variant,
+            validate=task.validate,
+            backend=backend,
+        )
     solve_s = time.perf_counter() - t0
     aug = res.augmentation
     return {
+        "engine": task.engine,
         "family": task.family,
         "n": res.n,
         "m": graph.number_of_edges(),
         "seed": task.seed,
         "eps": task.eps,
         "variant": task.variant,
-        "backend": task.backend,
+        "backend": backend,
         "weight": res.weight,
         "mst_weight": res.mst_weight,
         "certified_ratio": res.certified_ratio,
         "guarantee": res.guarantee,
         "layers": aug.num_layers,
         "max_iters": max(aug.iterations_per_epoch.values(), default=0),
+        **sim_columns,
         "build_s": build_s,
         "solve_s": solve_s,
     }
 
 
-def _read_cache(cache_dir: str, key: str) -> dict | None:
-    """Load one cached row; unreadable/corrupt entries count as misses."""
-    path = os.path.join(cache_dir, f"{key}.json")
+def _read_cache(cache_dir: str, task: SweepTask) -> dict | None:
+    """Load one cached row, verifying it really belongs to ``task``.
+
+    The filename is the task fingerprint, but the fingerprint is never
+    *trusted*: the entry must carry the current :data:`CACHE_VERSION` and
+    a stored task dict equal, field by field, to the requested task —
+    otherwise (collision, schema drift, truncated write) the entry counts
+    as a miss and the cell is recomputed.
+    """
+    path = os.path.join(cache_dir, f"{task.fingerprint()}.json")
     if not os.path.exists(path):
         return None
     try:
         with open(path) as fh:
-            return json.load(fh)["row"]
+            entry = json.load(fh)
+        if entry.get("version") != CACHE_VERSION:
+            return None
+        if entry.get("task") != asdict(task):
+            return None
+        return entry["row"]
     except (OSError, ValueError, KeyError):
         return None  # e.g. a truncated write from a killed run: recompute
 
@@ -125,7 +210,11 @@ def _write_cache(cache_dir: str, task: SweepTask, row: dict) -> None:
     path = os.path.join(cache_dir, f"{task.fingerprint()}.json")
     tmp = f"{path}.tmp.{os.getpid()}"
     with open(tmp, "w") as fh:
-        json.dump({"task": asdict(task), "row": row}, fh, indent=2)
+        json.dump(
+            {"version": CACHE_VERSION, "task": asdict(task), "row": row},
+            fh,
+            indent=2,
+        )
     os.replace(tmp, path)
 
 
@@ -144,15 +233,18 @@ def _grid(
     variant: str,
     backend: str,
     validate: bool,
+    engine: str,
 ) -> list[SweepTask]:
-    """Materialize the task grid in deterministic order."""
-    return [
-        SweepTask(family, n, seed, eps, variant, backend, validate)
+    """Materialize the task grid, sorted by grid key (report order)."""
+    tasks = [
+        SweepTask(family, n, seed, eps, variant, backend, validate, engine)
         for family in families
         for n in sizes
         for eps in eps_values
         for seed in seeds
     ]
+    tasks.sort(key=SweepTask.sort_key)
+    return tasks
 
 
 def run_sweep(
@@ -163,6 +255,7 @@ def run_sweep(
     variant: str = "improved",
     backend: str = "fast",
     validate: bool = True,
+    engine: str = "local",
     workers: int | None = None,
     cache_dir: str | None = None,
     name: str = "sweep",
@@ -178,6 +271,13 @@ def run_sweep(
     variant, backend, validate:
         Solver configuration forwarded to
         :func:`repro.core.tecss.approximate_two_ecss`.
+    engine:
+        ``"local"`` (default) runs the centralized solver; ``"sim"`` runs
+        the message-level pipeline
+        (:func:`repro.dist.pipeline.distributed_two_ecss`, identical
+        solution) and adds rounds-vs-model columns to every row.  The sim
+        engine always executes the reference code path, so ``backend`` is
+        pinned to ``"reference"`` for its cache keys.
     workers:
         Process-pool width; ``None`` lets the executor pick
         (``os.cpu_count()``), ``0`` or ``1`` runs serially in-process.
@@ -188,6 +288,10 @@ def run_sweep(
     name, out_dir, write_outputs:
         When ``write_outputs`` is true, write ``<name>.txt/.json/.csv``
         under ``out_dir`` (default ``benchmarks/out``).
+
+    Rows are returned (and written) in grid-key order —
+    ``(engine, family, n, eps, seed, variant, backend)`` — regardless of
+    axis order or pool completion order, so sweep outputs diff cleanly.
     """
     from repro.analysis.tables import (
         default_out_dir,
@@ -198,26 +302,30 @@ def run_sweep(
     )
     from repro.fast import resolve_backend
 
-    backend = resolve_backend(backend)
+    if engine not in ("local", "sim"):
+        raise ValueError(f"unknown engine {engine!r}; choose 'local' or 'sim'")
+    backend = "reference" if engine == "sim" else resolve_backend(backend)
     if cache_dir is None:
         cache_dir = os.path.join(default_out_dir(), "sweep_cache")
     os.makedirs(cache_dir, exist_ok=True)
 
-    tasks = _grid(families, sizes, seeds, eps_values, variant, backend, validate)
+    tasks = _grid(
+        families, sizes, seeds, eps_values, variant, backend, validate, engine
+    )
     rows_by_key: dict[str, dict] = {}
     pending: list[SweepTask] = []
     hits = 0
     for task in tasks:
-        key = task.fingerprint()
-        cached = _read_cache(cache_dir, key)
+        cached = _read_cache(cache_dir, task)
         if cached is not None:
-            rows_by_key[key] = cached
+            rows_by_key[task.fingerprint()] = cached
             hits += 1
         else:
             pending.append(task)
 
     if pending:
         if workers in (0, 1):
+            warm_worker(engine)
             for task in pending:
                 rows_by_key[task.fingerprint()] = _run_and_cache(cache_dir, task)
         else:
@@ -226,7 +334,11 @@ def run_sweep(
             # discards the finished ones — that is the crash-resume the
             # cache exists for.  Failures are reported together at the end.
             failures: list[tuple[SweepTask, BaseException]] = []
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=warm_worker,
+                initargs=(engine,),
+            ) as pool:
                 futures = {pool.submit(run_task, task): task for task in pending}
                 for future in as_completed(futures):
                     task = futures[future]

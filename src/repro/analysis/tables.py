@@ -17,6 +17,7 @@ from typing import Mapping, Sequence
 __all__ = [
     "default_out_dir",
     "format_table",
+    "rounds_vs_model_table",
     "write_report",
     "write_json",
     "write_csv",
@@ -24,6 +25,8 @@ __all__ = [
 
 
 def _fmt(value) -> str:
+    if value is None:
+        return "-"
     if isinstance(value, float):
         if value == float("inf"):
             return "inf"
@@ -51,6 +54,19 @@ def format_table(rows: Sequence[Mapping], title: str = "") -> str:
     for r in cells:
         out.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
     return "\n".join(out) + "\n"
+
+
+def rounds_vs_model_table(results: Sequence, title: str = "rounds_vs_model") -> str:
+    """Render measured-vs-priced round rows for distributed pipeline runs.
+
+    ``results`` is a sequence of
+    :class:`repro.dist.pipeline.DistTwoEcssResult`; each contributes its
+    per-primitive comparison rows (measured engine rounds, Level-M price,
+    ratio, bound check) plus a TOTAL row — the report form of the
+    measured-rounds truth cross-check.
+    """
+    rows = [row for res in results for row in res.rows()]
+    return format_table(rows, title=title)
 
 
 def default_out_dir() -> str:

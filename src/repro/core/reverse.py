@@ -69,6 +69,7 @@ def reverse_delete(
     segmented: bool = True,
     validate: bool = True,
     backend: str = "reference",
+    hooks=None,
 ) -> ReverseResult:
     """Run the reverse-delete phase on the forward phase's output.
 
@@ -78,6 +79,12 @@ def reverse_delete(
     :class:`repro.fast.context.FastEpochContext`; petal indices and
     coverage counts are integer-exact in both backends, so the resulting
     cover ``B`` is identical.
+
+    ``hooks`` is an optional observer (duck-typed): when it has an
+    ``on_global_gather(ctx, layer, candidates)`` method it is invoked for
+    every non-empty global-MIS candidate set, right where the distributed
+    algorithm performs the Section 4.5.1 information gathering —
+    :mod:`repro.dist.pipeline` uses this to run the gather message-level.
     """
     if variant not in COVER_BOUND:
         raise ValueError(f"variant must be one of {sorted(COVER_BOUND)}")
@@ -144,6 +151,8 @@ def reverse_delete(
                 cands = global_candidates(ctx, i, slh)
                 if cands:
                     log.record("global_mis_gather")
+                    if hooks is not None and hasattr(hooks, "on_global_gather"):
+                        hooks.on_global_gather(ctx, i, cands)
                 for t in global_mis(ctx, cands):
                     hi = ctx.higher_petal(t)
                     lo = ctx.lower_petal(t) if add_lower else -1

@@ -28,7 +28,7 @@ from repro.core.virtual_graph import map_back
 from repro.fast import resolve_backend
 from repro.trees.rooted import RootedTree
 
-__all__ = ["approximate_tap", "solve_virtual_tap"]
+__all__ = ["approximate_tap", "assemble_tap_result", "solve_virtual_tap"]
 
 
 def solve_virtual_tap(
@@ -38,6 +38,7 @@ def solve_virtual_tap(
     segmented: bool = True,
     validate: bool = True,
     backend: str = "reference",
+    hooks=None,
 ):
     """Solve TAP on an already-virtual instance; returns (fwd, rev).
 
@@ -47,7 +48,9 @@ def solve_virtual_tap(
     ``backend`` selects the execution engine for both phases:
     ``"reference"`` (per-edge Python loops, the auditable baseline) or
     ``"fast"`` (vectorized kernels in :mod:`repro.fast`, bit-identical
-    output, requires numpy).
+    output, requires numpy).  ``hooks`` is forwarded to
+    :func:`repro.core.reverse.reverse_delete` (the distributed pipeline's
+    observation point for the global-MIS gather).
     """
     if variant not in COVER_BOUND:
         raise ValueError(f"variant must be one of {sorted(COVER_BOUND)}")
@@ -57,7 +60,7 @@ def solve_virtual_tap(
     fwd = forward_phase(inst, eps=eps_prime, backend=backend)
     rev = reverse_delete(
         inst, fwd, variant=variant, segmented=segmented, validate=validate,
-        backend=backend,
+        backend=backend, hooks=hooks,
     )
     if validate:
         certs = _certificates(backend)
@@ -120,6 +123,28 @@ def approximate_tap(
         inst, eps=eps, variant=variant, segmented=segmented, validate=validate,
         backend=backend,
     )
+    return assemble_tap_result(
+        inst, fwd, rev, eps=eps, variant=variant, segmented=segmented,
+        validate=validate, backend=backend,
+    )
+
+
+def assemble_tap_result(
+    inst: TAPInstance,
+    fwd,
+    rev,
+    eps: float,
+    variant: str,
+    segmented: bool,
+    validate: bool,
+    backend: str = "reference",
+) -> TapResult:
+    """Map a solved virtual instance back to a :class:`TapResult`.
+
+    Shared by :func:`approximate_tap` and the distributed pipeline
+    (:func:`repro.dist.pipeline.distributed_two_ecss`), so both paths
+    assemble — and certify — the result with the same code.
+    """
     c = COVER_BOUND[variant]
     eps_prime = eps / c
 

@@ -31,7 +31,12 @@ from repro.core.tap import approximate_tap
 from repro.graphs.validation import check_two_edge_connected, ensure_weights, normalize_graph
 from repro.trees.rooted import RootedTree
 
-__all__ = ["approximate_two_ecss", "rooted_mst"]
+__all__ = [
+    "approximate_two_ecss",
+    "assemble_two_ecss",
+    "nontree_links",
+    "rooted_mst",
+]
 
 
 def rooted_mst(graph: nx.Graph) -> tuple[RootedTree, list[tuple]]:
@@ -40,6 +45,64 @@ def rooted_mst(graph: nx.Graph) -> tuple[RootedTree, list[tuple]]:
     edges = sorted(tuple(sorted(e)) for e in mst.edges())
     tree = RootedTree.from_edges(graph.number_of_nodes(), edges, root=0)
     return tree, edges
+
+
+def nontree_links(
+    graph: nx.Graph, mst_set: set[tuple[int, int]]
+) -> list[tuple[int, int, float]]:
+    """The candidate links: every non-MST edge as ``(u, v, weight)``."""
+    links = []
+    for u, v, data in graph.edges(data=True):
+        key = tuple(sorted((u, v)))
+        if key not in mst_set:
+            links.append((key[0], key[1], float(data["weight"])))
+    return links
+
+
+def assemble_two_ecss(
+    g: nx.Graph,
+    nodes,
+    mst_edges: list[tuple],
+    tap,
+    validate: bool = True,
+    mst_simulation=None,
+) -> TwoEcssResult:
+    """Combine MST + TAP augmentation into a validated :class:`TwoEcssResult`.
+
+    Shared by :func:`approximate_two_ecss` and the distributed pipeline
+    (:func:`repro.dist.pipeline.distributed_two_ecss`): ``g`` is the
+    normalized 0..n-1 graph, ``nodes`` the label mapping from
+    :func:`~repro.graphs.validation.normalize_graph`, and ``tap`` the
+    :class:`~repro.core.result.TapResult` of the augmentation.
+    """
+    mst_set = set(mst_edges)
+    mst_weight = sum(g[u][v]["weight"] for u, v in mst_edges)
+    aug_edges = [tuple(sorted(link)) for link in tap.links]
+    chosen = sorted(mst_set.union(aug_edges))
+    weight = mst_weight + tap.weight
+
+    if validate:
+        sub = g.edge_subgraph(chosen).copy()
+        sub.add_nodes_from(g.nodes())
+        check_two_edge_connected(sub)
+
+    # Map back to the caller's node labels.
+    edges_out = [(nodes[u], nodes[v]) for u, v in chosen]
+    mst_out = [(nodes[u], nodes[v]) for u, v in mst_edges]
+
+    diameter = nx.diameter(g) if g.number_of_nodes() <= 4000 else -1
+
+    return TwoEcssResult(
+        edges=edges_out,
+        weight=weight,
+        mst_edges=mst_out,
+        mst_weight=mst_weight,
+        augmentation=tap,
+        diameter=diameter,
+        n=g.number_of_nodes(),
+        guarantee=COVER_BOUND[tap.variant] * 2 + 1 + tap.eps,
+        mst_simulation=mst_simulation,
+    )
 
 
 def approximate_two_ecss(
@@ -84,12 +147,7 @@ def approximate_two_ecss(
         mst_edges = outcome.edges
     else:
         tree, mst_edges = rooted_mst(g)
-    mst_set = set(mst_edges)
-    links = []
-    for u, v, data in g.edges(data=True):
-        key = tuple(sorted((u, v)))
-        if key not in mst_set:
-            links.append((key[0], key[1], float(data["weight"])))
+    links = nontree_links(g, set(mst_edges))
 
     tap = approximate_tap(
         tree,
@@ -101,30 +159,7 @@ def approximate_two_ecss(
         backend=backend,
     )
 
-    mst_weight = sum(g[u][v]["weight"] for u, v in mst_edges)
-    aug_edges = [tuple(sorted(link)) for link in tap.links]
-    chosen = sorted(mst_set.union(aug_edges))
-    weight = mst_weight + tap.weight
-
-    if validate:
-        sub = g.edge_subgraph(chosen).copy()
-        sub.add_nodes_from(g.nodes())
-        check_two_edge_connected(sub)
-
-    # Map back to the caller's node labels.
-    edges_out = [(nodes[u], nodes[v]) for u, v in chosen]
-    mst_out = [(nodes[u], nodes[v]) for u, v in mst_edges]
-
-    diameter = nx.diameter(g) if g.number_of_nodes() <= 4000 else -1
-
-    return TwoEcssResult(
-        edges=edges_out,
-        weight=weight,
-        mst_edges=mst_out,
-        mst_weight=mst_weight,
-        augmentation=tap,
-        diameter=diameter,
-        n=g.number_of_nodes(),
-        guarantee=COVER_BOUND[variant] * 2 + 1 + eps,
-        mst_simulation=mst_simulation,
+    return assemble_two_ecss(
+        g, nodes, mst_edges, tap,
+        validate=validate, mst_simulation=mst_simulation,
     )

@@ -1,0 +1,66 @@
+"""``repro.dist`` — the paper's building blocks as real CONGEST programs.
+
+Where :mod:`repro.core` computes the algorithm centrally and *prices* its
+primitive invocations with the Level-M
+:class:`~repro.core.rounds.RoundCostModel`, this package runs those same
+primitives **message-level** on the batched engine (:mod:`repro.sim`) so
+the reported round complexity is a measurement, not a formula:
+
+* :mod:`repro.dist.programs` — node programs for LCA labeling
+  (Section 4.1), segment marking (Section 4.2.1), the layering recurrence
+  (Section 4.3), up/down tree aggregates (Claims 4.5/4.6), the petal /
+  chmin aggregates (Claim 4.11), and the global-MIS information gathering
+  (Section 4.5.1);
+* :mod:`repro.dist.ops` — :class:`~repro.dist.ops.MeasuredOps`, the
+  ``TreePathOps`` facade that makes the *shared* solver code execute its
+  aggregates on the wire (asserted equal to the reference values);
+* :mod:`repro.dist.pipeline` —
+  :func:`~repro.dist.pipeline.distributed_two_ecss`, the end-to-end
+  measured pipeline (bit-identical output to ``backend="reference"``),
+  with :class:`~repro.sim.failures.FailurePlan` composition for lossy
+  scenarios;
+* :mod:`repro.dist.accounting` — the measured-rounds ledger and the
+  rounds-vs-model comparison (``tests/test_dist_rounds.py`` pins the
+  documented constant factor);
+* :mod:`repro.dist.specs` — the primitives as
+  :class:`~repro.sim.runner.ProgramSpec` entries for the ScenarioRunner.
+"""
+
+from repro.dist.accounting import (
+    RATIO_BOUND,
+    MeasuredPrimitives,
+    PrimitiveMeasurement,
+    rounds_vs_model,
+)
+from repro.dist.ops import MeasuredOps
+from repro.dist.pipeline import DistTwoEcssResult, distributed_two_ecss
+from repro.dist.programs import (
+    AncestorSumDown,
+    ChminValues,
+    EulerTourLabels,
+    PipelinedChminUp,
+    PipelinedGather,
+    SubtreeAggregate,
+    layer_aggregate,
+    subtree_size_aggregate,
+)
+from repro.dist.specs import dist_specs
+
+__all__ = [
+    "RATIO_BOUND",
+    "AncestorSumDown",
+    "ChminValues",
+    "DistTwoEcssResult",
+    "EulerTourLabels",
+    "MeasuredOps",
+    "MeasuredPrimitives",
+    "PipelinedChminUp",
+    "PipelinedGather",
+    "PrimitiveMeasurement",
+    "SubtreeAggregate",
+    "dist_specs",
+    "distributed_two_ecss",
+    "layer_aggregate",
+    "rounds_vs_model",
+    "subtree_size_aggregate",
+]

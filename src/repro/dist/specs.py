@@ -1,0 +1,68 @@
+"""ProgramSpecs exposing the dist primitives to the ScenarioRunner.
+
+Each spec builds one message-level building-block program from a prepared
+graph (the MST/rooting happens inside ``build``, mirroring what the
+pipeline's setup phase provides every node), declares its Level-M price,
+and therefore plugs straight into
+:class:`repro.sim.runner.ScenarioRunner` — including its failure-injection
+and scheduler knobs.  This is how the primitives are swept standalone
+across families × sizes × seeds, independent of the full pipeline.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.tecss import rooted_mst
+from repro.dist.programs import (
+    AncestorSumDown,
+    EulerTourLabels,
+    layer_aggregate,
+    subtree_size_aggregate,
+)
+from repro.sim.runner import ProgramSpec
+
+__all__ = ["dist_specs"]
+
+
+def _tree(graph: nx.Graph):
+    """The rooted MST every dist primitive runs over."""
+    tree, _ = rooted_mst(graph)
+    return tree
+
+
+def _euler(graph: nx.Graph) -> EulerTourLabels:
+    tree = _tree(graph)
+    return EulerTourLabels(tree.parent, tree.root)
+
+
+def _layers(graph: nx.Graph):
+    tree = _tree(graph)
+    return layer_aggregate(tree.parent, tree.root)
+
+
+def _sizes(graph: nx.Graph):
+    tree = _tree(graph)
+    return subtree_size_aggregate(tree.parent, tree.root)
+
+
+def _ancestor_sums(graph: nx.Graph) -> AncestorSumDown:
+    tree = _tree(graph)
+    return AncestorSumDown(tree.parent, tree.root, [1.0] * tree.n)
+
+
+def dist_specs() -> tuple[ProgramSpec, ...]:
+    """The paper's tree building blocks as ScenarioRunner specs.
+
+    Prices: the labeling is one ``lca_labels`` setup primitive; the
+    one-sweep layering is charged as a single Claim 4.10 layer (its rounds
+    are ``O(height)``, priced ``D + sqrt n``); the marking sweep is the
+    ``segments_build`` setup; the ancestor-sum sweep is one Claim 4.6
+    aggregate.
+    """
+    return (
+        ProgramSpec("euler_labels", _euler, {"lca_labels": 1}),
+        ProgramSpec("layering_sweep", _layers, {"layering_layer": 1}),
+        ProgramSpec("subtree_sizes", _sizes, {"segments_build": 1}),
+        ProgramSpec("ancestor_sums", _ancestor_sums, {"aggregate": 1}),
+    )

@@ -51,16 +51,23 @@ class NodeProgram(Protocol):  # pragma: no cover - structural type only
 
 @dataclass
 class RunStats:
+    """Measured statistics of one ``run``: counted rounds, messages sent,
+    the widest payload, quiescence, and (batched engine only) the number
+    of messages lost to failure injection in *this* run."""
+
     rounds: int = 0
     messages: int = 0
     max_words: int = 0
     quiescent: bool = False
+    dropped: int = 0
 
     def merge(self, other: "RunStats") -> None:
+        """Fold a later phase's stats into this one (phases run back to back)."""
         self.rounds += other.rounds
         self.messages += other.messages
         self.max_words = max(self.max_words, other.max_words)
         self.quiescent = other.quiescent
+        self.dropped += other.dropped
 
 
 class Network:

@@ -205,7 +205,7 @@ class BatchedNetwork:
         # custom schedulers only have to provide select(); absent the
         # tracks_activity hint we conservatively keep the woken set
         track_woken = getattr(scheduler, "tracks_activity", True)
-        self.dropped = 0  # per-run counter (plan.dropped is the lifetime sum)
+        self.dropped = 0  # per-run mirror of stats.dropped (plans stay immutable)
         step = program.step
         wants = program.wants_to_continue
 
@@ -266,7 +266,7 @@ class BatchedNetwork:
 
             stats.rounds += 1
             if dropped:
-                failures.dropped += dropped
+                stats.dropped += dropped
                 self.dropped += dropped
             front, back = back, front
             woken = new_woken

@@ -30,13 +30,17 @@ class FailurePlan:
     ``(sender, receiver)`` pairs; ``always`` holds pairs down in every
     round.  Use :meth:`fail` to populate (it normalizes symmetry), or the
     module helper :func:`random_failure_plan` for seeded random drops.
+
+    A plan is *pure configuration*: the engine never mutates it, so one
+    plan can be shared across networks, runs, and
+    :class:`~repro.sim.runner.ScenarioRunner` repeats without conflating
+    their statistics.  Per-run drop counts live in the measured
+    :class:`~repro.model.network.RunStats` (``stats.dropped``) and on the
+    engine (``net.dropped``, reset at the start of every ``run``).
     """
 
     by_round: dict[int, set[tuple[int, int]]] = field(default_factory=dict)
     always: set[tuple[int, int]] = field(default_factory=set)
-    # lifetime total of messages this plan dropped, summed over every run
-    # that used it (the engine's own ``dropped`` attribute is per-run)
-    dropped: int = 0
 
     def fail(
         self,

@@ -92,6 +92,7 @@ class ScenarioResult:
             "messages": self.stats.messages,
             "max_words": self.stats.max_words,
             "quiescent": self.stats.quiescent,
+            "dropped": self.stats.dropped,
             "priced": self.priced_rounds,
             "thm11": self.thm11_bound,
             "within_price": self.within_price,
@@ -104,7 +105,12 @@ class ScenarioRunner:
 
     ``engine`` is ``"batched"`` (default), ``"legacy"``, or any callable
     ``(graph, words_per_edge) -> network`` — the hook differential tests
-    use to aim the same sweep at the oracle engine.
+    use to aim the same sweep at the oracle engine.  ``failures`` (an
+    immutable :class:`~repro.sim.failures.FailurePlan`) is applied to
+    every batched network the runner builds, which is how the dist-layer
+    primitive specs (:func:`repro.dist.specs.dist_specs`) are swept under
+    lossy-CONGEST conditions; per-run drop counts land in each result's
+    ``stats.dropped``.
     """
 
     def __init__(
@@ -113,9 +119,18 @@ class ScenarioRunner:
         words_per_edge: int = 4,
         eps: float = 0.5,
         scheduler=None,
+        failures=None,
     ) -> None:
         if engine == "batched":
-            self._make = lambda g, w: BatchedNetwork(g, w, scheduler=scheduler)
+            self._make = lambda g, w: BatchedNetwork(
+                g, w, scheduler=scheduler, failures=failures
+            )
+        elif failures is not None:
+            # Only the batched engine implements failure injection; dropping
+            # the plan silently would report a clean run as a lossy one.
+            raise ValueError(
+                f"failure injection requires engine='batched'; got {engine!r}"
+            )
         elif engine == "legacy":
             self._make = lambda g, w: Network(g, w)
         elif callable(engine):

@@ -1,0 +1,162 @@
+"""Unit tests for the message-level tree programs of ``repro.dist``.
+
+Every program runs on the batched engine over a real network and is held
+to its centralized counterpart: Euler labels vs ``RootedTree.tin/tout``,
+the layering sweep vs ``Layering``, subtree sizes vs ``subtree_sizes()``,
+ancestor sums vs ``TreePathOps.ancestor_sums`` (bit-identical floats),
+chmin vs ``TreePathOps.chmin_over_paths``, and the gather vs the exact
+item multiset.  Shapes include paths, stars, and brooms — the adversarial
+cases for pipelining and queue backlogs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dist.programs import (
+    AncestorSumDown,
+    EulerTourLabels,
+    PipelinedChminUp,
+    PipelinedGather,
+    SubtreeAggregate,
+    layer_aggregate,
+    subtree_size_aggregate,
+)
+from repro.decomp.layering import Layering
+from repro.sim import BatchedNetwork
+from repro.trees.pathops import TreePathOps
+
+from conftest import TREE_SHAPES, random_tree, random_vertical_edges, tree_as_networkx
+
+
+def _net(tree) -> BatchedNetwork:
+    g = tree_as_networkx(tree)
+    for _, _, d in g.edges(data=True):
+        d["weight"] = 1.0
+    return BatchedNetwork(g)
+
+
+CASES = [(n, seed, shape) for n in (2, 9, 24, 60) for seed in (0, 3) for shape in TREE_SHAPES]
+
+
+@pytest.mark.parametrize("n,seed,shape", CASES)
+def test_euler_labels_match_rooted_tree(n, seed, shape):
+    tree = random_tree(n, seed=seed, shape=shape)
+    net = _net(tree)
+    stats = net.run(EulerTourLabels(tree.parent, tree.root))
+    assert stats.quiescent
+    tin, tout = EulerTourLabels.results(net)
+    assert tin == tree.tin
+    assert tout == tree.tout
+    # Rounds: one up sweep plus one down sweep.
+    assert stats.rounds <= 2 * tree.height + 4
+
+
+@pytest.mark.parametrize("n,seed,shape", CASES)
+def test_layer_sweep_matches_layering(n, seed, shape):
+    tree = random_tree(n, seed=seed, shape=shape)
+    net = _net(tree)
+    stats = net.run(layer_aggregate(tree.parent, tree.root))
+    assert stats.quiescent
+    values = SubtreeAggregate.results(net)
+    layering = Layering(tree)
+    for v in tree.tree_edges():
+        assert int(values[v]) == layering.layer[v]
+
+
+@pytest.mark.parametrize("n,seed,shape", CASES)
+def test_subtree_size_sweep(n, seed, shape):
+    tree = random_tree(n, seed=seed, shape=shape)
+    net = _net(tree)
+    stats = net.run(subtree_size_aggregate(tree.parent, tree.root))
+    assert stats.quiescent
+    values = SubtreeAggregate.results(net)
+    assert [int(x) for x in values] == tree.subtree_sizes()
+    assert stats.rounds <= tree.height + 3
+
+
+@pytest.mark.parametrize("n,seed,shape", CASES)
+def test_ancestor_sums_bit_identical(n, seed, shape):
+    tree = random_tree(n, seed=seed, shape=shape)
+    rng = random.Random(seed + 99)
+    values = [rng.uniform(0.0, 10.0) for _ in range(n)]
+    net = _net(tree)
+    stats = net.run(AncestorSumDown(tree.parent, tree.root, values))
+    assert stats.quiescent
+    dist = AncestorSumDown.results(net)
+    ref = TreePathOps(tree).ancestor_sums(values)
+    assert dist == ref  # same association order: exact float equality
+    assert stats.rounds <= tree.height + 3
+
+
+@pytest.mark.parametrize("n,seed,shape", CASES)
+def test_pipelined_chmin_matches_reference(n, seed, shape):
+    tree = random_tree(n, seed=seed, shape=shape)
+    if n < 3:
+        pytest.skip("no vertical edges on tiny trees")
+    rng = random.Random(seed + 7)
+    updates = [
+        (dec, anc, (rng.uniform(0.0, 50.0), idx))
+        for idx, (dec, anc) in enumerate(
+            random_vertical_edges(tree, 3 * n, seed=seed + 1)
+        )
+    ]
+    net = _net(tree)
+    stats = net.run(
+        PipelinedChminUp(
+            tree.parent, tree.depth,
+            [(d, a, v) for d, a, v in updates],
+        )
+    )
+    assert stats.quiescent
+    dist = PipelinedChminUp.results(net, identity=None)
+    ref = TreePathOps(tree).chmin_over_paths(updates)
+    for t in tree.tree_edges():
+        ref_val = ref.get(t)
+        if ref_val == ref.identity:
+            assert not dist.covered(t)
+        else:
+            assert dist.get(t) == ref_val
+
+
+def test_pipelined_chmin_respects_congest_budget():
+    # On a path, many items funnel through one edge: the budget still holds
+    # because only one item crosses per round.
+    tree = random_tree(40, seed=1, shape="path")
+    updates = [(39, 0, (float(i), i)) for i in range(25)]
+    net = _net(tree)
+    stats = net.run(PipelinedChminUp(tree.parent, tree.depth, updates))
+    assert stats.quiescent
+    assert stats.max_words <= net.words_per_edge
+    dist = PipelinedChminUp.results(net, identity=None)
+    # Every edge of the path is covered by the minimum item.
+    for t in tree.tree_edges():
+        assert dist.get(t) == (0.0, 0)
+
+
+def test_pipelined_gather_collects_everything():
+    tree = random_tree(30, seed=2, shape="caterpillar")
+    rng = random.Random(5)
+    items_at = {}
+    expected = []
+    for v in range(1, tree.n, 3):
+        item = (v, rng.randrange(100))
+        items_at.setdefault(v, []).append(item)
+        expected.append(item)
+    net = _net(tree)
+    stats = net.run(PipelinedGather(tree.parent, tree.root, items_at))
+    assert stats.quiescent
+    assert PipelinedGather.results(net, tree.root) == sorted(expected)
+    # Pipelined: depth + number of items, not depth * items.
+    assert stats.rounds <= tree.height + len(expected) + 3
+
+
+def test_gather_root_items_need_no_messages():
+    tree = random_tree(8, seed=0, shape="star")
+    net = _net(tree)
+    stats = net.run(PipelinedGather(tree.parent, tree.root, {0: [(0, 1)]}))
+    assert stats.quiescent
+    assert PipelinedGather.results(net, tree.root) == [(0, 1)]
+    assert stats.messages == 0

@@ -192,9 +192,9 @@ class TestFailureInjectionScenarios:
         assert dist[:3] == [0, 1, 2]
         assert dist[3:] == [None, None, None]
         assert stats.quiescent
-        assert plan.dropped > 0
-        assert sum(r.dropped for r in net.trace) == plan.dropped == net.dropped
-        assert sum(r.delivered for r in net.trace) == stats.messages - plan.dropped
+        assert stats.dropped > 0
+        assert sum(r.dropped for r in net.trace) == stats.dropped == net.dropped
+        assert sum(r.delivered for r in net.trace) == stats.messages - stats.dropped
 
     def test_bfs_reroutes_around_failed_cycle_edge(self):
         # on a cycle the wavefront routes around a severed edge: everyone
@@ -272,18 +272,30 @@ class TestFailureInjectionScenarios:
         assert a.by_round != c.by_round
         stats_a = BatchedNetwork(g, failures=a).run(DistributedBFS(0))
         stats_b = BatchedNetwork(g, failures=b).run(DistributedBFS(0))
-        assert stats_a == stats_b and a.dropped == b.dropped
+        assert stats_a == stats_b and stats_a.dropped == stats_b.dropped
 
-    def test_engine_dropped_is_per_run_plan_dropped_is_lifetime(self):
+    def test_drop_accounting_is_per_run_and_plan_stays_immutable(self):
+        # Regression: the engine used to accumulate a lifetime counter on
+        # the plan, so reusing one plan across runs conflated their stats.
+        import copy
+
         plan = FailurePlan().fail(2, 3)
+        before = copy.deepcopy(plan)
         net = BatchedNetwork(_weighted_path(6), failures=plan)
-        net.run(DistributedBFS(0))
-        per_run = net.dropped
-        assert per_run > 0
+        stats1 = net.run(DistributedBFS(0))
+        assert stats1.dropped > 0
+        assert net.dropped == stats1.dropped
         net.reset_state()
-        net.run(DistributedBFS(0))
-        assert net.dropped == per_run  # reset each run
-        assert plan.dropped == 2 * per_run  # accumulates across runs
+        stats2 = net.run(DistributedBFS(0))
+        assert stats2.dropped == stats1.dropped  # reset each run
+        assert net.dropped == stats2.dropped
+        # The plan is pure configuration: bitwise-unchanged after two runs.
+        assert plan == before
+        # A second network reusing the same plan sees identical behavior.
+        stats3 = BatchedNetwork(_weighted_path(6), failures=plan).run(
+            DistributedBFS(0)
+        )
+        assert stats3 == stats1
 
     def test_empty_plan_matches_oracle(self):
         g = _weighted_path(10)
@@ -291,4 +303,4 @@ class TestFailureInjectionScenarios:
         assert plan.empty()
         stats = BatchedNetwork(g, failures=plan).run(DistributedBFS(0))
         assert stats == Network(g).run(DistributedBFS(0))
-        assert plan.dropped == 0
+        assert stats.dropped == 0

@@ -107,6 +107,72 @@ def test_sweep_task_fingerprint_stability() -> None:
     b = SweepTask("grid", 100, 1, 0.5)
     c = SweepTask("grid", 100, 2, 0.5)
     assert a.fingerprint() == b.fingerprint() != c.fingerprint()
+    assert a.fingerprint() != SweepTask("grid", 100, 1, 0.5, engine="sim").fingerprint()
+
+
+def test_cache_entry_with_wrong_task_is_rejected(tmp_path) -> None:
+    """Regression: a fingerprint collision (or hand-copied cache file) must
+    not return another cell's row — the stored task is verified field by
+    field against the requested one."""
+    report = _run(tmp_path, families=["grid"], sizes=[40])
+    cache = tmp_path / "cache"
+    (entry,) = list(cache.iterdir())
+    data = json.loads(entry.read_text())
+    data["task"]["seed"] = 999  # simulate a collision: same filename, other task
+    entry.write_text(json.dumps(data))
+    again = _run(tmp_path, families=["grid"], sizes=[40])
+    assert again.cache_hits == 0 and again.cache_misses == 1
+    assert again.rows[0]["seed"] == report.rows[0]["seed"] == 1
+
+
+def test_cache_entry_with_stale_schema_version_is_recomputed(tmp_path) -> None:
+    _run(tmp_path, families=["grid"], sizes=[40])
+    cache = tmp_path / "cache"
+    (entry,) = list(cache.iterdir())
+    data = json.loads(entry.read_text())
+    data["version"] = -1
+    entry.write_text(json.dumps(data))
+    again = _run(tmp_path, families=["grid"], sizes=[40])
+    assert again.cache_misses == 1
+
+
+def test_rows_sorted_by_grid_key_regardless_of_axis_order(tmp_path) -> None:
+    """Regression: report row order is the grid key, not submission or
+    completion order, so two sweep outputs diff meaningfully."""
+    fwd = _run(tmp_path, families=["grid", "cycle_chords"], sizes=[70, 40])
+    rev = _run(tmp_path, families=["cycle_chords", "grid"], sizes=[40, 70])
+    keys = [(r["family"], r["n"]) for r in fwd.rows]
+    assert keys == sorted(keys)
+    assert [(r["family"], r["n"]) for r in rev.rows] == keys
+    assert rev.rows == fwd.rows  # cache hits, identical order and content
+
+
+def test_sim_engine_rows_carry_rounds_columns(tmp_path) -> None:
+    report = _run(
+        tmp_path, families=["cycle_chords"], sizes=[30], engine="sim"
+    )
+    (row,) = report.rows
+    assert row["engine"] == "sim" and row["backend"] == "reference"
+    assert row["measured_rounds"] > 0
+    assert row["priced_rounds"] > 0
+    assert row["rounds_within_bound"] is True
+    # The sim engine's solution is the reference solution.
+    graph = make_family_instance("cycle_chords", 30, seed=1)
+    ref = approximate_two_ecss(graph, eps=0.5, backend="reference")
+    assert row["weight"] == ref.weight
+
+
+def test_unknown_engine_rejected(tmp_path) -> None:
+    with pytest.raises(ValueError, match="engine"):
+        _run(tmp_path, engine="quantum")
+
+
+def test_warm_worker_is_idempotent() -> None:
+    from repro.analysis.sweep import warm_worker
+
+    warm_worker("local")
+    warm_worker("sim")
+    warm_worker("sim")
 
 
 def test_sweep_cli_smoke(tmp_path, capsys) -> None:

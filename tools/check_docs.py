@@ -24,7 +24,12 @@ import re
 import sys
 
 #: Source trees held to the docstring requirement.
-DOCSTRING_TREES = ("src/repro/sim", "src/repro/core", "src/repro/fast")
+DOCSTRING_TREES = (
+    "src/repro/sim",
+    "src/repro/core",
+    "src/repro/fast",
+    "src/repro/dist",
+)
 
 #: Markdown files whose links must resolve.
 LINKED_DOCS = ("README.md", "docs")
