@@ -1,0 +1,114 @@
+"""The 2000-node session-reuse benchmark: shared plan vs one-shot rebuilds.
+
+Solves the canonical 2000-node Erdős–Rényi instance ``REPEATS`` times
+through one :class:`repro.runtime.session.SolverSession` (the plan —
+validation, normalization, MST, virtual graph, diameter — is built once
+and reused) and compares the wall clock against the one-shot API, which
+rebuilds everything per call.  Results are asserted bit-identical, the
+comparison lands in ``BENCH_session_reuse.json`` at the repo root (a CI
+artifact), and the gate requires the session to be at least
+``MIN_SPEEDUP``× faster.
+
+The one-shot total is *projected*: the per-call time is measured as the
+minimum over ``ONE_SHOT_SAMPLES`` full calls and multiplied by
+``REPEATS``.  Taking the minimum favors the one-shot side (its projected
+total is a lower bound on the real total), so the reported speedup is an
+*underestimate* — the gate stays honest without spending ~2 minutes of CI
+on 50 identical rebuilds.
+
+Also runnable directly (no pytest) to refresh the JSON:
+
+    PYTHONPATH=src python benchmarks/bench_session_reuse.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+from repro.core.tecss import approximate_two_ecss
+from repro.graphs.families import make_family_instance
+from repro.runtime import SolveQuery, SolverSession
+
+N = 2000
+SEED = 1
+EPS = 0.5
+REPEATS = 50
+ONE_SHOT_SAMPLES = 3
+MIN_SPEEDUP = 3.0
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_session_reuse.json",
+)
+
+
+def run_session_reuse_benchmark() -> dict:
+    """Time session reuse vs one-shot, check bit-identity, write the JSON."""
+    graph = make_family_instance("erdos_renyi", N, seed=SEED)
+
+    # One-shot: full rebuild per call; keep the fastest observed call.
+    one_shot_s = float("inf")
+    reference = None
+    for _ in range(ONE_SHOT_SAMPLES):
+        t0 = time.perf_counter()
+        reference = approximate_two_ecss(graph, eps=EPS, backend="fast")
+        one_shot_s = min(one_shot_s, time.perf_counter() - t0)
+
+    # Session: one plan, REPEATS solves (includes the plan build).
+    t0 = time.perf_counter()
+    session = SolverSession(graph, backend="fast")
+    results = session.solve_many([SolveQuery(eps=EPS)] * REPEATS)
+    session_total_s = time.perf_counter() - t0
+
+    for res in results:
+        assert res.edges == reference.edges and res.weight == reference.weight, (
+            "session result diverged from the one-shot API — the "
+            "bit-identity contract is broken"
+        )
+    assert session.stats["plans_built"] == 1, "plan was rebuilt mid-session"
+
+    one_shot_total_s = one_shot_s * REPEATS
+    speedup = one_shot_total_s / session_total_s
+    record = {
+        "benchmark": "session_reuse",
+        "instance": {"family": "erdos_renyi", "n": N, "seed": SEED,
+                     "m": graph.number_of_edges(), "eps": EPS},
+        "repeats": REPEATS,
+        "one_shot_samples": ONE_SHOT_SAMPLES,
+        "python": platform.python_version(),
+        "one_shot_s_per_call": round(one_shot_s, 4),
+        "one_shot_total_s_projected": round(one_shot_total_s, 4),
+        "session_total_s": round(session_total_s, 4),
+        "session_s_per_solve": round(session_total_s / REPEATS, 4),
+        "speedup": round(speedup, 2),
+        "min_speedup_gate": MIN_SPEEDUP,
+        "weight": reference.weight,
+    }
+    with open(BENCH_PATH, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    # Enforce the gate here so both entry points (pytest and the CI job's
+    # direct `python benchmarks/bench_session_reuse.py`) fail loudly.
+    assert speedup >= MIN_SPEEDUP, (
+        f"session reuse speedup {speedup:.2f}x below the {MIN_SPEEDUP}x gate"
+    )
+    return record
+
+
+def test_bench_session_reuse(benchmark):
+    record = benchmark.pedantic(run_session_reuse_benchmark, rounds=1,
+                                iterations=1)
+    print(
+        f"\nsession reuse n={N}: one-shot {record['one_shot_s_per_call']*1e3:.0f} "
+        f"ms/call, session {record['session_s_per_solve']*1e3:.0f} ms/solve, "
+        f"{REPEATS} solves speedup {record['speedup']}x -> {BENCH_PATH}"
+    )
+    assert record["speedup"] >= MIN_SPEEDUP
+
+
+if __name__ == "__main__":
+    rec = run_session_reuse_benchmark()
+    print(json.dumps(rec, indent=2))

@@ -19,10 +19,13 @@ from repro.core.tap import approximate_tap
 from repro.core.tecss import approximate_two_ecss
 from repro.core.unweighted import unweighted_tap
 from repro.dist import distributed_two_ecss
+from repro.runtime import SolveQuery, SolverSession
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "SolveQuery",
+    "SolverSession",
     "approximate_tap",
     "approximate_two_ecss",
     "distributed_two_ecss",

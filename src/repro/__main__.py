@@ -4,6 +4,7 @@
     python -m repro experiments [ids]   # regenerate experiment tables
     python -m repro figures             # regenerate the paper's figures
     python -m repro sweep [options]     # parallel family x size x eps sweep
+    python -m repro backends            # list registered execution backends
 
 ``experiments`` with no ids runs the full E1..E13 suite (minutes); with ids
 (e.g. ``e05 e11``) only those.  Tables are written to ``benchmarks/out/``
@@ -111,16 +112,23 @@ def run_sweep_cli(argv: list[str]) -> int:
         "--variant", default="improved", choices=("improved", "basic"),
         help="reverse-delete variant (default: %(default)s)",
     )
+    from repro.runtime.registry import backend_names
+
     parser.add_argument(
-        "--backend", default="fast", choices=("fast", "reference", "auto"),
-        help="execution backend (default: %(default)s)",
+        "--backend", default="fast",
+        help=(
+            "compute backend (registered: "
+            f"{', '.join(backend_names('compute'))}; "
+            "default: %(default)s)"
+        ),
     )
     parser.add_argument(
-        "--engine", default="local", choices=("local", "sim"),
+        "--engine", default="local",
         help=(
             "'local' runs the centralized solver; 'sim' runs the full "
             "message-level pipeline on the CONGEST engine and adds "
-            "rounds-vs-model columns (default: %(default)s)"
+            "rounds-vs-model columns (registered: "
+            f"{', '.join(backend_names('engine'))}; default: %(default)s)"
         ),
     )
     parser.add_argument(
@@ -145,20 +153,27 @@ def run_sweep_cli(argv: list[str]) -> int:
     )
     args = parser.parse_args(argv)
 
-    report = run_sweep(
-        families=[f for f in args.families.split(",") if f],
-        sizes=[int(x) for x in args.sizes.split(",") if x],
-        seeds=[int(x) for x in args.seeds.split(",") if x],
-        eps_values=[float(x) for x in args.eps.split(",") if x],
-        variant=args.variant,
-        backend=args.backend,
-        validate=not args.no_validate,
-        engine=args.engine,
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        name=args.name,
-        out_dir=args.out_dir,
-    )
+    from repro.runtime.registry import UnknownBackendError
+
+    try:
+        report = run_sweep(
+            families=[f for f in args.families.split(",") if f],
+            sizes=[int(x) for x in args.sizes.split(",") if x],
+            seeds=[int(x) for x in args.seeds.split(",") if x],
+            eps_values=[float(x) for x in args.eps.split(",") if x],
+            variant=args.variant,
+            backend=args.backend,
+            validate=not args.no_validate,
+            engine=args.engine,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            name=args.name,
+            out_dir=args.out_dir,
+        )
+    except UnknownBackendError as exc:
+        # One line listing the registered backends, not a traceback.
+        print(exc)
+        return 2
     from repro.analysis.tables import format_table
 
     print(format_table(report.rows, title=args.name))
@@ -168,6 +183,24 @@ def run_sweep_cli(argv: list[str]) -> int:
     )
     for path in (report.text_path, report.json_path, report.csv_path):
         print(f"-> {path}")
+    return 0
+
+
+def run_backends() -> int:
+    """Print the execution-backend registry as a table."""
+    from repro.analysis.tables import format_table
+    from repro.runtime.registry import registered
+
+    rows = [
+        {
+            "kind": spec.kind,
+            "name": spec.name,
+            "capabilities": ",".join(sorted(spec.capabilities)) or "-",
+            "description": spec.description,
+        }
+        for spec in registered()
+    ]
+    print(format_table(rows, title="registered execution backends"))
     return 0
 
 
@@ -198,6 +231,8 @@ def main(argv: list[str]) -> int:
         return run_experiments(rest)
     if cmd == "sweep":
         return run_sweep_cli(rest)
+    if cmd == "backends":
+        return run_backends()
     if cmd == "figures":
         return run_figures()
     print(f"unknown command {cmd!r}")

@@ -32,7 +32,19 @@ Design points worth knowing:
   ``engine="sim"`` runs the full message-level pipeline
   (:func:`repro.dist.pipeline.distributed_two_ecss`) and adds
   rounds-vs-model columns (``measured_rounds``, ``priced_rounds``,
-  ``max_ratio``, ``rounds_within_bound``) to each row.
+  ``max_ratio``, ``rounds_within_bound``) to each row.  Both names — and
+  the backend names — are validated through the execution-backend
+  registry (:mod:`repro.runtime.registry`), so unknown names fail with a
+  one-line error listing what is registered;
+* **shared plans** — cells are grouped by topology ``(family, n, seed)``
+  and each group is driven through one
+  :class:`repro.runtime.session.SolverSession` (:func:`run_task_group`):
+  the eps/variant/backend/engine cells of a topology share a cached
+  :class:`~repro.runtime.plan.SolverPlan` (validation, MST, virtual
+  graph, diameter built once) instead of rebuilding per cell.  ``build_s``
+  therefore records the *group's* shared graph + session construction
+  time, identically on every row of the group, while the first computed
+  cell's ``solve_s`` includes the lazy plan construction.
 """
 
 from __future__ import annotations
@@ -51,13 +63,17 @@ __all__ = [
     "SweepTask",
     "run_sweep",
     "run_task",
+    "run_task_group",
     "warm_worker",
 ]
 
 #: Bump when the row or task schema changes; stale entries are recomputed.
 #: v2: task gained the ``engine`` field; cache entries store the version
 #: explicitly and reads verify the stored task field-by-field.
-CACHE_VERSION = 2
+#: v3: cells run through a shared per-topology SolverSession —
+#: ``build_s`` now records the group's shared graph + session build time
+#: and the first cell's ``solve_s`` includes the lazy plan construction.
+CACHE_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -117,30 +133,25 @@ def warm_worker(engine: str = "local") -> None:
         import repro.dist.pipeline  # noqa: F401
 
 
-def run_task(task: SweepTask) -> dict:
-    """Run one grid cell and return its result row (process-pool entry point)."""
-    warm_worker(task.engine)
-    from repro.core.tecss import approximate_two_ecss
-    from repro.graphs.families import make_family_instance
+def _group_key(task: SweepTask) -> tuple:
+    """Cells sharing this key share one topology, hence one solver session."""
+    return (task.family, task.n, task.seed)
 
+
+def _solve_cell(session, task: SweepTask) -> dict:
+    """Solve one cell on a (shared) session and flatten it to a row."""
     # The sim engine always executes the reference code path; normalize the
     # label here too so a directly-constructed task can't mislabel its row.
     backend = "reference" if task.engine == "sim" else task.backend
 
-    t0 = time.perf_counter()
-    graph = make_family_instance(task.family, task.n, seed=task.seed)
-    build_s = time.perf_counter() - t0
-
     sim_columns: dict = {}
     t0 = time.perf_counter()
     if task.engine == "sim":
-        from repro.dist.pipeline import distributed_two_ecss
-
-        dist = distributed_two_ecss(
-            graph,
+        dist = session.solve(
             eps=task.eps,
             variant=task.variant,
             validate=task.validate,
+            engine="sim",
         )
         res = dist.result
         sim_columns = {
@@ -151,12 +162,12 @@ def run_task(task: SweepTask) -> dict:
             "rounds_within_bound": dist.within_bound,
         }
     else:
-        res = approximate_two_ecss(
-            graph,
+        res = session.solve(
             eps=task.eps,
             variant=task.variant,
             validate=task.validate,
             backend=backend,
+            engine="local",
         )
     solve_s = time.perf_counter() - t0
     aug = res.augmentation
@@ -164,7 +175,7 @@ def run_task(task: SweepTask) -> dict:
         "engine": task.engine,
         "family": task.family,
         "n": res.n,
-        "m": graph.number_of_edges(),
+        "m": session.handle.m,
         "seed": task.seed,
         "eps": task.eps,
         "variant": task.variant,
@@ -176,9 +187,74 @@ def run_task(task: SweepTask) -> dict:
         "layers": aug.num_layers,
         "max_iters": max(aug.iterations_per_epoch.values(), default=0),
         **sim_columns,
-        "build_s": build_s,
         "solve_s": solve_s,
     }
+
+
+def run_task_group(
+    tasks: Sequence[SweepTask], cache_dir: str | None = None
+) -> list[dict]:
+    """Run one topology's grid cells on a shared session (pool entry point).
+
+    All tasks must share :func:`_group_key`.  The graph is built and the
+    :class:`~repro.runtime.session.SolverSession` created once; every
+    cell then reuses the session's cached
+    :class:`~repro.runtime.plan.SolverPlan`.  Returns one outcome dict
+    per task, in order: ``{"row": ...}`` for a solved cell or
+    ``{"error": ...}`` for a failed one.  With ``cache_dir``, each solved
+    cell is persisted *as soon as it finishes* — a failing cell or a kill
+    mid-group never discards the finished ones (that is the crash-resume
+    the cache exists for).
+    """
+    if len({_group_key(t) for t in tasks}) != 1:
+        raise ValueError("run_task_group needs tasks sharing one topology")
+    warm_worker("sim" if any(t.engine == "sim" for t in tasks) else "local")
+    from repro.graphs.families import make_family_instance
+    from repro.runtime.session import SolverSession
+
+    t0 = time.perf_counter()
+    try:
+        graph = make_family_instance(
+            tasks[0].family, tasks[0].n, seed=tasks[0].seed
+        )
+        session = SolverSession(graph)
+    except Exception as exc:  # noqa: BLE001 - reported per cell by the caller
+        return [{"error": f"{type(exc).__name__}: {exc}"} for _ in tasks]
+    build_s = time.perf_counter() - t0
+
+    outcomes: list[dict] = []
+    for task in tasks:
+        try:
+            row = _solve_cell(session, task)
+        except Exception as exc:  # noqa: BLE001 - reported by the caller
+            outcomes.append({"error": f"{type(exc).__name__}: {exc}"})
+            continue
+        row["build_s"] = build_s
+        if cache_dir is not None:
+            _write_cache(cache_dir, task, row)
+        outcomes.append({"row": row})
+    return outcomes
+
+
+def run_task(task: SweepTask) -> dict:
+    """Run one grid cell and return its result row.
+
+    Kept as the single-cell API (tests, ad hoc scripts) with the original
+    exception behavior — solver errors propagate with their real type and
+    traceback.  Sweeps go through :func:`run_task_group` so cells of one
+    topology share a plan.
+    """
+    warm_worker(task.engine)
+    from repro.graphs.families import make_family_instance
+    from repro.runtime.session import SolverSession
+
+    t0 = time.perf_counter()
+    graph = make_family_instance(task.family, task.n, seed=task.seed)
+    session = SolverSession(graph)
+    build_s = time.perf_counter() - t0
+    row = _solve_cell(session, task)
+    row["build_s"] = build_s
+    return row
 
 
 def _read_cache(cache_dir: str, task: SweepTask) -> dict | None:
@@ -216,13 +292,6 @@ def _write_cache(cache_dir: str, task: SweepTask, row: dict) -> None:
             indent=2,
         )
     os.replace(tmp, path)
-
-
-def _run_and_cache(cache_dir: str, task: SweepTask) -> dict:
-    """Serial path: compute one cell and persist it immediately."""
-    row = run_task(task)
-    _write_cache(cache_dir, task, row)
-    return row
 
 
 def _grid(
@@ -270,14 +339,17 @@ def run_sweep(
         The grid axes (crossed in full).
     variant, backend, validate:
         Solver configuration forwarded to
-        :func:`repro.core.tecss.approximate_two_ecss`.
+        :meth:`repro.runtime.session.SolverSession.solve` (bit-identical
+        to :func:`repro.core.tecss.approximate_two_ecss`); ``backend`` is
+        validated through the execution-backend registry.
     engine:
         ``"local"`` (default) runs the centralized solver; ``"sim"`` runs
         the message-level pipeline
         (:func:`repro.dist.pipeline.distributed_two_ecss`, identical
         solution) and adds rounds-vs-model columns to every row.  The sim
         engine always executes the reference code path, so ``backend`` is
-        pinned to ``"reference"`` for its cache keys.
+        pinned to ``"reference"`` for its cache keys.  Unknown engine
+        names raise a one-line error listing the registered engines.
     workers:
         Process-pool width; ``None`` lets the executor pick
         (``os.cpu_count()``), ``0`` or ``1`` runs serially in-process.
@@ -300,11 +372,10 @@ def run_sweep(
         write_json,
         write_report,
     )
-    from repro.fast import resolve_backend
+    from repro.runtime.registry import get_backend, resolve_compute
 
-    if engine not in ("local", "sim"):
-        raise ValueError(f"unknown engine {engine!r}; choose 'local' or 'sim'")
-    backend = "reference" if engine == "sim" else resolve_backend(backend)
+    get_backend("engine", engine)  # one-line error listing registered engines
+    backend = "reference" if engine == "sim" else resolve_compute(backend)
     if cache_dir is None:
         cache_dir = os.path.join(default_out_dir(), "sweep_cache")
     os.makedirs(cache_dir, exist_ok=True)
@@ -324,40 +395,61 @@ def run_sweep(
             pending.append(task)
 
     if pending:
+        # Group pending cells by topology: each group runs on one shared
+        # SolverSession (one graph build, one plan) via run_task_group.
+        groups: dict[tuple, list[SweepTask]] = {}
+        for task in pending:
+            groups.setdefault(_group_key(task), []).append(task)
+        group_list = list(groups.values())
+
+        failures: list[tuple[SweepTask, str]] = []
+
+        def harvest(group: Sequence[SweepTask], outcomes: list[dict]) -> None:
+            """Collect solved rows and per-cell failures (cells were
+            already persisted by run_task_group as they finished)."""
+            for task, outcome in zip(group, outcomes):
+                if "error" in outcome:
+                    failures.append((task, outcome["error"]))
+                    continue
+                rows_by_key[task.fingerprint()] = outcome["row"]
+
         if workers in (0, 1):
             warm_worker(engine)
-            for task in pending:
-                rows_by_key[task.fingerprint()] = _run_and_cache(cache_dir, task)
+            for group in group_list:
+                harvest(group, run_task_group(group, cache_dir))
         else:
-            # Cache each cell as soon as it completes, and harvest every
-            # future even when some fail: a failing cell (or a kill) never
-            # discards the finished ones — that is the crash-resume the
-            # cache exists for.  Failures are reported together at the end.
-            failures: list[tuple[SweepTask, BaseException]] = []
+            # Each cell is cached by its worker the moment it finishes,
+            # and every future is harvested even when some fail: a failing
+            # cell (or a kill) never discards the finished ones — that is
+            # the crash-resume the cache exists for.  Failures are
+            # reported together below.
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=warm_worker,
                 initargs=(engine,),
             ) as pool:
-                futures = {pool.submit(run_task, task): task for task in pending}
+                futures = {
+                    pool.submit(run_task_group, group, cache_dir): group
+                    for group in group_list
+                }
                 for future in as_completed(futures):
-                    task = futures[future]
+                    group = futures[future]
                     try:
-                        row = future.result()
+                        outcomes = future.result()
                     except Exception as exc:  # noqa: BLE001 - reported below
-                        failures.append((task, exc))
+                        msg = f"{type(exc).__name__}: {exc}"
+                        failures.extend((t, msg) for t in group)
                         continue
-                    _write_cache(cache_dir, task, row)
-                    rows_by_key[task.fingerprint()] = row
-            if failures:
-                detail = "; ".join(
-                    f"{t.family}/n={t.n}/seed={t.seed}/eps={t.eps}: {e}"
-                    for t, e in failures
-                )
-                raise RuntimeError(
-                    f"{len(failures)} sweep cell(s) failed (completed cells "
-                    f"are cached and will be reused): {detail}"
-                ) from failures[0][1]
+                    harvest(group, outcomes)
+        if failures:
+            detail = "; ".join(
+                f"{t.family}/n={t.n}/seed={t.seed}/eps={t.eps}: {e}"
+                for t, e in failures
+            )
+            raise RuntimeError(
+                f"{len(failures)} sweep cell(s) failed (completed cells "
+                f"are cached and will be reused): {detail}"
+            )
 
     rows = [rows_by_key[task.fingerprint()] for task in tasks]
     report = SweepReport(rows=rows, cache_hits=hits, cache_misses=len(pending))

@@ -94,6 +94,26 @@ class TAPInstance:
             tree, build_virtual_edges(tree, links, origins, backend), segment_size
         )
 
+    def fresh_copy(self) -> "TAPInstance":
+        """A new instance sharing the immutable artifacts, not the state.
+
+        The tree, virtual edges, layering, HLD, segments and kernel
+        arrays are deterministic functions of the instance and safe to
+        share.  Deliberately *not* copied: ``ops``, because callers (the
+        distributed pipeline's :class:`~repro.dist.ops.MeasuredOps`
+        injection) replace it with per-run state that must not leak into
+        other solves — and ``coverage``, because it is computed *through*
+        ``ops`` (pre-seeding it would silently skip a message-level
+        computation the measured pipeline is supposed to perform).  Used
+        by :meth:`repro.runtime.plan.SolverPlan.private_instance`.
+        """
+        inst = TAPInstance(self.tree, self.edges, self.segment_size)
+        inst.layering = self.layering
+        for name in ("hld", "segments", "arrays"):
+            if name in self.__dict__:
+                inst.__dict__[name] = self.__dict__[name]
+        return inst
+
     # ------------------------------------------------------------------
 
     @cached_property

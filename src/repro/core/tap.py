@@ -90,6 +90,7 @@ def approximate_tap(
     validate: bool = True,
     origins: Sequence[Hashable] | None = None,
     backend: str = "reference",
+    instance: TAPInstance | None = None,
 ) -> TapResult:
     """Approximate weighted TAP on tree ``tree`` with candidate ``links``.
 
@@ -115,10 +116,22 @@ def approximate_tap(
     backend:
         ``"reference"`` (default: the auditable per-edge Python loops),
         ``"fast"`` (vectorized numpy kernels, bit-identical output), or
-        ``"auto"`` (fast when numpy is importable).
+        ``"auto"`` (fast when numpy is importable).  Names are resolved
+        through the backend registry
+        (:func:`repro.runtime.registry.resolve_compute`).
+    instance:
+        A prebuilt :class:`~repro.core.instance.TAPInstance` for
+        ``(tree, links)`` — a :class:`~repro.runtime.plan.SolverPlan`
+        passes its cached instance here so repeated solves skip the
+        virtual-graph construction; when given, ``tree``/``links``/
+        ``origins`` are ignored and must describe the same instance.
     """
     backend = resolve_backend(backend)
-    inst = TAPInstance.from_links(tree, links, origins, backend=backend)
+    inst = (
+        instance
+        if instance is not None
+        else TAPInstance.from_links(tree, links, origins, backend=backend)
+    )
     fwd, rev = solve_virtual_tap(
         inst, eps=eps, variant=variant, segmented=segmented, validate=validate,
         backend=backend,

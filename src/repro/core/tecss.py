@@ -27,8 +27,7 @@ import networkx as nx
 
 from repro.core.result import TwoEcssResult
 from repro.core.reverse import COVER_BOUND
-from repro.core.tap import approximate_tap
-from repro.graphs.validation import check_two_edge_connected, ensure_weights, normalize_graph
+from repro.graphs.validation import check_two_edge_connected
 from repro.trees.rooted import RootedTree
 
 __all__ = [
@@ -66,14 +65,21 @@ def assemble_two_ecss(
     tap,
     validate: bool = True,
     mst_simulation=None,
+    diameter: int | None = None,
 ) -> TwoEcssResult:
     """Combine MST + TAP augmentation into a validated :class:`TwoEcssResult`.
 
-    Shared by :func:`approximate_two_ecss` and the distributed pipeline
-    (:func:`repro.dist.pipeline.distributed_two_ecss`): ``g`` is the
-    normalized 0..n-1 graph, ``nodes`` the label mapping from
+    Shared by :func:`approximate_two_ecss`, the session runtime
+    (:class:`repro.runtime.session.SolverSession`) and the distributed
+    pipeline (:func:`repro.dist.pipeline.distributed_two_ecss`): ``g`` is
+    the normalized 0..n-1 graph, ``nodes`` the label mapping from
     :func:`~repro.graphs.validation.normalize_graph`, and ``tap`` the
     :class:`~repro.core.result.TapResult` of the augmentation.
+
+    ``diameter`` lets a caller with a cached topology diameter (the
+    session's :class:`~repro.runtime.handle.GraphHandle`) skip the
+    recomputation; ``None`` keeps the original rule (``nx.diameter`` for
+    ``n <= 4000``, else ``-1``).
     """
     mst_set = set(mst_edges)
     mst_weight = sum(g[u][v]["weight"] for u, v in mst_edges)
@@ -90,7 +96,8 @@ def assemble_two_ecss(
     edges_out = [(nodes[u], nodes[v]) for u, v in chosen]
     mst_out = [(nodes[u], nodes[v]) for u, v in mst_edges]
 
-    diameter = nx.diameter(g) if g.number_of_nodes() <= 4000 else -1
+    if diameter is None:
+        diameter = nx.diameter(g) if g.number_of_nodes() <= 4000 else -1
 
     return TwoEcssResult(
         edges=edges_out,
@@ -131,35 +138,21 @@ def approximate_two_ecss(
     centralized solver; the result is provably the same tree (unique MST
     under the lexicographic tie-break), and the measured simulation stats
     land in ``result.mst_simulation``.
+
+    This function is a thin wrapper over a fresh single-use
+    :class:`repro.runtime.session.SolverSession`; repeated solves on one
+    topology (weight reassignments, eps/variant sweeps, failure
+    scenarios) should hold a session and use its ``solve``/``solve_many``
+    to reuse the cached :class:`~repro.runtime.plan.SolverPlan` — outputs
+    are bit-identical either way.
     """
-    ensure_weights(graph)
-    check_two_edge_connected(graph)
-    g, nodes, _ = normalize_graph(graph)
+    from repro.runtime.session import SolverSession
 
-    mst_simulation = None
-    if simulate_mst:
-        from repro.model.mst import BoruvkaMST
-        from repro.sim import BatchedNetwork
-
-        outcome = BoruvkaMST(BatchedNetwork(g)).run()
-        mst_simulation = outcome.stats
-        tree = RootedTree.from_edges(g.number_of_nodes(), outcome.edges, root=0)
-        mst_edges = outcome.edges
-    else:
-        tree, mst_edges = rooted_mst(g)
-    links = nontree_links(g, set(mst_edges))
-
-    tap = approximate_tap(
-        tree,
-        links,
+    return SolverSession(graph).solve(
         eps=eps,
         variant=variant,
         segmented=segmented,
         validate=validate,
         backend=backend,
-    )
-
-    return assemble_two_ecss(
-        g, nodes, mst_edges, tap,
-        validate=validate, mst_simulation=mst_simulation,
+        simulate_mst=simulate_mst,
     )

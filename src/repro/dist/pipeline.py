@@ -42,8 +42,7 @@ import networkx as nx
 
 from repro.core.rounds import RoundCostModel
 from repro.core.tap import assemble_tap_result, solve_virtual_tap
-from repro.core.tecss import assemble_two_ecss, nontree_links, rooted_mst
-from repro.core.instance import TAPInstance
+from repro.core.tecss import assemble_two_ecss
 from repro.core.result import TwoEcssResult
 from repro.dist.accounting import (
     RATIO_BOUND,
@@ -61,11 +60,6 @@ from repro.dist.programs import (
     subtree_size_aggregate,
 )
 from repro.exceptions import SimulationError
-from repro.graphs.validation import (
-    check_two_edge_connected,
-    ensure_weights,
-    normalize_graph,
-)
 from repro.model.mst import BoruvkaMST
 from repro.sim.engine import BatchedNetwork
 
@@ -153,7 +147,7 @@ class _GatherHooks:
 
 
 def distributed_two_ecss(
-    graph: nx.Graph,
+    graph: nx.Graph | None,
     eps: float = 0.25,
     variant: str = "improved",
     segmented: bool = True,
@@ -162,6 +156,7 @@ def distributed_two_ecss(
     scheduler=None,
     failures=None,
     ratio_bound: float = RATIO_BOUND,
+    plan=None,
 ) -> DistTwoEcssResult:
     """Run the whole 2-ECSS pipeline message-level; return measured truth.
 
@@ -173,15 +168,31 @@ def distributed_two_ecss(
     returned solution stays valid.  ``ratio_bound`` is the documented
     constant factor for the rounds-vs-model comparison rows.
 
+    ``plan`` (a :class:`repro.runtime.plan.SolverPlan`) supplies the
+    cached centralized artifacts — validation, normalization, MST,
+    virtual-graph instance, diameter — so a
+    :class:`~repro.runtime.session.SolverSession` solving many failure
+    scenarios on one topology skips their reconstruction; every
+    message-level program still runs per call (measured rounds are the
+    point).  With ``plan=None`` the pipeline builds a fresh single-use
+    plan from ``graph``; the centralized reference values are identical
+    either way.
+
     The returned :class:`DistTwoEcssResult` carries a solution
     **bit-identical** to ``approximate_two_ecss(graph, ...,
     backend="reference")`` — same edges, weight, and certified ratio —
     which the differential suite in ``tests/test_dist_pipeline.py`` holds
     across families, sizes, and seeds.
     """
-    ensure_weights(graph)
-    check_two_edge_connected(graph)
-    g, nodes, _ = normalize_graph(graph)
+    if plan is None:
+        if graph is None:
+            raise ValueError(
+                "distributed_two_ecss needs a graph or a plan; got neither"
+            )
+        from repro.runtime.plan import SolverPlan
+
+        plan = SolverPlan.for_graph(graph)
+    g, nodes = plan.g, plan.nodes
 
     strict = failures is None
     net = BatchedNetwork(
@@ -191,7 +202,7 @@ def distributed_two_ecss(
 
     # 1. MST: message-level Borůvka, cross-checked against the centralized
     # MST (identical under the lexicographic tie-break).
-    tree, mst_edges = rooted_mst(g)
+    tree, mst_edges = plan.tree, plan.mst_edges
     try:
         outcome = BoruvkaMST(net).run()
     except SimulationError:
@@ -228,8 +239,9 @@ def distributed_two_ecss(
 
     # 3. The shared instance: same tree, same virtual edges, same layering
     # and segments as the centralized solver — with measured ops injected.
-    links = nontree_links(g, set(mst_edges))
-    inst = TAPInstance.from_links(tree, links, backend="reference")
+    # A *private* copy of the plan's instance, because the ops injection
+    # below must not leak this run's network into later plan reuses.
+    inst = plan.private_instance("reference")
     ref_ops = inst.ops  # build the reference path operations first
     inst.__dict__["ops"] = MeasuredOps(ref_ops, net, measured, strict=strict)
 
@@ -285,7 +297,9 @@ def distributed_two_ecss(
         inst, fwd, rev, eps=eps, variant=variant, segmented=segmented,
         validate=validate, backend="reference",
     )
-    result = assemble_two_ecss(g, nodes, mst_edges, tap, validate=validate)
+    result = assemble_two_ecss(
+        g, nodes, mst_edges, tap, validate=validate, diameter=plan.diameter
+    )
 
     # 7. Price the measured runs with the Level-M model.
     diameter = result.diameter if result.diameter >= 0 else nx.diameter(g)

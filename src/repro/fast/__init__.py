@@ -47,8 +47,6 @@ __all__ = ["HAVE_NUMPY", "require_numpy", "resolve_backend"]
 
 HAVE_NUMPY = _np is not None
 
-_BACKENDS = ("reference", "fast", "auto")
-
 
 def require_numpy():
     """Return the numpy module, raising a clear error when it is absent."""
@@ -63,14 +61,13 @@ def require_numpy():
 def resolve_backend(backend: str) -> str:
     """Normalize a backend flag to ``"fast"`` or ``"reference"``.
 
-    ``"auto"`` picks ``"fast"`` when numpy is importable and
-    ``"reference"`` otherwise; the other two names pass through (with
-    ``"fast"`` validating that numpy is actually available).
+    Delegates to the execution-backend registry
+    (:func:`repro.runtime.registry.resolve_compute`, the single source of
+    truth for backend names): ``"auto"`` picks ``"fast"`` when numpy is
+    importable and ``"reference"`` otherwise; unknown names raise a
+    one-line :class:`~repro.runtime.registry.UnknownBackendError` listing
+    the registered compute backends.
     """
-    if backend not in _BACKENDS:
-        raise ValueError(f"backend must be one of {_BACKENDS}; got {backend!r}")
-    if backend == "auto":
-        return "fast" if HAVE_NUMPY else "reference"
-    if backend == "fast":
-        require_numpy()
-    return backend
+    from repro.runtime.registry import resolve_compute
+
+    return resolve_compute(backend)

@@ -25,7 +25,8 @@ from dataclasses import dataclass
 
 import networkx as nx
 
-from repro.model.network import Context, Network, Payload, RunStats
+from repro.model.network import Context, Payload, RunStats
+from repro.sim.engine import BatchedNetwork
 
 __all__ = ["DistributedLayering", "run_distributed_layering"]
 
@@ -79,8 +80,14 @@ def run_distributed_layering(tree_graph: nx.Graph, parent: list[int], root: int)
 
     ``tree_graph`` must contain exactly the tree edges; ``parent`` gives the
     orientation.  Returns measured round statistics alongside the layers.
+
+    Runs on the batched CONGEST engine
+    (:class:`~repro.sim.engine.BatchedNetwork`); the legacy
+    :class:`~repro.model.network.Network` produces identical rounds and
+    layers (the engines are differentially pinned) but is deprecated for
+    non-oracle use.
     """
-    net = Network(tree_graph, words_per_edge=2)
+    net = BatchedNetwork(tree_graph, words_per_edge=2)
     n = net.n
     alive_edge = [v != root for v in range(n)]
     layer = [0] * n

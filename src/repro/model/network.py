@@ -15,6 +15,7 @@ to continue) or ``max_rounds``.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from numbers import Number
 from typing import Mapping, Protocol
@@ -71,9 +72,29 @@ class RunStats:
 
 
 class Network:
-    """A CONGEST network over an undirected weighted graph (0..n-1 nodes)."""
+    """A CONGEST network over an undirected weighted graph (0..n-1 nodes).
+
+    .. deprecated:: 1.2
+        ``Network`` is the *legacy reference engine*, kept as the semantic
+        oracle for the differential suites
+        (``tests/test_sim_differential.py`` pins the two engines
+        bit-for-bit) and reachable via the registered ``legacy`` network
+        backend.  New code should use
+        :class:`repro.sim.engine.BatchedNetwork` — same programs, same
+        ``Context``/``RunStats``, same enforcement, plus schedulers,
+        failure injection and traces.  Instantiating it emits a
+        :class:`DeprecationWarning`.
+    """
 
     def __init__(self, graph: nx.Graph, words_per_edge: int = 4) -> None:
+        warnings.warn(
+            "repro.model.network.Network is the legacy reference engine, "
+            "kept as the differential-test oracle; use "
+            "repro.sim.engine.BatchedNetwork (or the registered 'batched' "
+            "network backend) for new code",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.graph = graph
         self.n = graph.number_of_nodes()
         if set(graph.nodes()) != set(range(self.n)):

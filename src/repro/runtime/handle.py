@@ -1,0 +1,272 @@
+"""Immutable CSR-backed graph handles: validate and normalize **once**.
+
+A :class:`GraphHandle` is the runtime layer's view of one input graph.  It
+performs, exactly once per topology, everything
+:func:`repro.core.tecss.approximate_two_ecss` used to redo on every call:
+
+* weight validation (:func:`repro.graphs.validation.ensure_weights`),
+* the feasibility check
+  (:func:`repro.graphs.validation.check_two_edge_connected`),
+* normalization to ``0..n-1`` integer labels
+  (:func:`repro.graphs.validation.normalize_graph`),
+
+and stores the result in flat edge arrays — ``edges`` (the normalized
+endpoint pairs, in the input graph's iteration order, which downstream
+tie-breaks depend on) plus a ``weights`` tuple aligned with them, with a
+CSR adjacency view (:attr:`csr`) built lazily for array kernels.  The
+handle is *immutable*: :meth:`reweight` returns a **new** handle sharing
+the topology (and every topology-derived cache, e.g. :attr:`diameter` and
+the feasibility verdict) while swapping only the weight column — the cheap
+operation that makes many-scenario solves
+(:meth:`repro.runtime.session.SolverSession.solve_many`) practical.
+
+Fingerprints: :attr:`topology_key` identifies the (labels, edge list)
+structure and :attr:`weights_key` the weight column; together they key the
+per-weights :class:`~repro.runtime.plan.SolverPlan` cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import cached_property
+from typing import Mapping, Sequence
+
+import networkx as nx
+
+from repro.exceptions import GraphFormatError
+from repro.graphs.validation import (
+    check_two_edge_connected,
+    ensure_weights,
+    normalize_graph,
+)
+
+try:  # numpy is optional project-wide; the CSR view degrades to lists
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image bakes numpy in
+    _np = None
+
+__all__ = ["GraphHandle"]
+
+
+class GraphHandle:
+    """One validated, normalized, immutable weighted graph (see module doc).
+
+    Build with :meth:`from_graph`; derive weight variants with
+    :meth:`reweight`.  Handles sharing a topology share the same
+    :attr:`topology_key` and the same topology-derived caches.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        nodes: list,
+        index: dict,
+        edges: list[tuple[int, int]],
+        weights: tuple[float, ...],
+        topology_key: str | None = None,
+    ) -> None:
+        self.n = n
+        self.nodes = nodes  # normalized id -> original label
+        self.index = index  # original label -> normalized id
+        self.edges = edges  # normalized (u, v) pairs, input iteration order
+        self.weights = weights
+        self._topology_key = topology_key
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_graph(cls, graph: nx.Graph) -> "GraphHandle":
+        """Validate, check 2-edge-connectivity, and normalize ``graph``.
+
+        Raises exactly what the one-shot solvers raise on bad input
+        (:class:`~repro.exceptions.GraphFormatError`,
+        :class:`~repro.exceptions.NotConnectedError`,
+        :class:`~repro.exceptions.NotTwoEdgeConnectedError`) — but only
+        once per topology instead of once per solve.
+        """
+        ensure_weights(graph)
+        check_two_edge_connected(graph)
+        g, nodes, index = normalize_graph(graph)
+        edges = []
+        weights = []
+        for u, v, data in graph.edges(data=True):
+            edges.append((index[u], index[v]))
+            # Keep the caller's weight objects (ints stay ints), exactly
+            # as normalize_graph does — the one-shot API's result types
+            # must not change because a session sits underneath it.
+            weights.append(data["weight"])
+        handle = cls(len(nodes), nodes, index, edges, tuple(weights))
+        # normalize_graph already built the normalized graph (with every
+        # edge attribute); seed the cache instead of rebuilding it later.
+        handle.__dict__["graph"] = g
+        return handle
+
+    def reweight(
+        self,
+        weights: Sequence[float] | Mapping[object, float],
+    ) -> "GraphHandle":
+        """A new handle on the same topology with a new weight column.
+
+        ``weights`` is either a sequence aligned with :attr:`edge_list`
+        (one float per edge, in handle order) or a mapping from edge keys
+        to floats — keys may use the original node labels or the
+        normalized ids, in either endpoint order.  Weights must satisfy
+        the same rule as :func:`~repro.graphs.validation.ensure_weights`
+        (``w >= 0``); topology-derived caches (diameter, feasibility) are
+        shared with this handle, so no re-validation happens.
+        """
+        if isinstance(weights, Mapping):
+            column = self._column_from_mapping(weights)
+        else:
+            column = list(weights)
+            if len(column) != len(self.edges):
+                raise GraphFormatError(
+                    f"reweight needs {len(self.edges)} weights "
+                    f"(one per edge); got {len(column)}"
+                )
+        for (u, v), w in zip(self.edges, column):
+            if not (w >= 0):
+                raise GraphFormatError(
+                    f"edge ({self.nodes[u]!r}, {self.nodes[v]!r}) has "
+                    f"invalid weight {w!r}"
+                )
+        clone = GraphHandle(
+            self.n, self.nodes, self.index, self.edges, tuple(column),
+            topology_key=self.topology_key,
+        )
+        # Topology-derived caches carry over untouched.
+        if "diameter" in self.__dict__:
+            clone.__dict__["diameter"] = self.__dict__["diameter"]
+        return clone
+
+    def _column_from_mapping(self, mapping: Mapping) -> list[float]:
+        """Resolve a mapping keyed by edge (labels or ids) to handle order.
+
+        All-or-nothing: the mapping is interpreted under original labels
+        first, then under normalized ids — never mixing the two per edge.
+        (Integer labels can collide with normalized ids; a per-edge
+        fallback would silently bind weights to the wrong edges.)
+        """
+        interpretations = (
+            lambda u, v: (self.nodes[u], self.nodes[v]),  # original labels
+            lambda u, v: (u, v),  # normalized ids
+        )
+        for keyer in interpretations:
+            column = []
+            for u, v in self.edges:
+                a, b = keyer(u, v)
+                if (a, b) in mapping:
+                    column.append(mapping[(a, b)])
+                elif (b, a) in mapping:
+                    column.append(mapping[(b, a)])
+                else:
+                    break  # this interpretation misses an edge: try next
+            else:
+                return column
+        raise GraphFormatError(
+            "reweight mapping does not cover every edge under either key "
+            "scheme (use original labels or normalized ids, not a mixture)"
+        )
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return len(self.edges)
+
+    @property
+    def edge_list(self) -> list[tuple]:
+        """Edges in the original node labels, handle order (for reweight)."""
+        return [(self.nodes[u], self.nodes[v]) for u, v in self.edges]
+
+    @cached_property
+    def graph(self) -> nx.Graph:
+        """The normalized ``0..n-1`` weighted graph.
+
+        For a handle built by :meth:`from_graph` this is exactly the
+        graph :func:`~repro.graphs.validation.normalize_graph` produced
+        (seeded at construction, every edge attribute preserved);
+        reweighted handles materialize it lazily with the new ``weight``
+        column.  Edge insertion order always matches the original input,
+        which downstream code depends on for deterministic tie-breaking —
+        do not mutate.
+        """
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        for (u, v), w in zip(self.edges, self.weights):
+            g.add_edge(u, v, weight=w)
+        return g
+
+    @cached_property
+    def csr(self):
+        """CSR adjacency ``(indptr, indices, weights)`` over normalized ids.
+
+        numpy arrays when numpy is importable, plain lists otherwise —
+        the array view the batched kernels and future sharding layers
+        consume without touching networkx.
+        """
+        degree = [0] * self.n
+        for u, v in self.edges:
+            degree[u] += 1
+            degree[v] += 1
+        indptr = [0] * (self.n + 1)
+        for v in range(self.n):
+            indptr[v + 1] = indptr[v] + degree[v]
+        cursor = list(indptr[:-1])
+        indices = [0] * (2 * len(self.edges))
+        wvals = [0.0] * (2 * len(self.edges))
+        for (u, v), w in zip(self.edges, self.weights):
+            indices[cursor[u]] = v
+            wvals[cursor[u]] = w
+            cursor[u] += 1
+            indices[cursor[v]] = u
+            wvals[cursor[v]] = w
+            cursor[v] += 1
+        if _np is not None:
+            return (
+                _np.asarray(indptr, dtype=_np.int64),
+                _np.asarray(indices, dtype=_np.int64),
+                _np.asarray(wvals, dtype=_np.float64),
+            )
+        return indptr, indices, wvals
+
+    @cached_property
+    def diameter(self) -> int:
+        """Graph diameter when ``n <= 4000``, else ``-1`` (topology-only).
+
+        Matches the rule of
+        :func:`repro.core.tecss.assemble_two_ecss` and is shared across
+        :meth:`reweight` variants — the single biggest rebuild cost the
+        session amortizes on mid-size graphs.
+        """
+        return nx.diameter(self.graph) if self.n <= 4000 else -1
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+
+    @property
+    def topology_key(self) -> str:
+        """SHA-1 fingerprint of (n, labels, edge list) — weight-free."""
+        if self._topology_key is None:
+            h = hashlib.sha1()
+            h.update(repr((self.n, self.nodes)).encode())
+            h.update(repr(self.edges).encode())
+            self._topology_key = h.hexdigest()
+        return self._topology_key
+
+    @cached_property
+    def weights_key(self) -> str:
+        """SHA-1 fingerprint of the weight column (plan-cache key part)."""
+        return hashlib.sha1(repr(self.weights).encode()).hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GraphHandle(n={self.n}, m={self.m}, "
+            f"topology={self.topology_key[:8]}, weights={self.weights_key[:8]})"
+        )

@@ -1,0 +1,154 @@
+"""The per-topology solver plan: compute the reusable artifacts once.
+
+The Dory–Ghaffari pipeline is a chain of artifacts that depend only on the
+graph and its weights — never on the query parameters (``eps``, ``variant``,
+``segmented``, ``validate``) a solve is issued with:
+
+===========================  =====================================  ========
+artifact                     module                                 depends
+===========================  =====================================  ========
+validation + normalization   :mod:`repro.graphs.validation`         topology
+diameter (result metadata)   :class:`~repro.runtime.handle.GraphHandle`  topology
+MST + rooted tree            :func:`repro.core.tecss.rooted_mst`    weights
+non-tree candidate links     :func:`repro.core.tecss.nontree_links` weights
+virtual edges + ``G'``       :class:`repro.core.instance.TAPInstance`  weights
+Euler/LCA labels, HLD        :mod:`repro.trees` (via the instance)  weights
+layering, segments           :mod:`repro.decomp` (via the instance) weights
+tree/instance numpy arrays   :mod:`repro.fast.treearrays`           weights
+===========================  =====================================  ========
+
+A :class:`SolverPlan` owns the weight-dependent rows for one
+:class:`~repro.runtime.handle.GraphHandle`, building each lazily and
+exactly once; the topology-only rows live on the handle itself and are
+shared across :meth:`~repro.runtime.handle.GraphHandle.reweight` variants.
+The phases that *do* depend on query parameters (forward primal-dual,
+reverse-delete, certificates) run per solve in
+:class:`~repro.runtime.session.SolverSession` on top of a plan.
+
+Every consumer of a plan instance must treat it as immutable; code that
+needs to inject state (the measured-ops facade of
+:mod:`repro.dist.pipeline`) takes a :meth:`private_instance` copy instead.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import networkx as nx
+
+from repro.core.instance import TAPInstance
+from repro.core.tecss import nontree_links, rooted_mst
+from repro.runtime.handle import GraphHandle
+from repro.runtime.registry import resolve_compute
+from repro.trees.rooted import RootedTree
+
+__all__ = ["SolverPlan"]
+
+
+class SolverPlan:
+    """Cached per-(topology, weights) artifacts of the 2-ECSS pipeline.
+
+    Everything is lazy: a plan used only for its MST never builds virtual
+    edges; a reference-only session never builds the numpy arrays.
+    ``instance_builds`` counts how many :class:`TAPInstance` constructions
+    actually happened — the reuse tests and the session-reuse benchmark
+    read it to prove work is *not* repeated.
+    """
+
+    def __init__(self, handle: GraphHandle) -> None:
+        self.handle = handle
+        self._instances: dict[str, TAPInstance] = {}
+        self.instance_builds = 0
+
+    @classmethod
+    def for_graph(cls, graph: nx.Graph) -> "SolverPlan":
+        """Build a plan straight from a (possibly unlabeled) ``nx.Graph``."""
+        return cls(GraphHandle.from_graph(graph))
+
+    # ------------------------------------------------------------------
+    # weight-dependent artifacts (computed once per plan)
+    # ------------------------------------------------------------------
+
+    @property
+    def g(self) -> nx.Graph:
+        """The normalized ``0..n-1`` graph (owned by the handle)."""
+        return self.handle.graph
+
+    @property
+    def nodes(self) -> list:
+        """Normalized-id -> original-label mapping (owned by the handle)."""
+        return self.handle.nodes
+
+    @property
+    def diameter(self) -> int:
+        """Topology diameter under the result-metadata rule (see handle)."""
+        return self.handle.diameter
+
+    @cached_property
+    def _mst(self) -> tuple[RootedTree, list[tuple]]:
+        return rooted_mst(self.g)
+
+    @property
+    def tree(self) -> RootedTree:
+        """The MST rooted at 0 (deterministic lexicographic tie-break)."""
+        return self._mst[0]
+
+    @property
+    def mst_edges(self) -> list[tuple]:
+        """The MST edge list, sorted — exactly :func:`rooted_mst`'s output."""
+        return self._mst[1]
+
+    @cached_property
+    def mst_weight(self) -> float:
+        """Total MST weight (a certified lower bound on OPT)."""
+        g = self.g
+        return sum(g[u][v]["weight"] for u, v in self.mst_edges)
+
+    @cached_property
+    def links(self) -> list[tuple[int, int, float]]:
+        """The candidate links: every non-MST edge as ``(u, v, weight)``."""
+        return nontree_links(self.g, set(self.mst_edges))
+
+    # ------------------------------------------------------------------
+    # instances
+    # ------------------------------------------------------------------
+
+    def instance(self, backend: str = "reference") -> TAPInstance:
+        """The shared :class:`TAPInstance` for one compute flavor.
+
+        ``backend`` is resolved through the registry (``"auto"`` allowed);
+        one instance per concrete flavor is built and cached — the fast
+        flavor carries its pre-seeded
+        :class:`~repro.fast.treearrays.InstanceArrays`, the reference one
+        its lazily built path operations.  Callers must not mutate the
+        returned instance (use :meth:`private_instance` for that).
+        """
+        flavor = resolve_compute(backend)
+        inst = self._instances.get(flavor)
+        if inst is None:
+            inst = TAPInstance.from_links(
+                self.tree, self.links, backend=flavor
+            )
+            self._instances[flavor] = inst
+            self.instance_builds += 1
+        return inst
+
+    def private_instance(self, backend: str = "reference") -> TAPInstance:
+        """A fresh instance sharing the immutable artifacts, none of the
+        injectable state.
+
+        The distributed pipeline replaces ``inst.ops`` with its
+        :class:`~repro.dist.ops.MeasuredOps` facade; doing that to the
+        shared instance would leak a dead network into later solves.  The
+        copy (see :meth:`repro.core.instance.TAPInstance.fresh_copy`)
+        shares the tree, edges, layering, HLD, segments and coverage of
+        the shared instance but keeps its own ``ops`` slot.
+        """
+        return self.instance(backend).fresh_copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        built = sorted(self._instances)
+        return (
+            f"SolverPlan(n={self.handle.n}, m={self.handle.m}, "
+            f"instances={built or 'none'})"
+        )

@@ -1,0 +1,238 @@
+"""The execution-backend registry: one namespace for every way to run a solve.
+
+Before this layer existed, "how do I execute this?" was three unrelated
+string arguments threaded through the codebase:
+
+* ``backend="reference" | "fast" | "auto"`` on the solver entry points
+  (which numeric kernels run the phases) — validated ad hoc by
+  :func:`repro.fast.resolve_backend`;
+* ``engine="local" | "sim"`` on :func:`repro.analysis.sweep.run_sweep`
+  (centralized solver vs the message-level pipeline) — validated by an
+  inline ``if``;
+* ``engine="batched" | "legacy"`` on
+  :class:`repro.sim.runner.ScenarioRunner` (which CONGEST network
+  implementation steps the node programs) — validated by an ``if`` chain.
+
+This module registers all of them as :class:`BackendSpec` entries under
+three *kinds* — ``"compute"``, ``"engine"``, ``"network"`` — each carrying
+**capability flags** (``vectorized``, ``message-level``,
+``failure-injection``, …) so callers can select by capability instead of
+hard-coding names, and unknown names fail with a one-line error listing
+what *is* registered.  :func:`register_backend` is the extension point
+future backends (sharded plans, async serving, k-ECSS engines) plug into;
+the CLI (``python -m repro backends``) prints the live table.
+
+Resolution helpers:
+
+* :func:`resolve_compute` — normalizes a compute name to the concrete
+  kernel flavor (``"reference"`` or ``"fast"``), following alias entries
+  such as ``"auto"`` and enforcing each spec's ``requires`` hook (e.g.
+  numpy for ``"fast"``);
+* :func:`get_backend` / :func:`backend_names` / :func:`registered` — plain
+  lookups, shared by the CLI, the sweep engine, the scenario runner, and
+  :class:`repro.runtime.session.SolverSession`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.fast import HAVE_NUMPY, require_numpy
+
+__all__ = [
+    "KINDS",
+    "BackendSpec",
+    "UnknownBackendError",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "registered",
+    "resolve_compute",
+]
+
+#: The registry's namespaces: numeric kernels, solve pipelines, networks.
+KINDS = ("compute", "engine", "network")
+
+
+class UnknownBackendError(ValueError):
+    """An unregistered backend name (subclasses ``ValueError`` so existing
+    ``except ValueError`` call sites keep working)."""
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered execution backend.
+
+    ``kind`` scopes the name (``"compute"``, ``"engine"`` or
+    ``"network"``); ``capabilities`` are free-form flags callers can gate
+    on (the stock ones are documented in :func:`registered` output and
+    ``docs/PAPER_MAP.md``).  ``resolves_to`` makes the entry an *alias*: a
+    callable returning the concrete name to resolve next (``"auto"`` uses
+    this to pick ``fast`` when numpy is importable).  ``requires`` runs at
+    resolution time and raises when the backend cannot execute here
+    (``"fast"`` uses it for the numpy check).  ``factory`` is the
+    behavior hook for ``network`` entries: a callable
+    ``(graph, words_per_edge, scheduler, failures) -> network``.
+    """
+
+    name: str
+    kind: str
+    description: str
+    capabilities: frozenset = field(default_factory=frozenset)
+    resolves_to: Callable[[], str] | None = None
+    requires: Callable[[], object] | None = None
+    factory: Callable | None = None
+
+    def has(self, capability: str) -> bool:
+        """Whether this backend declares the given capability flag."""
+        return capability in self.capabilities
+
+
+_REGISTRY: dict[tuple[str, str], BackendSpec] = {}
+
+
+def register_backend(spec: BackendSpec, replace: bool = False) -> BackendSpec:
+    """Register a backend; duplicate names are an error unless ``replace``."""
+    if spec.kind not in KINDS:
+        raise ValueError(f"backend kind must be one of {KINDS}; got {spec.kind!r}")
+    key = (spec.kind, spec.name)
+    if key in _REGISTRY and not replace:
+        raise ValueError(
+            f"{spec.kind} backend {spec.name!r} is already registered; "
+            "pass replace=True to override"
+        )
+    _REGISTRY[key] = spec
+    return spec
+
+
+def unregister_backend(kind: str, name: str) -> None:
+    """Remove a registered backend (tests and plugin teardown)."""
+    _REGISTRY.pop((kind, name), None)
+
+
+def backend_names(kind: str) -> tuple[str, ...]:
+    """The registered names of one kind, sorted for stable error messages."""
+    return tuple(sorted(n for k, n in _REGISTRY if k == kind))
+
+
+def registered(kind: str | None = None) -> tuple[BackendSpec, ...]:
+    """All registered specs (of one kind, or every kind), sorted by name."""
+    specs = [
+        spec
+        for (k, _), spec in sorted(_REGISTRY.items())
+        if kind is None or k == kind
+    ]
+    return tuple(specs)
+
+
+def get_backend(kind: str, name: str) -> BackendSpec:
+    """Look up one backend; unknown names get a one-line listing error."""
+    spec = _REGISTRY.get((kind, name))
+    if spec is None:
+        known = ", ".join(backend_names(kind)) or "<none>"
+        raise UnknownBackendError(
+            f"unknown {kind} backend {name!r}; registered {kind} "
+            f"backends: {known}"
+        )
+    return spec
+
+
+def resolve_compute(name: str) -> str:
+    """Resolve a compute-backend name to its concrete kernel flavor.
+
+    Follows alias entries (``"auto"``) and runs each spec's ``requires``
+    hook, so ``resolve_compute("fast")`` raises the numpy error early and
+    ``resolve_compute("auto")`` degrades to ``"reference"`` without numpy.
+    """
+    spec = get_backend("compute", name)
+    seen = {spec.name}
+    while spec.resolves_to is not None:
+        target = spec.resolves_to()
+        if target in seen:  # pragma: no cover - registration bug guard
+            raise ValueError(f"compute backend alias cycle at {target!r}")
+        seen.add(target)
+        spec = get_backend("compute", target)
+    if spec.requires is not None:
+        spec.requires()
+    return spec.name
+
+
+def _make_batched(graph, words_per_edge, scheduler=None, failures=None):
+    """Factory for the ``batched`` network backend (CSR engine)."""
+    from repro.sim.engine import BatchedNetwork
+
+    return BatchedNetwork(
+        graph, words_per_edge, scheduler=scheduler, failures=failures
+    )
+
+
+def _make_legacy(graph, words_per_edge, scheduler=None, failures=None):
+    """Factory for the ``legacy`` network backend (per-node oracle loop)."""
+    from repro.model.network import Network
+
+    return Network(graph, words_per_edge)
+
+
+def _register_defaults() -> None:
+    """Register the in-tree backends (idempotent at import time)."""
+    register_backend(BackendSpec(
+        name="reference",
+        kind="compute",
+        description="per-edge Python loops; the auditable baseline",
+        capabilities=frozenset({"portable", "auditable"}),
+    ))
+    register_backend(BackendSpec(
+        name="fast",
+        kind="compute",
+        description="vectorized numpy kernels (repro.fast), bit-identical",
+        capabilities=frozenset({"vectorized"}),
+        requires=require_numpy,
+    ))
+    register_backend(BackendSpec(
+        name="auto",
+        kind="compute",
+        description="alias: fast when numpy is importable, else reference",
+        capabilities=frozenset({"alias"}),
+        resolves_to=lambda: "fast" if HAVE_NUMPY else "reference",
+    ))
+    register_backend(BackendSpec(
+        name="local",
+        kind="engine",
+        description="centralized solver on the cached SolverPlan",
+        capabilities=frozenset({"plan-reuse", "batch-queries"}),
+    ))
+    register_backend(BackendSpec(
+        name="sim",
+        kind="engine",
+        description=(
+            "full 2-ECSS pipeline message-level on the batched CONGEST "
+            "engine (repro.dist.pipeline)"
+        ),
+        capabilities=frozenset({
+            "plan-reuse", "batch-queries", "message-level",
+            "measured-rounds", "failure-injection",
+        }),
+    ))
+    register_backend(BackendSpec(
+        name="batched",
+        kind="network",
+        description="CSR + event-driven scheduler engine (repro.sim)",
+        capabilities=frozenset({
+            "event-driven", "failure-injection", "trace", "csr",
+        }),
+        factory=_make_batched,
+    ))
+    register_backend(BackendSpec(
+        name="legacy",
+        kind="network",
+        description=(
+            "per-node reference loop (repro.model.network), the semantic "
+            "oracle for differential tests"
+        ),
+        capabilities=frozenset({"oracle"}),
+        factory=_make_legacy,
+    ))
+
+
+_register_defaults()

@@ -1,0 +1,251 @@
+"""SolverSession: many queries, one plan — the batch-solve entry point.
+
+A session binds one :class:`~repro.runtime.handle.GraphHandle` to a small
+LRU cache of :class:`~repro.runtime.plan.SolverPlan` objects (one per
+weight assignment) and exposes:
+
+* :meth:`SolverSession.solve` — one 2-ECSS query (``eps``, ``variant``,
+  compute backend, engine, optional weight reassignment, optional failure
+  plan), reusing every plan artifact a previous solve already built;
+* :meth:`SolverSession.solve_many` — a batch of :class:`SolveQuery`
+  records (or kwargs dicts) solved in order against the shared plan cache,
+  the API the scenario sweeps (:mod:`repro.analysis.sweep`) and the
+  session-reuse benchmark drive.
+
+**Bit-identity contract.**  A session solve returns exactly what the
+one-shot API returns for the same parameters — same edges, weights, duals,
+guarantees, certificates, logs.  The one-shot functions
+(:func:`repro.core.tecss.approximate_two_ecss`,
+:func:`repro.dist.pipeline.distributed_two_ecss`) are thin wrappers that
+build a fresh single-use session/plan, so "one-shot vs session" is
+precisely "rebuild-per-call vs reuse" — held by the seeded fuzz suite in
+``tests/test_runtime_session.py`` across every registered backend.
+
+Execution is routed through the backend registry
+(:mod:`repro.runtime.registry`): ``backend`` names a *compute* entry
+(``reference``/``fast``/``auto``), ``engine`` an *engine* entry
+(``local``/``sim``); unknown names raise a one-line
+:class:`~repro.runtime.registry.UnknownBackendError` listing what is
+registered, and failure injection is gated on the engine's
+``failure-injection`` capability flag instead of a hard-coded name.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field, fields
+from typing import Iterable, Mapping
+
+import networkx as nx
+
+from repro.core.instance import TAPInstance
+from repro.core.tap import assemble_tap_result, solve_virtual_tap
+from repro.core.tecss import assemble_two_ecss, nontree_links
+from repro.runtime.handle import GraphHandle
+from repro.runtime.plan import SolverPlan
+from repro.runtime.registry import get_backend, resolve_compute
+from repro.trees.rooted import RootedTree
+
+__all__ = ["SolveQuery", "SolverSession"]
+
+
+@dataclass(frozen=True)
+class SolveQuery:
+    """One solve request for :meth:`SolverSession.solve_many`.
+
+    ``weights`` optionally reassigns edge weights for this query (see
+    :meth:`repro.runtime.handle.GraphHandle.reweight` for accepted
+    shapes); ``failures`` is a :class:`~repro.sim.failures.FailurePlan`
+    for engines with the ``failure-injection`` capability.  ``backend``
+    and ``engine`` default to the session's own defaults when ``None``.
+    """
+
+    eps: float = 0.25
+    variant: str = "improved"
+    segmented: bool = True
+    validate: bool = True
+    backend: str | None = None
+    engine: str | None = None
+    weights: object = field(default=None, compare=False)
+    failures: object = field(default=None, compare=False)
+    simulate_mst: bool = False
+
+
+class SolverSession:
+    """Reusable solving context for one topology (see module docstring).
+
+    Parameters
+    ----------
+    graph:
+        The input graph (any hashable labels, ``weight`` attributes) or a
+        prebuilt :class:`~repro.runtime.handle.GraphHandle`.  Validation
+        and normalization happen here, once.
+    backend, engine:
+        Session defaults for queries that leave theirs ``None``.
+    words_per_edge, scheduler:
+        CONGEST engine knobs forwarded to message-level (``sim``) solves.
+    max_plans:
+        Size of the per-weights plan LRU; reweighted scenarios beyond the
+        cap evict the least recently used plan (the handle's
+        topology-level caches are never evicted).
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph | GraphHandle,
+        backend: str = "reference",
+        engine: str = "local",
+        words_per_edge: int = 4,
+        scheduler=None,
+        max_plans: int = 8,
+    ) -> None:
+        self.handle = (
+            graph if isinstance(graph, GraphHandle)
+            else GraphHandle.from_graph(graph)
+        )
+        self.default_backend = backend
+        self.default_engine = engine
+        self.words_per_edge = words_per_edge
+        self.scheduler = scheduler
+        self.max_plans = max(1, max_plans)
+        self._plans: "OrderedDict[str, SolverPlan]" = OrderedDict()
+        self.stats = {"solves": 0, "plans_built": 0, "plan_hits": 0}
+
+    # ------------------------------------------------------------------
+    # plans
+    # ------------------------------------------------------------------
+
+    def plan(self, weights=None) -> SolverPlan:
+        """The cached plan for this topology under ``weights`` (LRU).
+
+        ``weights=None`` means the handle's own weight column.  Plans are
+        keyed by the weight-column fingerprint, so two equal reassignments
+        share one plan.
+        """
+        handle = self.handle if weights is None else self.handle.reweight(weights)
+        key = handle.weights_key
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = SolverPlan(handle)
+            self._plans[key] = plan
+            self.stats["plans_built"] += 1
+            while len(self._plans) > self.max_plans:
+                self._plans.popitem(last=False)
+        else:
+            self.stats["plan_hits"] += 1
+        self._plans.move_to_end(key)
+        return plan
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        eps: float = 0.25,
+        variant: str = "improved",
+        segmented: bool = True,
+        validate: bool = True,
+        backend: str | None = None,
+        engine: str | None = None,
+        weights=None,
+        failures=None,
+        simulate_mst: bool = False,
+    ):
+        """Solve one query against the cached plan.
+
+        Returns a :class:`~repro.core.result.TwoEcssResult` for the
+        ``local`` engine and a
+        :class:`~repro.dist.pipeline.DistTwoEcssResult` for ``sim`` —
+        exactly the objects the corresponding one-shot functions return,
+        bit-identical field by field.
+        """
+        backend = backend if backend is not None else self.default_backend
+        engine = engine if engine is not None else self.default_engine
+        spec = get_backend("engine", engine)
+        if failures is not None and not spec.has("failure-injection"):
+            raise ValueError(
+                f"failure injection requires an engine with the "
+                f"'failure-injection' capability (e.g. 'sim'); "
+                f"got {engine!r}"
+            )
+        self.stats["solves"] += 1
+        plan = self.plan(weights)
+        if engine == "sim":
+            from repro.dist.pipeline import distributed_two_ecss
+
+            return distributed_two_ecss(
+                None,
+                eps=eps,
+                variant=variant,
+                segmented=segmented,
+                validate=validate,
+                words_per_edge=self.words_per_edge,
+                scheduler=self.scheduler,
+                failures=failures,
+                plan=plan,
+            )
+        return self._solve_local(
+            plan, eps, variant, segmented, validate,
+            resolve_compute(backend), simulate_mst,
+        )
+
+    def _solve_local(
+        self, plan, eps, variant, segmented, validate, flavor, simulate_mst
+    ):
+        """The centralized solve path over a plan's shared instance."""
+        mst_simulation = None
+        tree, mst_edges, inst = plan.tree, plan.mst_edges, None
+        if simulate_mst:
+            from repro.model.mst import BoruvkaMST
+            from repro.sim.engine import BatchedNetwork
+
+            outcome = BoruvkaMST(BatchedNetwork(plan.g)).run()
+            mst_simulation = outcome.stats
+            if outcome.edges != mst_edges:  # pragma: no cover - unique MST
+                # Provably unreachable (lexicographic tie-break), but if a
+                # Borůvka bug ever produced a different tree, reproduce the
+                # one-shot semantics exactly: solve on *its* tree.
+                tree = RootedTree.from_edges(
+                    plan.handle.n, outcome.edges, root=0
+                )
+                mst_edges = outcome.edges
+                links = nontree_links(plan.g, set(mst_edges))
+                inst = TAPInstance.from_links(tree, links, backend=flavor)
+        if inst is None:
+            inst = plan.instance(flavor)
+        fwd, rev = solve_virtual_tap(
+            inst, eps=eps, variant=variant, segmented=segmented,
+            validate=validate, backend=flavor,
+        )
+        tap = assemble_tap_result(
+            inst, fwd, rev, eps=eps, variant=variant, segmented=segmented,
+            validate=validate, backend=flavor,
+        )
+        return assemble_two_ecss(
+            plan.g, plan.nodes, mst_edges, tap,
+            validate=validate, mst_simulation=mst_simulation,
+            diameter=plan.diameter,
+        )
+
+    def solve_many(self, queries: Iterable[SolveQuery | Mapping]) -> list:
+        """Solve a batch of queries in order against the shared plan cache.
+
+        Each query is a :class:`SolveQuery` or a kwargs mapping; results
+        come back in input order.  Queries with the same weight column hit
+        the same plan, so a 100-scenario eps/weight sweep builds each
+        plan's artifacts exactly once.
+        """
+        results = []
+        for query in queries:
+            if isinstance(query, Mapping):
+                query = SolveQuery(**query)
+            kwargs = {f.name: getattr(query, f.name) for f in fields(SolveQuery)}
+            results.append(self.solve(**kwargs))
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SolverSession(n={self.handle.n}, m={self.handle.m}, "
+            f"plans={len(self._plans)}, solves={self.stats['solves']})"
+        )

@@ -21,9 +21,8 @@ import networkx as nx
 
 from repro.core.rounds import PrimitiveLog, RoundCostModel
 from repro.graphs.families import make_family_instance
-from repro.model.network import Network, NodeProgram, RunStats
+from repro.model.network import NodeProgram, RunStats
 from repro.model.programs import DistributedBFS, FloodMin
-from repro.sim.engine import BatchedNetwork
 
 __all__ = ["ProgramSpec", "ScenarioResult", "ScenarioRunner", "default_specs"]
 
@@ -103,14 +102,20 @@ class ScenarioResult:
 class ScenarioRunner:
     """Runs program specs over instances and cross-checks the cost model.
 
-    ``engine`` is ``"batched"`` (default), ``"legacy"``, or any callable
+    ``engine`` is the name of a registered *network* backend
+    (:mod:`repro.runtime.registry`: ``"batched"`` — the default CSR
+    engine — or ``"legacy"``, the per-node oracle loop) or any callable
     ``(graph, words_per_edge) -> network`` — the hook differential tests
-    use to aim the same sweep at the oracle engine.  ``failures`` (an
-    immutable :class:`~repro.sim.failures.FailurePlan`) is applied to
-    every batched network the runner builds, which is how the dist-layer
-    primitive specs (:func:`repro.dist.specs.dist_specs`) are swept under
-    lossy-CONGEST conditions; per-run drop counts land in each result's
-    ``stats.dropped``.
+    use to aim the same sweep at the oracle engine.  Unknown names raise
+    a one-line error listing the registered network backends.
+
+    ``failures`` (an immutable :class:`~repro.sim.failures.FailurePlan`)
+    is applied to every network the runner builds, and requires a backend
+    with the ``failure-injection`` capability flag — dropping the plan
+    silently would report a clean run as a lossy one.  This is how the
+    dist-layer primitive specs (:func:`repro.dist.specs.dist_specs`) are
+    swept under lossy-CONGEST conditions; per-run drop counts land in
+    each result's ``stats.dropped``.
     """
 
     def __init__(
@@ -121,19 +126,26 @@ class ScenarioRunner:
         scheduler=None,
         failures=None,
     ) -> None:
-        if engine == "batched":
-            self._make = lambda g, w: BatchedNetwork(
+        if isinstance(engine, str):
+            from repro.runtime.registry import get_backend
+
+            spec = get_backend("network", engine)
+            if failures is not None and not spec.has("failure-injection"):
+                raise ValueError(
+                    f"failure injection requires a network backend with "
+                    f"the 'failure-injection' capability (e.g. 'batched'); "
+                    f"got {engine!r}"
+                )
+            self._make = lambda g, w: spec.factory(
                 g, w, scheduler=scheduler, failures=failures
             )
-        elif failures is not None:
-            # Only the batched engine implements failure injection; dropping
-            # the plan silently would report a clean run as a lossy one.
-            raise ValueError(
-                f"failure injection requires engine='batched'; got {engine!r}"
-            )
-        elif engine == "legacy":
-            self._make = lambda g, w: Network(g, w)
         elif callable(engine):
+            if failures is not None:
+                raise ValueError(
+                    "failure injection requires a registered network "
+                    "backend with the 'failure-injection' capability "
+                    "(e.g. 'batched'); got a bare callable"
+                )
             self._make = engine
         else:
             raise ValueError(f"unknown engine {engine!r}")

@@ -12,6 +12,7 @@ EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
 
 EXAMPLES = [
     "quickstart",
+    "session_scenarios",
     "resilient_backbone",
     "planar_fast_approximation",
     "congest_simulation",

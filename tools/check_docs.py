@@ -29,6 +29,7 @@ DOCSTRING_TREES = (
     "src/repro/core",
     "src/repro/fast",
     "src/repro/dist",
+    "src/repro/runtime",
 )
 
 #: Markdown files whose links must resolve.
