@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: check test bench bench-smoke example
+.PHONY: check test bench bench-smoke example serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,6 +19,14 @@ bench:
 
 example:
 	PYTHONPATH=src $(PYTHON) examples/congest_simulation.py
+
+# Serving smoke: the throughput gate (>=5x vs the naive baseline, writes
+# BENCH_serve_throughput.json) plus a 10s zipf loadgen burst against a
+# spawned sharded server asserting zero protocol errors (CI serve-smoke).
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_serve_throughput.py
+	PYTHONPATH=src $(PYTHON) -m repro loadgen --spawn --spawn-workers 2 \
+	    --duration 10 --size 80 --topologies 6 --concurrency 4 --check
 
 # Docs gate: relative links in docs/ + README resolve; modules, public
 # classes and public functions in repro.sim / repro.core / repro.fast

@@ -1,0 +1,269 @@
+"""The n=2000 serving-throughput benchmark: batched+sharded vs naive.
+
+Boots two real HTTP servers (the full stack: asyncio transport, protocol
+parsing, micro-batching, topology-sharded worker processes) and drives
+both with the same zipf-skewed repeated-reweight traffic over two n=2000
+Erdős–Rényi topologies:
+
+* **batched** — ``mode="session"``: topology-affine shards keep warm
+  :class:`repro.runtime.session.SolverSession` objects, concurrent
+  requests coalesce into ``solve_many`` batches, weight scenarios hit the
+  plan LRU;
+* **naive** — ``mode="per-request"``: every request builds a fresh
+  ``GraphHandle`` + session from the raw payload, exactly what a service
+  without the runtime layer's reuse would do.
+
+Both sides are measured at steady state (topologies registered and the
+scenario plans warm for the batched server; the naive server has no warm
+state to give, by definition) through identical wire requests, and the
+batched side's responses are asserted **bit-identical** to one-shot
+:func:`repro.core.tecss.approximate_two_ecss` calls on the reweighted
+graphs.  The speedup gate (``MIN_SPEEDUP``) is enforced here and in CI;
+results land in ``BENCH_serve_throughput.json`` at the repo root.
+
+Also runnable directly (no pytest) to refresh the JSON:
+
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import random
+import time
+
+N = 2000
+SEEDS = (1, 2)
+EPS = 0.5
+SCENARIOS = 2          # weight columns cycled per topology
+ZIPF_S = 1.1
+CONCURRENCY = 4
+WORKERS = 2            # topology shards (worker processes)
+BATCHED_REQUESTS = 40
+NAIVE_REQUESTS = 4     # projected up: the naive side is ~20x slower
+MIN_SPEEDUP = 5.0
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_serve_throughput.json",
+)
+
+
+def _build_traffic():
+    """Two n=2000 topologies, scenario weight columns, a zipf request mix."""
+    from repro.graphs.families import make_family_instance
+    from repro.serve.protocol import graph_payload
+
+    topologies = []
+    for seed in SEEDS:
+        graph = make_family_instance("erdos_renyi", N, seed=seed)
+        payload = graph_payload(graph)
+        base = [w for _, _, w in payload["edges"]]
+        jitter = random.Random(f"serve-bench:{seed}")
+        columns = [
+            [w * jitter.uniform(0.8, 1.25) for w in base]
+            for _ in range(SCENARIOS)
+        ]
+        topologies.append({"graph": graph, "payload": payload,
+                           "columns": columns, "key": None})
+    # The zipf mix: topology 0 is hot, scenarios cycle per topology.
+    rng = random.Random("serve-bench:mix")
+    weights = [1.0 / (rank + 1) ** ZIPF_S for rank in range(len(topologies))]
+    picks = rng.choices(
+        range(len(topologies)), weights=weights,
+        k=max(BATCHED_REQUESTS, NAIVE_REQUESTS) * 2,
+    )
+    return topologies, picks
+
+
+async def _drive(port: int, bodies: list[dict], concurrency: int) -> float:
+    """Closed-loop: issue ``bodies`` over ``concurrency`` keep-alive
+    connections; returns the wall seconds.  Any error response aborts the
+    benchmark loudly."""
+    from repro.serve.loadgen import HttpClient
+
+    queue: asyncio.Queue = asyncio.Queue()
+    for body in bodies:
+        queue.put_nowait(body)
+
+    async def worker() -> None:
+        client = HttpClient("127.0.0.1", port)
+        try:
+            while True:
+                try:
+                    body = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                status, payload = await client.request(
+                    "POST", "/v1/solve", body
+                )
+                assert status == 200 and "error" not in payload, (
+                    f"serve error during benchmark: {payload}"
+                )
+        finally:
+            await client.close()
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    return time.perf_counter() - t0
+
+
+async def _measure(mode: str, topologies, picks, requests: int) -> dict:
+    """Boot a server in ``mode``, warm it, and time the request mix."""
+    from repro.serve.app import ServeApp, ServeConfig
+    from repro.serve.loadgen import HttpClient
+    from repro.serve.server import HttpServer
+
+    config = ServeConfig(
+        workers=WORKERS, mode=mode, max_batch=8, max_delay_ms=2.0,
+        max_plans=2 * SCENARIOS + 1,
+    )
+    server = HttpServer(ServeApp(config), port=0)
+    await server.start()
+    try:
+        client = HttpClient("127.0.0.1", server.port)
+        # Registration + warmup (untimed): ship each topology's graph and
+        # touch every scenario column once.  The naive server rebuilds
+        # everything per request anyway — warmup gives it its best case
+        # too (warm processes, registered payloads).
+        warm = []
+        for topo in topologies:
+            status, payload = await client.request(
+                "POST", "/v1/solve",
+                {"graph": topo["payload"], "eps": EPS},
+            )
+            assert status == 200, f"registration failed: {payload}"
+            topo["key"] = payload["topology"]
+            if mode == "session":
+                for column in topo["columns"]:
+                    warm.append({
+                        "topology": topo["key"], "weights": column,
+                        "eps": EPS,
+                    })
+        await client.close()
+        if warm:
+            await _drive(server.port, warm, CONCURRENCY)
+
+        bodies = [
+            {
+                "topology": topologies[pick]["key"],
+                "weights": topologies[pick]["columns"][
+                    i % len(topologies[pick]["columns"])
+                ],
+                "eps": EPS,
+            }
+            for i, pick in enumerate(picks[:requests])
+        ]
+        wall_s = await _drive(server.port, bodies, CONCURRENCY)
+
+        sample = None
+        if mode == "session":
+            # One representative response for the bit-identity assertion.
+            client = HttpClient("127.0.0.1", server.port)
+            status, sample = await client.request(
+                "POST", "/v1/solve", bodies[0]
+            )
+            assert status == 200, f"sample solve failed: {sample}"
+            await client.close()
+        return {"wall_s": wall_s, "requests": requests,
+                "rps": requests / wall_s, "sample": sample,
+                "sample_body": bodies[0]}
+    finally:
+        await server.aclose()
+
+
+def _assert_bit_identical(topologies, measured: dict) -> None:
+    """The sampled wire response must equal the one-shot payload."""
+    import networkx as nx
+
+    from repro.core.tecss import approximate_two_ecss
+    from repro.serve.protocol import result_to_payload
+
+    body = measured["sample_body"]
+    topo = next(t for t in topologies if t["key"] == body["topology"])
+    graph = topo["graph"]
+    reweighted = nx.Graph()
+    reweighted.add_nodes_from(graph.nodes())
+    for (u, v, _), w in zip(graph.edges(data=True), body["weights"]):
+        reweighted.add_edge(u, v, weight=w)
+    want = result_to_payload(
+        approximate_two_ecss(reweighted, eps=EPS, backend="auto")
+    )
+    assert measured["sample"]["result"] == want, (
+        "served result diverged from the one-shot API at n=2000 — the "
+        "wire bit-identity contract is broken"
+    )
+
+
+def run_serve_throughput_benchmark() -> dict:
+    """Measure batched vs naive serving, check identity, write the JSON."""
+    topologies, picks = _build_traffic()
+
+    async def main() -> tuple[dict, dict]:
+        batched = await _measure("session", topologies, picks,
+                                 BATCHED_REQUESTS)
+        naive = await _measure("per-request", topologies, picks,
+                               NAIVE_REQUESTS)
+        return batched, naive
+
+    batched, naive = asyncio.run(main())
+    _assert_bit_identical(topologies, batched)
+
+    speedup = batched["rps"] / naive["rps"]
+    record = {
+        "benchmark": "serve_throughput",
+        "instance": {
+            "family": "erdos_renyi", "n": N, "seeds": list(SEEDS),
+            "m": [len(t["payload"]["edges"]) for t in topologies],
+            "eps": EPS,
+        },
+        "traffic": {
+            "topologies": len(topologies), "zipf_s": ZIPF_S,
+            "scenarios_per_topology": SCENARIOS,
+            "concurrency": CONCURRENCY, "workers": WORKERS,
+        },
+        "python": platform.python_version(),
+        "batched": {
+            "mode": "session", "requests": batched["requests"],
+            "wall_s": round(batched["wall_s"], 4),
+            "throughput_rps": round(batched["rps"], 4),
+        },
+        "naive": {
+            "mode": "per-request", "requests": naive["requests"],
+            "wall_s": round(naive["wall_s"], 4),
+            "throughput_rps": round(naive["rps"], 4),
+        },
+        "speedup": round(speedup, 2),
+        "min_speedup_gate": MIN_SPEEDUP,
+    }
+    with open(BENCH_PATH, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    # Enforce the gate here so both entry points (pytest and the CI job's
+    # direct invocation) fail loudly.
+    assert speedup >= MIN_SPEEDUP, (
+        f"serve throughput speedup {speedup:.2f}x below the "
+        f"{MIN_SPEEDUP}x gate"
+    )
+    return record
+
+
+def test_bench_serve_throughput(benchmark):
+    record = benchmark.pedantic(
+        run_serve_throughput_benchmark, rounds=1, iterations=1
+    )
+    print(
+        f"\nserve throughput n={N}: batched "
+        f"{record['batched']['throughput_rps']} rps vs naive "
+        f"{record['naive']['throughput_rps']} rps -> "
+        f"{record['speedup']}x (gate {MIN_SPEEDUP}x) -> {BENCH_PATH}"
+    )
+    assert record["speedup"] >= MIN_SPEEDUP
+
+
+if __name__ == "__main__":
+    rec = run_serve_throughput_benchmark()
+    print(json.dumps(rec, indent=2))

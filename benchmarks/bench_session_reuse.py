@@ -68,7 +68,7 @@ def run_session_reuse_benchmark() -> dict:
             "session result diverged from the one-shot API — the "
             "bit-identity contract is broken"
         )
-    assert session.stats["plans_built"] == 1, "plan was rebuilt mid-session"
+    assert session.stats()["plans_built"] == 1, "plan was rebuilt mid-session"
 
     one_shot_total_s = one_shot_s * REPEATS
     speedup = one_shot_total_s / session_total_s

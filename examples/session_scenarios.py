@@ -54,7 +54,7 @@ def main() -> None:
 
     # Reuse bookkeeping: topology work happened once, per-scenario plans
     # were built per distinct weight column (LRU-bounded).
-    print(f"session stats: {session.stats}")
+    print(f"session stats: {session.stats()}")
 
     # Spot-check the bit-identity contract against the one-shot API.
     probe = scenarios[0]

@@ -54,7 +54,7 @@ import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Iterable, Sequence
 
 __all__ = [
@@ -106,7 +106,15 @@ class SweepTask:
 
 @dataclass
 class SweepReport:
-    """What a sweep produced: rows plus cache and output bookkeeping."""
+    """What a sweep produced: rows plus cache and output bookkeeping.
+
+    ``session_stats`` maps each *computed* topology group (label
+    ``family/n=../seed=..``) to its shared session's
+    :meth:`~repro.runtime.session.SolverSession.stats` snapshot —
+    plan-cache hits/misses/evictions and per-phase build times, printed
+    by ``python -m repro sweep --debug``.  Cached-only groups have no
+    entry (no session ran).
+    """
 
     rows: list[dict]
     cache_hits: int
@@ -114,6 +122,7 @@ class SweepReport:
     json_path: str | None = None
     csv_path: str | None = None
     text_path: str | None = None
+    session_stats: dict = field(default_factory=dict)
 
 
 def warm_worker(engine: str = "local") -> None:
@@ -199,12 +208,15 @@ def run_task_group(
     All tasks must share :func:`_group_key`.  The graph is built and the
     :class:`~repro.runtime.session.SolverSession` created once; every
     cell then reuses the session's cached
-    :class:`~repro.runtime.plan.SolverPlan`.  Returns one outcome dict
-    per task, in order: ``{"row": ...}`` for a solved cell or
-    ``{"error": ...}`` for a failed one.  With ``cache_dir``, each solved
-    cell is persisted *as soon as it finishes* — a failing cell or a kill
-    mid-group never discards the finished ones (that is the crash-resume
-    the cache exists for).
+    :class:`~repro.runtime.plan.SolverPlan`.  Returns
+    ``{"outcomes": [...], "session_stats": ...}``: one outcome dict per
+    task, in order — ``{"row": ...}`` for a solved cell or
+    ``{"error": ...}`` for a failed one — plus the shared session's
+    :meth:`~repro.runtime.session.SolverSession.stats` snapshot (``None``
+    when the session could not even be built).  With ``cache_dir``, each
+    solved cell is persisted *as soon as it finishes* — a failing cell or
+    a kill mid-group never discards the finished ones (that is the
+    crash-resume the cache exists for).
     """
     if len({_group_key(t) for t in tasks}) != 1:
         raise ValueError("run_task_group needs tasks sharing one topology")
@@ -219,7 +231,12 @@ def run_task_group(
         )
         session = SolverSession(graph)
     except Exception as exc:  # noqa: BLE001 - reported per cell by the caller
-        return [{"error": f"{type(exc).__name__}: {exc}"} for _ in tasks]
+        return {
+            "outcomes": [
+                {"error": f"{type(exc).__name__}: {exc}"} for _ in tasks
+            ],
+            "session_stats": None,
+        }
     build_s = time.perf_counter() - t0
 
     outcomes: list[dict] = []
@@ -233,7 +250,7 @@ def run_task_group(
         if cache_dir is not None:
             _write_cache(cache_dir, task, row)
         outcomes.append({"row": row})
-    return outcomes
+    return {"outcomes": outcomes, "session_stats": session.stats()}
 
 
 def run_task(task: SweepTask) -> dict:
@@ -385,6 +402,7 @@ def run_sweep(
     )
     rows_by_key: dict[str, dict] = {}
     pending: list[SweepTask] = []
+    session_stats: dict[str, dict] = {}
     hits = 0
     for task in tasks:
         cached = _read_cache(cache_dir, task)
@@ -404,14 +422,19 @@ def run_sweep(
 
         failures: list[tuple[SweepTask, str]] = []
 
-        def harvest(group: Sequence[SweepTask], outcomes: list[dict]) -> None:
-            """Collect solved rows and per-cell failures (cells were
-            already persisted by run_task_group as they finished)."""
-            for task, outcome in zip(group, outcomes):
+        def harvest(group: Sequence[SweepTask], result: dict) -> None:
+            """Collect solved rows, per-cell failures, and the group's
+            session stats (cells were already persisted by
+            run_task_group as they finished)."""
+            for task, outcome in zip(group, result["outcomes"]):
                 if "error" in outcome:
                     failures.append((task, outcome["error"]))
                     continue
                 rows_by_key[task.fingerprint()] = outcome["row"]
+            if result.get("session_stats") is not None:
+                head = group[0]
+                label = f"{head.family}/n={head.n}/seed={head.seed}"
+                session_stats[label] = result["session_stats"]
 
         if workers in (0, 1):
             warm_worker(engine)
@@ -452,7 +475,12 @@ def run_sweep(
             )
 
     rows = [rows_by_key[task.fingerprint()] for task in tasks]
-    report = SweepReport(rows=rows, cache_hits=hits, cache_misses=len(pending))
+    report = SweepReport(
+        rows=rows,
+        cache_hits=hits,
+        cache_misses=len(pending),
+        session_stats=session_stats,
+    )
     if write_outputs:
         report.text_path = write_report(
             name, format_table(rows, title=name), directory=out_dir

@@ -33,8 +33,12 @@ Quick use::
         [SolveQuery(eps=e) for e in (0.1, 0.25, 0.5, 1.0)]
     )                                                # reuses the plan
 
-This is the architectural seam the scaling roadmap items (sharding, async
-serving, k-ECSS multi-query workloads) plug into.
+This is the architectural seam the scaling layers plug into: the serving
+subsystem (:mod:`repro.serve`) shards topologies across worker processes
+and coalesces concurrent requests into ``solve_many`` batches on warm
+sessions; :meth:`~repro.runtime.session.SolverSession.stats` exposes the
+plan-cache accounting (hits/misses/evictions, per-phase build times) its
+``/metrics`` route and ``python -m repro sweep --debug`` surface.
 """
 
 from repro.runtime.handle import GraphHandle
@@ -46,6 +50,7 @@ from repro.runtime.registry import (
     get_backend,
     register_backend,
     registered,
+    registered_payload,
     resolve_compute,
 )
 from repro.runtime.session import SolveQuery, SolverSession
@@ -61,5 +66,6 @@ __all__ = [
     "get_backend",
     "register_backend",
     "registered",
+    "registered_payload",
     "resolve_compute",
 ]

@@ -32,6 +32,7 @@ needs to inject state (the measured-ops facade of
 
 from __future__ import annotations
 
+import time
 from functools import cached_property
 
 import networkx as nx
@@ -59,6 +60,19 @@ class SolverPlan:
         self.handle = handle
         self._instances: dict[str, TAPInstance] = {}
         self.instance_builds = 0
+        #: Wall-clock seconds spent building each artifact, keyed by phase
+        #: name (``mst``, ``links``, ``diameter``, ``instance:<flavor>``).
+        #: Lazily-built artifacts record exactly one entry on first use;
+        #: :meth:`repro.runtime.session.SolverSession.stats` aggregates
+        #: these across the plan LRU (evicted plans included).
+        self.build_times: dict[str, float] = {}
+
+    def _timed(self, phase: str, build):
+        """Run ``build()`` and record its wall-clock under ``phase``."""
+        t0 = time.perf_counter()
+        value = build()
+        self.build_times[phase] = time.perf_counter() - t0
+        return value
 
     @classmethod
     def for_graph(cls, graph: nx.Graph) -> "SolverPlan":
@@ -82,11 +96,15 @@ class SolverPlan:
     @property
     def diameter(self) -> int:
         """Topology diameter under the result-metadata rule (see handle)."""
+        if "diameter" not in self.handle.__dict__:
+            # First computation for this topology: attribute the cost here
+            # (reweighted handles share the cache, so later plans see none).
+            return self._timed("diameter", lambda: self.handle.diameter)
         return self.handle.diameter
 
     @cached_property
     def _mst(self) -> tuple[RootedTree, list[tuple]]:
-        return rooted_mst(self.g)
+        return self._timed("mst", lambda: rooted_mst(self.g))
 
     @property
     def tree(self) -> RootedTree:
@@ -107,7 +125,9 @@ class SolverPlan:
     @cached_property
     def links(self) -> list[tuple[int, int, float]]:
         """The candidate links: every non-MST edge as ``(u, v, weight)``."""
-        return nontree_links(self.g, set(self.mst_edges))
+        return self._timed(
+            "links", lambda: nontree_links(self.g, set(self.mst_edges))
+        )
 
     # ------------------------------------------------------------------
     # instances
@@ -126,8 +146,11 @@ class SolverPlan:
         flavor = resolve_compute(backend)
         inst = self._instances.get(flavor)
         if inst is None:
-            inst = TAPInstance.from_links(
-                self.tree, self.links, backend=flavor
+            inst = self._timed(
+                f"instance:{flavor}",
+                lambda: TAPInstance.from_links(
+                    self.tree, self.links, backend=flavor
+                ),
             )
             self._instances[flavor] = inst
             self.instance_builds += 1

@@ -48,6 +48,7 @@ __all__ = [
     "get_backend",
     "register_backend",
     "registered",
+    "registered_payload",
     "resolve_compute",
 ]
 
@@ -124,6 +125,27 @@ def registered(kind: str | None = None) -> tuple[BackendSpec, ...]:
         if kind is None or k == kind
     ]
     return tuple(specs)
+
+
+def registered_payload(kind: str | None = None) -> list[dict]:
+    """The registry as JSON-safe dicts (machine-readable, stable order).
+
+    One dict per spec — ``kind``, ``name``, sorted ``capabilities``,
+    ``description``, and ``alias`` (whether the entry resolves to another
+    name).  Shared by ``python -m repro backends --json``, the serving
+    layer's ``/backends`` route, and the load generator, so the three
+    always agree on the schema.
+    """
+    return [
+        {
+            "kind": spec.kind,
+            "name": spec.name,
+            "capabilities": sorted(spec.capabilities),
+            "description": spec.description,
+            "alias": spec.resolves_to is not None,
+        }
+        for spec in registered(kind)
+    ]
 
 
 def get_backend(kind: str, name: str) -> BackendSpec:

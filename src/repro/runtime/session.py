@@ -109,7 +109,11 @@ class SolverSession:
         self.scheduler = scheduler
         self.max_plans = max(1, max_plans)
         self._plans: "OrderedDict[str, SolverPlan]" = OrderedDict()
-        self.stats = {"solves": 0, "plans_built": 0, "plan_hits": 0}
+        self._counters = {
+            "solves": 0, "plans_built": 0, "plan_hits": 0,
+            "plan_evictions": 0,
+        }
+        self._evicted_build_times: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # plans
@@ -128,13 +132,45 @@ class SolverSession:
         if plan is None:
             plan = SolverPlan(handle)
             self._plans[key] = plan
-            self.stats["plans_built"] += 1
+            self._counters["plans_built"] += 1
             while len(self._plans) > self.max_plans:
-                self._plans.popitem(last=False)
+                _, evicted = self._plans.popitem(last=False)
+                self._counters["plan_evictions"] += 1
+                # Keep the evicted plan's build-time accounting: stats()
+                # reports total seconds spent building artifacts, not just
+                # the seconds still resident in the LRU.
+                for phase, secs in evicted.build_times.items():
+                    self._evicted_build_times[phase] = (
+                        self._evicted_build_times.get(phase, 0.0) + secs
+                    )
         else:
-            self.stats["plan_hits"] += 1
+            self._counters["plan_hits"] += 1
         self._plans.move_to_end(key)
         return plan
+
+    def stats(self) -> dict:
+        """Plan-cache and build-time accounting for this session.
+
+        Returns a fresh dict with the lifetime counters (``solves``,
+        ``plans_built``, ``plan_hits``, ``plan_misses`` — equal to
+        ``plans_built`` — and ``plan_evictions``), the cache occupancy
+        (``plans_cached`` / ``max_plans``), and ``build_times_s``: wall
+        seconds per build phase (``mst``, ``links``, ``diameter``,
+        ``instance:<flavor>``) summed across every plan this session ever
+        built, evicted plans included.  Surfaced by the serving layer's
+        ``/metrics`` route and ``python -m repro sweep --debug``.
+        """
+        build_times = dict(self._evicted_build_times)
+        for plan in self._plans.values():
+            for phase, secs in plan.build_times.items():
+                build_times[phase] = build_times.get(phase, 0.0) + secs
+        return {
+            **self._counters,
+            "plan_misses": self._counters["plans_built"],
+            "plans_cached": len(self._plans),
+            "max_plans": self.max_plans,
+            "build_times_s": build_times,
+        }
 
     # ------------------------------------------------------------------
     # solving
@@ -169,7 +205,7 @@ class SolverSession:
                 f"'failure-injection' capability (e.g. 'sim'); "
                 f"got {engine!r}"
             )
-        self.stats["solves"] += 1
+        self._counters["solves"] += 1
         plan = self.plan(weights)
         if engine == "sim":
             from repro.dist.pipeline import distributed_two_ecss
@@ -247,5 +283,5 @@ class SolverSession:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SolverSession(n={self.handle.n}, m={self.handle.m}, "
-            f"plans={len(self._plans)}, solves={self.stats['solves']})"
+            f"plans={len(self._plans)}, solves={self._counters['solves']})"
         )

@@ -1,0 +1,395 @@
+"""Load generation for the serving layer: zipf-skewed solve traffic.
+
+Models the traffic the service is built for — a fleet of users
+re-querying a skewed set of network topologies with shifting weight
+scenarios.  Topologies are drawn from the :mod:`repro.graphs` family
+registry; popularity follows a zipf law (rank ``r`` drawn with
+probability proportional to ``1 / (r + 1) ** s``), so a few topologies
+are hot (and exercise batching + session reuse) while the tail exercises
+registration and worker LRU churn.
+
+Two driving disciplines:
+
+* **closed loop** — ``concurrency`` workers each keep exactly one request
+  in flight (classic throughput measurement; the benchmark uses this);
+* **open loop** — requests fire at a fixed ``rate``/s regardless of
+  completions (latency under load, queueing behavior).
+
+Each worker holds one keep-alive connection (:class:`HttpClient`, asyncio
+streams, stdlib only).  The first request for a topology ships the full
+graph; subsequent requests reference the returned ``topology`` fingerprint
+and attach one of ``scenarios`` per-topology weight columns — the
+repeated-reweight pattern.  If the server answers ``unknown-topology``
+(restart, store eviction), the generator re-registers transparently and
+counts a ``reregistrations`` instead of an error.
+
+The summary dict (also printed by ``python -m repro loadgen``) reports
+throughput, latency percentiles, observed batch sizes, and — the CI smoke
+gate — ``protocol_errors``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.serve.protocol import PROTOCOL_VERSION, graph_payload
+
+__all__ = ["HttpClient", "LoadgenConfig", "run_loadgen"]
+
+
+class HttpClient:
+    """A minimal keep-alive HTTP/1.1 JSON client on asyncio streams."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        """Open (or reopen) the connection."""
+        await self.close()
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        """Close the connection if open."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        self._reader = self._writer = None
+
+    async def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        """One request/response round trip; reconnects on a dead socket."""
+        if self._writer is None:
+            await self.connect()
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        try:
+            self._writer.write(head + body)
+            await self._writer.drain()
+            return await self._read_response()
+        except (
+            ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError
+        ):
+            # One transparent retry on a fresh connection (the server may
+            # have closed an idle keep-alive socket under us).
+            await self.connect()
+            self._writer.write(head + body)
+            await self._writer.drain()
+            return await self._read_response()
+
+    async def _read_response(self) -> tuple[int, dict]:
+        """Parse one status line + headers + Content-Length JSON body."""
+        line = await self._reader.readline()
+        if not line:
+            raise asyncio.IncompleteReadError(b"", None)
+        status = int(line.decode("latin-1").split()[1])
+        length = 0
+        close = False
+        while True:
+            raw = await self._reader.readline()
+            if raw in (b"\r\n", b"\n"):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            key = name.strip().lower()
+            if key == "content-length":
+                length = int(value.strip())
+            elif key == "connection" and value.strip().lower() == "close":
+                close = True
+        body = await self._reader.readexactly(length) if length else b""
+        if close:
+            await self.close()
+        return status, json.loads(body) if body else {}
+
+
+@dataclass
+class LoadgenConfig:
+    """Tunables of one load-generation run (CLI flags map 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8421
+    #: Stop after this many seconds (or after ``requests``, if set).
+    duration_s: float = 10.0
+    requests: int | None = None
+    #: ``"closed"`` (concurrency workers) or ``"open"`` (fixed rate).
+    mode: str = "closed"
+    concurrency: int = 4
+    rate: float = 20.0
+    #: Topology universe: families cycled, ``topologies`` instances of
+    #: roughly ``size`` nodes, zipf-skewed popularity with exponent
+    #: ``zipf_s``.
+    families: tuple[str, ...] = ("cycle_chords", "grid")
+    size: int = 120
+    topologies: int = 8
+    zipf_s: float = 1.1
+    #: Distinct weight scenarios cycled per topology (the reweight knob);
+    #: 0 always solves the registered baseline weights.
+    scenarios: int = 4
+    seed: int = 0
+    eps: float = 0.5
+    variant: str = "improved"
+    backend: str | None = None
+    engine: str | None = None
+
+
+class _Traffic:
+    """Pre-built topology universe + seeded samplers (shared by workers)."""
+
+    def __init__(self, cfg: LoadgenConfig) -> None:
+        from repro.graphs.families import make_family_instance
+
+        self.cfg = cfg
+        self.rng = random.Random(cfg.seed)
+        self.topologies: list[dict] = []
+        for i in range(cfg.topologies):
+            family = cfg.families[i % len(cfg.families)]
+            graph = make_family_instance(family, cfg.size, seed=cfg.seed + i)
+            payload = graph_payload(graph)
+            base = [w for _, _, w in payload["edges"]]
+            jitter = random.Random(f"{cfg.seed}:{i}:scenario")
+            columns = [
+                [w * jitter.uniform(0.8, 1.25) for w in base]
+                for _ in range(cfg.scenarios)
+            ]
+            self.topologies.append({
+                "family": family,
+                "graph": payload,
+                "columns": columns,
+                "key": None,  # filled from the first response
+                "uses": 0,
+            })
+        weights = [1.0 / (rank + 1) ** cfg.zipf_s
+                   for rank in range(cfg.topologies)]
+        total = sum(weights)
+        self.popularity = [w / total for w in weights]
+
+    def next_request(self) -> tuple[dict, dict]:
+        """Sample one topology and build its request body."""
+        (index,) = self.rng.choices(
+            range(len(self.topologies)), weights=self.popularity
+        )
+        topo = self.topologies[index]
+        body: dict = {
+            "protocol": PROTOCOL_VERSION,
+            "eps": self.cfg.eps,
+            "variant": self.cfg.variant,
+        }
+        if self.cfg.backend is not None:
+            body["backend"] = self.cfg.backend
+        if self.cfg.engine is not None:
+            body["engine"] = self.cfg.engine
+        if topo["key"] is None:
+            body["graph"] = topo["graph"]
+        else:
+            body["topology"] = topo["key"]
+        if topo["columns"]:
+            body["weights"] = topo["columns"][topo["uses"] % len(topo["columns"])]
+        topo["uses"] += 1
+        return topo, body
+
+
+@dataclass
+class _Tally:
+    """Mutable run accounting shared by the worker tasks."""
+
+    sent: int = 0
+    ok: int = 0
+    protocol_errors: int = 0
+    transport_errors: int = 0
+    reregistrations: int = 0
+    error_codes: dict = field(default_factory=dict)
+    latencies_s: list = field(default_factory=list)
+    batch_sizes: list = field(default_factory=list)
+
+    def record_error(self, code: str) -> None:
+        """Count one protocol error by code."""
+        self.protocol_errors += 1
+        self.error_codes[code] = self.error_codes.get(code, 0) + 1
+
+
+async def _issue(
+    client: HttpClient, traffic: _Traffic, tally: _Tally
+) -> None:
+    """Send one sampled request and account for its outcome."""
+    topo, body = traffic.next_request()
+    tally.sent += 1
+    t0 = time.perf_counter()
+    try:
+        status, payload = await client.request("POST", "/v1/solve", body)
+    except (OSError, asyncio.IncompleteReadError, ValueError):
+        tally.transport_errors += 1
+        await client.close()
+        return
+    tally.latencies_s.append(time.perf_counter() - t0)
+    error = payload.get("error")
+    if status == 200 and not error:
+        topo["key"] = payload.get("topology", topo["key"])
+        tally.ok += 1
+        server = payload.get("server", {})
+        if "batch_size" in server:
+            tally.batch_sizes.append(server["batch_size"])
+        return
+    code = (error or {}).get("code", f"http-{status}")
+    if code == "unknown-topology" and topo["key"] is not None:
+        # Server forgot the topology (restart/eviction): re-register
+        # transparently, as a real client would.
+        topo["key"] = None
+        tally.reregistrations += 1
+        return
+    tally.record_error(code)
+
+
+async def _closed_loop(cfg, traffic, tally, deadline) -> None:
+    """``concurrency`` workers, one request in flight each."""
+    async def worker() -> None:
+        """One closed-loop client: a single request in flight."""
+        client = HttpClient(cfg.host, cfg.port)
+        try:
+            while time.perf_counter() < deadline and (
+                cfg.requests is None or tally.sent < cfg.requests
+            ):
+                await _issue(client, traffic, tally)
+        finally:
+            await client.close()
+
+    await asyncio.gather(*(worker() for _ in range(cfg.concurrency)))
+
+
+async def _open_loop(cfg, traffic, tally, deadline) -> None:
+    """Fixed-rate arrivals over a small connection pool."""
+    pool: asyncio.Queue = asyncio.Queue()
+    for _ in range(max(2, cfg.concurrency)):
+        pool.put_nowait(HttpClient(cfg.host, cfg.port))
+    pending: set[asyncio.Task] = set()
+
+    async def fire() -> None:
+        """One open-loop arrival on a pooled connection."""
+        client = await pool.get()
+        try:
+            await _issue(client, traffic, tally)
+        finally:
+            pool.put_nowait(client)
+
+    interval = 1.0 / max(cfg.rate, 0.001)
+    next_at = time.perf_counter()
+    while time.perf_counter() < deadline and (
+        cfg.requests is None or tally.sent + len(pending) < cfg.requests
+    ):
+        now = time.perf_counter()
+        if now < next_at:
+            await asyncio.sleep(next_at - now)
+        next_at += interval
+        task = asyncio.ensure_future(fire())
+        pending.add(task)
+        task.add_done_callback(pending.discard)
+    if pending:
+        await asyncio.gather(*pending, return_exceptions=True)
+    while not pool.empty():
+        await pool.get_nowait().close()
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of a sample list (0 when empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+async def _run(cfg: LoadgenConfig) -> dict:
+    """Drive one load-generation run and summarize it."""
+    # Fail fast on an unreachable/unhealthy server: one probe up front
+    # beats a run's worth of per-request transport errors.
+    probe = HttpClient(cfg.host, cfg.port)
+    try:
+        status, _ = await probe.request("GET", "/healthz")
+        if status != 200:
+            raise ConnectionRefusedError(
+                f"/healthz answered {status}; is this a repro serve "
+                "instance?"
+            )
+    finally:
+        await probe.close()
+    traffic = _Traffic(cfg)
+    tally = _Tally()
+    t0 = time.perf_counter()
+    deadline = t0 + cfg.duration_s
+    if cfg.mode == "open":
+        await _open_loop(cfg, traffic, tally, deadline)
+    elif cfg.mode == "closed":
+        await _closed_loop(cfg, traffic, tally, deadline)
+    else:
+        raise ValueError(f"mode must be 'closed' or 'open', got {cfg.mode!r}")
+    wall = time.perf_counter() - t0
+    lat = tally.latencies_s
+    return {
+        "mode": cfg.mode,
+        "duration_s": round(wall, 3),
+        "requests": tally.sent,
+        "ok": tally.ok,
+        "protocol_errors": tally.protocol_errors,
+        "transport_errors": tally.transport_errors,
+        "reregistrations": tally.reregistrations,
+        "error_codes": dict(sorted(tally.error_codes.items())),
+        "throughput_rps": round(tally.ok / wall, 3) if wall > 0 else 0.0,
+        "latency_ms": {
+            "mean": round(sum(lat) / len(lat) * 1000, 3) if lat else 0.0,
+            "p50": round(_percentile(lat, 0.50) * 1000, 3),
+            "p90": round(_percentile(lat, 0.90) * 1000, 3),
+            "p99": round(_percentile(lat, 0.99) * 1000, 3),
+            "max": round(max(lat) * 1000, 3) if lat else 0.0,
+        },
+        "batch_size": {
+            "mean": round(
+                sum(tally.batch_sizes) / len(tally.batch_sizes), 3
+            ) if tally.batch_sizes else 0.0,
+            "max": max(tally.batch_sizes, default=0),
+        },
+        "topologies": cfg.topologies,
+        "zipf_s": cfg.zipf_s,
+        "scenarios": cfg.scenarios,
+    }
+
+
+def run_loadgen(cfg: LoadgenConfig, spawn=None) -> dict:
+    """Run the generator (blocking); optionally spawn the target server.
+
+    ``spawn`` is a :class:`repro.serve.app.ServeConfig`: the server is
+    started in-process on an ephemeral port, the run is pointed at it, and
+    it is drained afterwards — the one-command path the CI smoke job uses
+    (``python -m repro loadgen --spawn ... --check``).
+    """
+    async def main() -> dict:
+        """Optionally boot the server, then run the generator."""
+        if spawn is None:
+            return await _run(cfg)
+        from repro.serve.app import ServeApp
+        from repro.serve.server import HttpServer
+
+        server = HttpServer(ServeApp(spawn), port=0)
+        await server.start()
+        cfg.host, cfg.port = server.host, server.port
+        try:
+            return await _run(cfg)
+        finally:
+            await server.aclose()
+
+    return asyncio.run(main())

@@ -1,0 +1,624 @@
+"""The serving wire protocol: versioned JSON requests, canonical results.
+
+Everything that crosses the HTTP boundary is defined here, in one place,
+so the server (:mod:`repro.serve.app`), the workers
+(:mod:`repro.serve.workers`), the load generator
+(:mod:`repro.serve.loadgen`) and the differential tests all share one
+schema.  The protocol is versioned (:data:`PROTOCOL_VERSION`); a request
+naming a different version is rejected with a structured error instead of
+being misinterpreted.
+
+**Requests** (``POST /v1/solve``) mirror
+:class:`repro.runtime.session.SolveQuery` — ``eps`` / ``variant`` /
+``segmented`` / ``validate`` / ``backend`` / ``engine`` /
+``simulate_mst`` — plus the graph itself and two serving-only fields:
+
+* ``graph``: ``{"nodes": [...], "edges": [[u, v, w], ...]}`` — the full
+  weighted edge list (int or str node labels, ``w >= 0``).  ``nodes`` is
+  optional (defaulting to edge-encounter order) but part of the graph's
+  identity: node order drives normalization and MST tie-breaking, so two
+  payloads differing only in node order are different topologies — and
+  :func:`graph_payload` always emits it so a served solve is bit-identical
+  to a one-shot call on the original ``nx.Graph``.  The response echoes a
+  ``topology`` fingerprint of this payload;
+* ``topology``: that fingerprint, sent *instead of* ``graph`` by clients
+  re-querying a topology the server already knows (the repeated-reweight
+  traffic the service exists for) — typically combined with
+* ``weights``: a per-request weight column aligned with the registered
+  edge order (:meth:`repro.runtime.handle.GraphHandle.reweight`);
+* ``failures``: a failure-plan spec (see
+  :func:`failure_plan_from_payload`) for engines with the
+  ``failure-injection`` capability.
+
+The schema is deliberately **k-ready**: validation is per-field with
+structured errors, so the k-ECSS generalization (Dory, arXiv:1805.07764)
+can add a ``k`` field without breaking version 1 clients.
+
+**Responses** carry the solve result serialized by
+:func:`result_to_payload` — a *canonical* JSON form (tuples to lists, int
+dict keys to strings, exact float round-trip) with the property that the
+payload built from a one-shot
+:func:`repro.core.tecss.approximate_two_ecss` /
+:func:`repro.dist.pipeline.distributed_two_ecss` call compares ``==`` to
+the JSON-decoded wire payload for the same parameters.  That equality is
+the serving layer's bit-identity contract, held by
+``tests/test_serve_wire.py``.
+
+**Errors** are structured JSON, never tracebacks:
+``{"protocol": 1, "error": {"code": ..., "message": ..., "field": ...}}``
+with the HTTP status carried by :class:`ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "SolveRequest",
+    "error_payload",
+    "failure_plan_from_payload",
+    "fingerprint_graph",
+    "graph_from_payload",
+    "graph_payload",
+    "parse_graph_payload",
+    "parse_solve_request",
+    "result_to_payload",
+]
+
+#: Version tag of the request/response schema.  Bump on breaking changes;
+#: requests carrying a different ``protocol`` value are rejected.
+PROTOCOL_VERSION = 1
+
+#: Top-level request keys version 1 understands (typos fail loudly).
+_REQUEST_KEYS = frozenset({
+    "protocol", "graph", "topology", "weights", "failures",
+    "eps", "variant", "segmented", "validate", "backend", "engine",
+    "simulate_mst",
+})
+
+_VARIANTS = ("improved", "basic")
+
+
+class ProtocolError(Exception):
+    """A structured request/serving error: machine-readable, never a traceback.
+
+    ``code`` is a stable kebab-case identifier clients can dispatch on,
+    ``field`` names the offending request field when there is one, and
+    ``status`` is the HTTP status the server responds with.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        field: str | None = None,
+        status: int = 400,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.field = field
+        self.status = status
+
+    def payload(self) -> dict:
+        """The error as a protocol-versioned response body."""
+        return error_payload(self.code, str(self), self.field)
+
+
+def error_payload(code: str, message: str, field: str | None = None) -> dict:
+    """Build the canonical error response body."""
+    error: dict = {"code": code, "message": message}
+    if field is not None:
+        error["field"] = field
+    return {"protocol": PROTOCOL_VERSION, "error": error}
+
+
+@dataclass
+class SolveRequest:
+    """One parsed, schema-validated solve request.
+
+    ``graph`` holds the canonical graph payload dict
+    (``{"nodes": [...], "edges": [...]}``) when the client sent one
+    (``None`` for topology-referencing requests); ``topology`` is the
+    fingerprint — filled in from ``graph`` at parse time, so it is always
+    set on a valid request.  Solver-level validation (feasibility, weight
+    column length, backend resolution) happens in the worker, where the
+    session lives.
+    """
+
+    topology: str
+    graph: dict | None = None
+    weights: list | None = None
+    failures: dict | None = None
+    eps: float = 0.25
+    variant: str = "improved"
+    segmented: bool = True
+    validate: bool = True
+    backend: str | None = None
+    engine: str | None = None
+    simulate_mst: bool = False
+    extra: dict = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# graph payloads
+# ---------------------------------------------------------------------------
+
+
+def fingerprint_graph(graph: dict) -> str:
+    """SHA-1 fingerprint of a canonical graph payload.
+
+    Node and edge *order* are part of the identity — normalization and
+    downstream tie-breaking depend on both — and so are the baseline
+    weights, since requests without a ``weights`` override solve under
+    them.
+    """
+    payload = json.dumps(
+        {"nodes": graph["nodes"], "edges": graph["edges"]},
+        separators=(",", ":"),
+    )
+    return hashlib.sha1(payload.encode()).hexdigest()
+
+
+def _check_label(label, index: int, end: str):
+    """Validate one node label (int or str, bools rejected)."""
+    if isinstance(label, bool) or not isinstance(label, (int, str)):
+        raise ProtocolError(
+            "invalid-graph",
+            f"edge {index}: {end} label must be an int or str, "
+            f"got {type(label).__name__}",
+            field="graph",
+        )
+    return label
+
+
+def _check_weight(w, index: int, field_name: str):
+    """Validate one edge weight (finite number, ``>= 0``)."""
+    if isinstance(w, bool) or not isinstance(w, (int, float)):
+        raise ProtocolError(
+            "invalid-weight",
+            f"{field_name}[{index}]: weight must be a number, "
+            f"got {type(w).__name__}",
+            field=field_name,
+        )
+    if not math.isfinite(w) or w < 0:
+        raise ProtocolError(
+            "invalid-weight",
+            f"{field_name}[{index}]: weight must be finite and >= 0, got {w!r}",
+            field=field_name,
+        )
+    return w
+
+
+def parse_graph_payload(obj) -> dict:
+    """Validate a graph payload; return its canonical dict form.
+
+    Input is ``{"edges": [[u, v, w], ...]}`` with an optional ``"nodes"``
+    list fixing the node order (defaulting to edge-encounter order); the
+    return value always carries both keys.  Rejects — with field-level
+    errors — non-list shapes, bad labels, self-loops, bad weights,
+    **duplicate edges** (``nx.Graph`` would silently collapse one, last
+    weight winning — exactly the kind of surprise an untrusted payload
+    must not trigger), duplicate nodes, and edges whose endpoints are
+    missing from an explicit node list.
+    """
+    if not isinstance(obj, dict) or "edges" not in obj:
+        raise ProtocolError(
+            "invalid-graph", 'graph must be {"edges": [[u, v, w], ...]}',
+            field="graph",
+        )
+    edges = obj["edges"]
+    if not isinstance(edges, list) or not edges:
+        raise ProtocolError(
+            "invalid-graph", "graph.edges must be a non-empty list",
+            field="graph",
+        )
+    explicit = obj.get("nodes")
+    known: set | None = None
+    nodes: list = []
+    if explicit is not None:
+        if not isinstance(explicit, list):
+            raise ProtocolError(
+                "invalid-graph", "graph.nodes must be a list", field="graph",
+            )
+        known = set()
+        for i, label in enumerate(explicit):
+            _check_label(label, i, "node")
+            tagged = (type(label).__name__, label)
+            if tagged in known:
+                raise ProtocolError(
+                    "invalid-graph",
+                    f"graph.nodes[{i}] duplicates label {label!r}",
+                    field="graph",
+                )
+            known.add(tagged)
+        nodes = list(explicit)
+    seen: set[frozenset] = set()
+    encountered: set = set()
+    for i, item in enumerate(edges):
+        if not isinstance(item, list) or len(item) != 3:
+            raise ProtocolError(
+                "invalid-graph",
+                f"edge {i} must be a [u, v, weight] triple", field="graph",
+            )
+        u = _check_label(item[0], i, "u")
+        v = _check_label(item[1], i, "v")
+        _check_weight(item[2], i, "graph")
+        if u == v:
+            raise ProtocolError(
+                "invalid-graph", f"edge {i} is a self-loop at {u!r}",
+                field="graph",
+            )
+        # Type-tagged so the int 1 and the str "1" stay distinct labels.
+        tu, tv = (type(u).__name__, u), (type(v).__name__, v)
+        if known is not None and not {tu, tv} <= known:
+            raise ProtocolError(
+                "invalid-graph",
+                f"edge {i} references a label missing from graph.nodes",
+                field="graph",
+            )
+        pair = frozenset((tu, tv))
+        if pair in seen:
+            raise ProtocolError(
+                "duplicate-edge",
+                f"edge {i} duplicates an earlier ({u!r}, {v!r}) edge",
+                field="graph",
+            )
+        seen.add(pair)
+        if known is None:
+            for tagged, label in ((tu, u), (tv, v)):
+                if tagged not in encountered:
+                    encountered.add(tagged)
+                    nodes.append(label)
+    return {"nodes": nodes, "edges": edges}
+
+
+def graph_from_payload(payload: dict):
+    """Materialize an ``nx.Graph`` from a canonical graph payload.
+
+    Node and edge insertion order match the payload, which downstream
+    tie-breaking depends on — the same property
+    :class:`~repro.runtime.handle.GraphHandle` preserves.
+    """
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(payload["nodes"])
+    for u, v, w in payload["edges"]:
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+def graph_payload(graph) -> dict:
+    """Serialize an ``nx.Graph`` to the wire's canonical payload form.
+
+    Emits the node order explicitly, so a server-side rebuild is
+    indistinguishable from the original graph — the precondition for the
+    wire bit-identity contract.
+    """
+    return {
+        "nodes": list(graph.nodes()),
+        "edges": [
+            [u, v, data["weight"]] for u, v, data in graph.edges(data=True)
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# failure plans
+# ---------------------------------------------------------------------------
+
+
+def validate_failure_spec(spec) -> dict:
+    """Schema-check a failure-plan spec; return it unchanged.
+
+    Two shapes are accepted (mirroring :mod:`repro.sim.failures`):
+
+    * ``{"random": {"p": 0.2, "max_rounds": 10, "seed": 1,
+      "symmetric": true}}`` — a seeded random plan, deterministic for a
+      given graph;
+    * ``{"edges": [{"u": 0, "v": 1, "rounds": [1, 2], "symmetric": true},
+      ...]}`` — explicit per-edge drops (``rounds`` omitted or ``null``
+      means every round).
+    """
+    if not isinstance(spec, dict) or not ({"random", "edges"} & set(spec)):
+        raise ProtocolError(
+            "invalid-failures",
+            'failures must carry "random" or "edges"', field="failures",
+        )
+    if "random" in spec:
+        rnd = spec["random"]
+        if not isinstance(rnd, dict):
+            raise ProtocolError(
+                "invalid-failures", "failures.random must be an object",
+                field="failures",
+            )
+        p = rnd.get("p")
+        if not isinstance(p, (int, float)) or isinstance(p, bool) \
+                or not 0.0 <= p <= 1.0:
+            raise ProtocolError(
+                "invalid-failures",
+                f"failures.random.p must be in [0, 1], got {p!r}",
+                field="failures",
+            )
+        rounds = rnd.get("max_rounds")
+        if not isinstance(rounds, int) or isinstance(rounds, bool) \
+                or rounds < 1:
+            raise ProtocolError(
+                "invalid-failures",
+                "failures.random.max_rounds must be a positive int",
+                field="failures",
+            )
+    if "edges" in spec:
+        items = spec["edges"]
+        if not isinstance(items, list):
+            raise ProtocolError(
+                "invalid-failures", "failures.edges must be a list",
+                field="failures",
+            )
+        for i, item in enumerate(items):
+            if not isinstance(item, dict) or "u" not in item or "v" not in item:
+                raise ProtocolError(
+                    "invalid-failures",
+                    f"failures.edges[{i}] needs u and v", field="failures",
+                )
+            rounds = item.get("rounds")
+            if rounds is not None and (
+                not isinstance(rounds, list)
+                or any(not isinstance(r, int) or r < 1 for r in rounds)
+            ):
+                raise ProtocolError(
+                    "invalid-failures",
+                    f"failures.edges[{i}].rounds must be a list of "
+                    "1-based ints (or null for every round)",
+                    field="failures",
+                )
+    return spec
+
+
+def failure_plan_from_payload(spec: dict, graph):
+    """Build the :class:`~repro.sim.failures.FailurePlan` a spec describes.
+
+    Deterministic: the same spec and graph always produce the same plan,
+    so the wire differential tests can rebuild the exact plan the server
+    used and compare against a one-shot
+    :func:`repro.dist.pipeline.distributed_two_ecss` call.
+    """
+    from repro.sim.failures import FailurePlan, random_failure_plan
+
+    if "random" in spec:
+        rnd = spec["random"]
+        return random_failure_plan(
+            graph,
+            p=rnd["p"],
+            max_rounds=rnd["max_rounds"],
+            seed=rnd.get("seed", 0),
+            symmetric=rnd.get("symmetric", True),
+        )
+    plan = FailurePlan()
+    for item in spec["edges"]:
+        plan.fail(
+            item["u"], item["v"],
+            rounds=item.get("rounds"),
+            symmetric=item.get("symmetric", True),
+        )
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# request parsing
+# ---------------------------------------------------------------------------
+
+
+def _check_bool(obj: dict, key: str, default: bool) -> bool:
+    value = obj.get(key, default)
+    if not isinstance(value, bool):
+        raise ProtocolError(
+            "invalid-field", f"{key} must be a boolean, got {value!r}",
+            field=key,
+        )
+    return value
+
+
+def _check_name(obj: dict, key: str, kind: str) -> str | None:
+    """Validate an optional backend/engine name against the registry."""
+    value = obj.get(key)
+    if value is None:
+        return None
+    from repro.runtime.registry import UnknownBackendError, get_backend
+
+    if not isinstance(value, str):
+        raise ProtocolError(
+            "invalid-field", f"{key} must be a string, got {value!r}",
+            field=key,
+        )
+    try:
+        get_backend(kind, value)
+    except UnknownBackendError as exc:
+        raise ProtocolError("unknown-backend", str(exc), field=key) from None
+    return value
+
+
+def parse_solve_request(obj) -> SolveRequest:
+    """Parse and schema-validate one ``/v1/solve`` body.
+
+    Raises :class:`ProtocolError` with a stable ``code``/``field`` on any
+    violation; never lets a malformed payload reach the solver.  Exactly
+    one of ``graph`` (full edge list) and ``topology`` (fingerprint of a
+    previously sent graph) must be present.
+    """
+    if not isinstance(obj, dict):
+        raise ProtocolError("bad-request", "request body must be a JSON object")
+    unknown = set(obj) - _REQUEST_KEYS
+    if unknown:
+        raise ProtocolError(
+            "unknown-field",
+            f"unknown request field(s): {', '.join(sorted(unknown))}",
+            field=sorted(unknown)[0],
+        )
+    version = obj.get("protocol", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "unsupported-protocol",
+            f"this server speaks protocol {PROTOCOL_VERSION}, got {version!r}",
+            field="protocol",
+        )
+
+    has_graph = "graph" in obj
+    has_topology = "topology" in obj
+    if has_graph == has_topology:
+        raise ProtocolError(
+            "bad-request",
+            'exactly one of "graph" and "topology" is required',
+        )
+    graph = None
+    if has_graph:
+        graph = parse_graph_payload(obj["graph"])
+        topology = fingerprint_graph(graph)
+    else:
+        topology = obj["topology"]
+        if not isinstance(topology, str) or not topology:
+            raise ProtocolError(
+                "bad-request", "topology must be a non-empty string",
+                field="topology",
+            )
+
+    weights = obj.get("weights")
+    if weights is not None:
+        if not isinstance(weights, list) or not weights:
+            raise ProtocolError(
+                "invalid-weight", "weights must be a non-empty list",
+                field="weights",
+            )
+        for i, w in enumerate(weights):
+            _check_weight(w, i, "weights")
+
+    eps = obj.get("eps", 0.25)
+    if isinstance(eps, bool) or not isinstance(eps, (int, float)) \
+            or not math.isfinite(eps) or eps <= 0:
+        raise ProtocolError(
+            "invalid-field", f"eps must be a positive finite number, got {eps!r}",
+            field="eps",
+        )
+    variant = obj.get("variant", "improved")
+    if variant not in _VARIANTS:
+        raise ProtocolError(
+            "invalid-field",
+            f"variant must be one of {_VARIANTS}, got {variant!r}",
+            field="variant",
+        )
+
+    failures = obj.get("failures")
+    if failures is not None:
+        validate_failure_spec(failures)
+
+    return SolveRequest(
+        topology=topology,
+        graph=graph,
+        weights=weights,
+        failures=failures,
+        eps=float(eps),
+        variant=variant,
+        segmented=_check_bool(obj, "segmented", True),
+        validate=_check_bool(obj, "validate", True),
+        backend=_check_name(obj, "backend", "compute"),
+        engine=_check_name(obj, "engine", "engine"),
+        simulate_mst=_check_bool(obj, "simulate_mst", False),
+    )
+
+
+# ---------------------------------------------------------------------------
+# result serialization
+# ---------------------------------------------------------------------------
+
+
+def _canonical(payload: dict) -> dict:
+    """Normalize to the exact structure a JSON round-trip produces.
+
+    One ``dumps``/``loads`` pass turns tuples into lists and int dict keys
+    into strings — guaranteeing that the dict the server builds equals the
+    dict a client decodes off the wire, which is what the bit-identity
+    differential compares with ``==``.
+    """
+    return json.loads(json.dumps(payload))
+
+
+def _tap_payload(tap) -> dict:
+    """Serialize a :class:`~repro.core.result.TapResult`."""
+    return {
+        "links": [list(link) for link in tap.links],
+        "weight": tap.weight,
+        "virtual_eids": list(tap.virtual_eids),
+        "virtual_weight": tap.virtual_weight,
+        "dual_bound": tap.dual_bound,
+        "certified_virtual_ratio": tap.certified_virtual_ratio,
+        "eps": tap.eps,
+        "variant": tap.variant,
+        "segmented": tap.segmented,
+        "guarantee": tap.guarantee,
+        "iterations_per_epoch": dict(tap.iterations_per_epoch),
+        "num_layers": tap.num_layers,
+        "max_coverage_of_dual_edges": tap.max_coverage_of_dual_edges,
+        "log": dict(tap.log.counts),
+    }
+
+
+def _two_ecss_payload(res) -> dict:
+    """Serialize a :class:`~repro.core.result.TwoEcssResult`."""
+    sim = res.mst_simulation
+    return {
+        "type": "two_ecss",
+        "n": res.n,
+        "diameter": res.diameter,
+        "edges": [list(e) for e in res.edges],
+        "weight": res.weight,
+        "mst_edges": [list(e) for e in res.mst_edges],
+        "mst_weight": res.mst_weight,
+        "guarantee": res.guarantee,
+        "certified_lower_bound": res.certified_lower_bound,
+        "certified_ratio": res.certified_ratio,
+        "augmentation": _tap_payload(res.augmentation),
+        "mst_simulation": None if sim is None else {
+            "rounds": sim.rounds,
+            "messages": sim.messages,
+            "max_words": sim.max_words,
+            "quiescent": sim.quiescent,
+            "dropped": sim.dropped,
+        },
+    }
+
+
+def result_to_payload(result) -> dict:
+    """Canonical JSON payload of a solve result.
+
+    Accepts both result types the session can return — a
+    :class:`~repro.core.result.TwoEcssResult` (``engine="local"``) and a
+    :class:`~repro.dist.pipeline.DistTwoEcssResult` (``engine="sim"``) —
+    and emits a payload that compares ``==`` across the wire (see
+    :func:`_canonical`).  This is the single serializer used by the
+    workers *and* by the differential tests on the one-shot results, so
+    "bit-identical through the wire" is checked against the same code
+    path the service runs.
+    """
+    if hasattr(result, "measured"):  # DistTwoEcssResult
+        return _canonical({
+            "type": "dist_two_ecss",
+            "n": result.n,
+            "diameter": result.diameter,
+            "strict": result.strict,
+            "ratio_bound": result.ratio_bound,
+            "boruvka_phases": result.boruvka_phases,
+            "measured_rounds": result.measured_rounds,
+            "priced_rounds": result.priced_rounds,
+            "max_ratio": result.max_ratio,
+            "within_bound": result.within_bound,
+            "mismatch_counts": dict(result.mismatch_counts),
+            "mismatches": result.mismatches,
+            "comparison": result.comparison,
+            "result": _two_ecss_payload(result.result),
+        })
+    return _canonical(_two_ecss_payload(result))

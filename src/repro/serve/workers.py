@@ -1,0 +1,460 @@
+"""Topology-sharded solver workers: one process owns a topology's sessions.
+
+The dispatch rule is the whole design: a topology fingerprint is hashed to
+a shard (:meth:`ShardedWorkerPool.shard_of`), and every batch for that
+topology goes to the *same* single-process executor.  Each worker process
+keeps an LRU of :class:`~repro.runtime.session.SolverSession` objects
+keyed by topology, so all traffic for a topology lands on one warm
+session — plan caches (validation, normalization, diameter, MST, virtual
+graph, kernel arrays) are shared across every user querying that
+topology, which is where the serving layer's throughput comes from.
+
+Workers are *warm-imported* like the sweep pool
+(:func:`repro.analysis.sweep.warm_worker`): the solver stack is imported
+in the pool initializer so first-request latency measures solving, not
+imports.  ``shards=0`` selects the inline pool — same code path executed
+in-process on a thread (via ``asyncio.to_thread``), used by the tests and
+by single-process deployments.
+
+``mode="per-request"`` is the **naive baseline** the throughput benchmark
+compares against: every request builds a fresh
+:class:`~repro.runtime.handle.GraphHandle` and session from the raw edge
+payload — exactly what a service without the runtime layer's reuse would
+do.  It exists only for measurement honesty; production serving is
+``mode="session"``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import zlib
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.serve.protocol import (
+    ProtocolError,
+    SolveRequest,
+    failure_plan_from_payload,
+    graph_from_payload,
+    result_to_payload,
+)
+
+__all__ = [
+    "ShardedWorkerPool",
+    "configure_worker",
+    "error_item_from_exception",
+    "solve_batch_payload",
+    "worker_stats_payload",
+]
+
+# Per-process worker state (one process per shard; the inline pool uses
+# this module's globals in the server process itself).
+_SESSIONS: "OrderedDict[str, object]" = OrderedDict()
+_SETTINGS: dict = {
+    "backend": "auto", "engine": "local", "max_plans": 8, "max_sessions": 64,
+}
+
+
+def configure_worker(settings: dict | None = None) -> None:
+    """Pool initializer: warm-import the solver stack, set worker knobs.
+
+    Idempotent; also clears the session cache so a reconfigured inline
+    pool (tests, benchmark mode switches) never reuses stale sessions.
+    """
+    import repro.core.tecss  # noqa: F401
+    import repro.dist.pipeline  # noqa: F401
+    import repro.fast  # noqa: F401
+    import repro.graphs.families  # noqa: F401
+    import repro.runtime.session  # noqa: F401
+
+    _SESSIONS.clear()
+    if settings:
+        _SETTINGS.update(settings)
+
+
+def error_item_from_exception(exc: Exception) -> dict:
+    """Map a solver/validation exception to a structured per-item error."""
+    from repro.exceptions import (
+        GraphFormatError,
+        NotConnectedError,
+        NotTwoEdgeConnectedError,
+    )
+    from repro.runtime.registry import UnknownBackendError
+
+    field = None
+    if isinstance(exc, ProtocolError):
+        code, status, field = exc.code, exc.status, exc.field
+    elif isinstance(exc, UnknownBackendError):
+        code, status = "unknown-backend", 400
+    elif isinstance(exc, NotConnectedError):
+        code, status = "not-connected", 422
+    elif isinstance(exc, NotTwoEdgeConnectedError):
+        code, status = "not-two-edge-connected", 422
+    elif isinstance(exc, GraphFormatError):
+        code, status = "invalid-request", 400
+    elif isinstance(exc, ValueError):
+        code, status = "bad-request", 400
+    else:
+        code, status = "solver-error", 500
+    error: dict = {"code": code, "message": str(exc)}
+    if field is not None:
+        error["field"] = field
+    return {"error": error, "status": status}
+
+
+def _original_graph(handle):
+    """Rebuild the caller-labeled graph a one-shot user would have passed.
+
+    Same labels, edge order, and weights as the registered payload — so a
+    ``random`` failure spec expands to the exact
+    :class:`~repro.sim.failures.FailurePlan` the one-shot differential
+    builds.
+    """
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(handle.nodes)
+    for (u, v), w in zip(handle.edge_list, handle.weights):
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+def _query_for(session, request: SolveRequest, with_weights: bool = True):
+    """Translate one wire request into a :class:`SolveQuery`.
+
+    ``with_weights=False`` drops the reweight column — used by the naive
+    baseline, which bakes the column into the per-request graph instead.
+    """
+    from repro.runtime.session import SolveQuery
+
+    failures = None
+    if request.failures is not None:
+        failures = failure_plan_from_payload(
+            request.failures, _original_graph(session.handle)
+        )
+    return SolveQuery(
+        eps=request.eps,
+        variant=request.variant,
+        segmented=request.segmented,
+        validate=request.validate,
+        backend=request.backend,
+        engine=request.engine,
+        weights=request.weights if with_weights else None,
+        failures=failures,
+        simulate_mst=request.simulate_mst,
+    )
+
+
+def _session_for(topology: str, graph: dict | None):
+    """The worker's cached session for a topology (LRU), or ``None``.
+
+    ``None`` means the worker does not know the topology and the payload
+    carried no graph — the pool retries with the graph attached or
+    reports ``unknown-topology``.
+    """
+    from repro.runtime.session import SolverSession
+
+    session = _SESSIONS.get(topology)
+    if session is None:
+        if graph is None:
+            return None
+        session = SolverSession(
+            graph_from_payload(graph),
+            backend=_SETTINGS["backend"],
+            engine=_SETTINGS["engine"],
+            max_plans=_SETTINGS["max_plans"],
+        )
+        _SESSIONS[topology] = session
+        while len(_SESSIONS) > _SETTINGS["max_sessions"]:
+            _SESSIONS.popitem(last=False)
+    _SESSIONS.move_to_end(topology)
+    return session
+
+
+def _solve_on_session(session, requests: list[SolveRequest]) -> list[dict]:
+    """Solve a coalesced batch on one session: a single ``solve_many``.
+
+    Per-request translation errors (bad failure spec, wrong weights
+    length) are isolated up front; if the joint ``solve_many`` call fails,
+    the batch degrades to per-request solves so one poisoned request
+    cannot take down its batch-mates.
+    """
+    prepared: list[tuple[int, object]] = []
+    items: dict[int, dict] = {}
+    for i, request in enumerate(requests):
+        try:
+            prepared.append((i, _query_for(session, request)))
+        except Exception as exc:  # noqa: BLE001 - structured per item
+            items[i] = error_item_from_exception(exc)
+    if prepared:
+        try:
+            results = session.solve_many([q for _, q in prepared])
+            for (i, _), result in zip(prepared, results):
+                items[i] = {"result": result_to_payload(result)}
+        except Exception:  # noqa: BLE001 - isolate the failing request(s)
+            for i, query in prepared:
+                try:
+                    (result,) = session.solve_many([query])
+                    items[i] = {"result": result_to_payload(result)}
+                except Exception as exc:  # noqa: BLE001
+                    items[i] = error_item_from_exception(exc)
+    return [items[i] for i in range(len(requests))]
+
+
+def _solve_per_request(
+    graph: dict, requests: list[SolveRequest]
+) -> list[dict]:
+    """The naive baseline: a fresh handle + session for every request."""
+    from repro.runtime.session import SolverSession
+
+    edges = graph["edges"]
+    items = []
+    for request in requests:
+        try:
+            row = edges
+            if request.weights is not None:
+                if len(request.weights) != len(edges):
+                    raise ProtocolError(
+                        "invalid-weight",
+                        f"weights needs {len(edges)} entries, "
+                        f"got {len(request.weights)}",
+                        field="weights",
+                    )
+                row = [
+                    [u, v, w]
+                    for (u, v, _), w in zip(edges, request.weights)
+                ]
+            session = SolverSession(
+                graph_from_payload({"nodes": graph["nodes"], "edges": row}),
+                backend=_SETTINGS["backend"],
+                engine=_SETTINGS["engine"],
+            )
+            query = _query_for(session, request, with_weights=False)
+            (result,) = session.solve_many([query])
+            items.append({"result": result_to_payload(result)})
+        except Exception as exc:  # noqa: BLE001 - structured per item
+            items.append(error_item_from_exception(exc))
+    return items
+
+
+def solve_batch_payload(payload: dict) -> dict:
+    """Worker entry point: solve one coalesced batch (runs in the shard).
+
+    ``payload`` carries ``topology``, an optional ``graph`` payload, the
+    parsed ``requests``, and ``mode``.  Returns ``{"items": [...]}`` with
+    one ``{"result": ...}`` or ``{"error": ..., "status": ...}`` per
+    request (in order), plus the owning session's
+    :meth:`~repro.runtime.session.SolverSession.stats` snapshot and the
+    worker pid — or ``{"unknown_topology": True}`` when the topology is
+    neither cached nor included.
+    """
+    topology = payload["topology"]
+    graph = payload.get("graph")
+    requests: list[SolveRequest] = payload["requests"]
+    if payload.get("mode") == "per-request":
+        if graph is None:
+            return {"unknown_topology": True}
+        return {
+            "items": _solve_per_request(graph, requests),
+            "stats": None,
+            "pid": os.getpid(),
+        }
+    try:
+        session = _session_for(topology, graph)
+    except Exception as exc:  # noqa: BLE001 - bad graph fails every item
+        item = error_item_from_exception(exc)
+        return {
+            "items": [dict(item) for _ in requests],
+            "stats": None,
+            "pid": os.getpid(),
+        }
+    if session is None:
+        return {"unknown_topology": True}
+    return {
+        "items": _solve_on_session(session, requests),
+        "stats": session.stats(),
+        "pid": os.getpid(),
+    }
+
+
+def worker_stats_payload() -> dict:
+    """Per-worker state for ``/metrics``: pid + every cached session's stats."""
+    return {
+        "pid": os.getpid(),
+        "sessions": [
+            {
+                "topology": topology,
+                "n": session.handle.n,
+                "m": session.handle.m,
+                **session.stats(),
+            }
+            for topology, session in _SESSIONS.items()
+        ],
+    }
+
+
+class ShardedWorkerPool:
+    """A pool of single-process shards with topology-affine dispatch.
+
+    ``shards >= 1`` spawns that many worker processes (one
+    ``ProcessPoolExecutor(max_workers=1)`` each, so a shard serializes its
+    batches and its sessions are single-threaded by construction);
+    ``shards=0`` runs inline in the server process on a thread.  The pool
+    tracks which topologies each shard has confirmed and ships raw edges
+    only when needed; a shard that evicted a topology answers
+    ``unknown_topology`` and the pool retries once with edges attached.
+    """
+
+    def __init__(
+        self,
+        shards: int = 1,
+        mode: str = "session",
+        settings: dict | None = None,
+    ) -> None:
+        if mode not in ("session", "per-request"):
+            raise ValueError(
+                f"mode must be 'session' or 'per-request', got {mode!r}"
+            )
+        self.shards = max(0, shards)
+        self.mode = mode
+        self.settings = dict(settings or {})
+        self._executors: list[ProcessPoolExecutor] = []
+        # Inline mode still needs the single-threaded-session guarantee:
+        # one dedicated thread serializes every batch (asyncio.to_thread
+        # would hand consecutive batches to different pool threads and
+        # race the module-level session cache).
+        self._inline_executor: ThreadPoolExecutor | None = None
+        # Per-shard LRU of topologies the shard has confirmed, sized to
+        # the worker-side session LRU: entries beyond it are stale (the
+        # worker evicted the session) and an unbounded set would grow one
+        # fingerprint per distinct topology forever.
+        self._known_cap = max(
+            1, int(self.settings.get("max_sessions", 64))
+        )
+        self._known: list["OrderedDict[str, None]"] = [
+            OrderedDict() for _ in range(self.num_shards)
+        ]
+        self._started = False
+
+    @property
+    def num_shards(self) -> int:
+        """Dispatch width (the inline pool counts as one shard)."""
+        return max(1, self.shards)
+
+    @property
+    def inline(self) -> bool:
+        """Whether batches run in-process instead of in worker processes."""
+        return self.shards == 0
+
+    def shard_of(self, topology: str) -> int:
+        """Stable topology → shard assignment (crc32, process-independent)."""
+        return zlib.crc32(topology.encode()) % self.num_shards
+
+    async def start(self) -> None:
+        """Spawn and warm the shard executors (or configure inline state)."""
+        if self._started:
+            return
+        if self.inline:
+            configure_worker(self.settings)
+            self._inline_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="serve-inline"
+            )
+        else:
+            loop = asyncio.get_running_loop()
+            for _ in range(self.num_shards):
+                ex = ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=configure_worker,
+                    initargs=(self.settings,),
+                )
+                # Force the worker to exist (and warm-import) now, not on
+                # the first request.
+                await loop.run_in_executor(ex, os.getpid)
+                self._executors.append(ex)
+        self._started = True
+
+    async def _run(self, shard: int, fn, *args):
+        """Run ``fn`` on a shard: its process, or the one inline thread."""
+        loop = asyncio.get_running_loop()
+        if self.inline:
+            return await loop.run_in_executor(self._inline_executor, fn, *args)
+        return await loop.run_in_executor(self._executors[shard], fn, *args)
+
+    async def solve_batch(
+        self, topology: str, requests: list[SolveRequest], graph: dict | None
+    ) -> list[dict]:
+        """Solve one batch on the topology's shard; returns per-item dicts.
+
+        ``graph`` is the dispatcher's stored payload for the topology
+        (``None`` when the store no longer has it); it is attached only
+        when the shard has not confirmed the topology, or on the one
+        retry after an ``unknown_topology`` answer (worker LRU eviction).
+        """
+        shard = self.shard_of(topology)
+        known = self._known[shard]
+        send_graph = graph if (
+            topology not in known or self.mode == "per-request"
+        ) else None
+        if topology in known:
+            known.move_to_end(topology)
+        payload = {
+            "topology": topology,
+            "graph": send_graph,
+            "requests": requests,
+            "mode": self.mode,
+        }
+        out = await self._run(shard, solve_batch_payload, payload)
+        if out.get("unknown_topology") and send_graph is None:
+            known.pop(topology, None)
+            if graph is None:
+                raise ProtocolError(
+                    "unknown-topology",
+                    f"topology {topology!r} is not registered on this "
+                    "server; resend the request with the full graph",
+                    field="topology",
+                    status=404,
+                )
+            payload["graph"] = graph
+            out = await self._run(shard, solve_batch_payload, payload)
+        if out.get("unknown_topology"):  # pragma: no cover - defensive
+            raise ProtocolError(
+                "unknown-topology",
+                f"shard {shard} could not materialize topology {topology!r}",
+                field="topology",
+                status=404,
+            )
+        known[topology] = None
+        known.move_to_end(topology)
+        while len(known) > self._known_cap:
+            known.popitem(last=False)
+        items = out["items"]
+        for item in items:
+            item["shard"] = shard
+        return items
+
+    async def stats(self) -> list[dict]:
+        """One :func:`worker_stats_payload` per shard (for ``/metrics``).
+
+        Shards are polled concurrently — each answer still queues behind
+        that shard's in-flight batch, but a slow shard only costs its own
+        latency, not the sum over shards.
+        """
+        payloads = await asyncio.gather(
+            *(self._run(i, worker_stats_payload)
+              for i in range(self.num_shards))
+        )
+        return [
+            {"shard": i, **payload} for i, payload in enumerate(payloads)
+        ]
+
+    async def close(self) -> None:
+        """Graceful drain: finish queued batches, then stop the workers."""
+        for ex in self._executors:
+            ex.shutdown(wait=True)
+        self._executors.clear()
+        if self._inline_executor is not None:
+            self._inline_executor.shutdown(wait=True)
+            self._inline_executor = None
+        self._known = [OrderedDict() for _ in range(self.num_shards)]
+        self._started = False

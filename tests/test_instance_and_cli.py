@@ -77,6 +77,72 @@ class TestCli:
 
     def test_unknown_experiment(self, capsys):
         assert cli_main(["experiments", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one line, on stderr
+        assert "unknown experiment" in err and "e01" in err
 
     def test_unknown_command(self, capsys):
         assert cli_main(["frobnicate"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown command" in err and "serve" in err
+
+
+class TestCliExitCodes:
+    """Usage errors: exit 2 with a one-line stderr message, never a trace."""
+
+    def test_sweep_invalid_sizes(self, capsys):
+        assert cli_main(["sweep", "--sizes", "two-thousand"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid value for --sizes" in err
+        assert err.count("\n") == 1
+
+    def test_sweep_invalid_eps(self, capsys):
+        assert cli_main(["sweep", "--eps", "0.5,x"]) == 2
+        assert "invalid value for --eps" in capsys.readouterr().err
+
+    def test_sweep_unknown_backend(self, capsys):
+        assert cli_main(["sweep", "--backend", "warp", "--sizes", "12"]) == 2
+        err = capsys.readouterr().err
+        assert "registered" in err and err.count("\n") == 1
+
+    def test_serve_unknown_backend(self, capsys):
+        assert cli_main(["serve", "--backend", "warp"]) == 2
+        assert "registered" in capsys.readouterr().err
+
+    def test_loadgen_invalid_families(self, capsys):
+        # argparse flag errors exit 2 via SystemExit with a short usage.
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["loadgen", "--duration", "soon"])
+        assert excinfo.value.code == 2
+
+    def test_loadgen_unreachable_server(self, capsys):
+        # Nothing listens on this port: one-line CliError, exit 2.
+        assert cli_main([
+            "loadgen", "--port", "1", "--duration", "0.2",
+            "--topologies", "1", "--size", "12",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "cannot reach" in err and "--spawn" in err
+
+
+class TestBackendsCli:
+    def test_backends_table(self, capsys):
+        assert cli_main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "registered execution backends" in out
+
+    def test_backends_json_matches_registry(self, capsys):
+        import json
+
+        from repro.runtime.registry import registered_payload
+
+        assert cli_main(["backends", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == registered_payload()
+        names = {(s["kind"], s["name"]) for s in payload}
+        assert ("compute", "fast") in names and ("engine", "sim") in names
+        for spec in payload:
+            assert set(spec) == {
+                "kind", "name", "capabilities", "description", "alias",
+            }

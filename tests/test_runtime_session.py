@@ -274,8 +274,9 @@ def test_fuzz_repeated_solves_match_one_shot(backend):
                 graph, eps=eps, variant=variant, backend=backend
             )
             _assert_same_result(got, want)
-        assert session.stats["plans_built"] == 1
-        assert session.stats["plan_hits"] == session.stats["solves"] - 1
+        stats = session.stats()
+        assert stats["plans_built"] == 1
+        assert stats["plan_hits"] == stats["solves"] - 1
 
 
 @pytest.mark.parametrize("backend", COMPUTE_BACKENDS)
@@ -376,8 +377,41 @@ class TestSessionValidation:
         session.solve(eps=0.5)
         session.solve(eps=0.5, weights=[1.0] * g.number_of_edges())
         session.solve(eps=0.5)  # original weights: plan was evicted, rebuilt
-        assert session.stats["plans_built"] == 3
+        assert session.stats()["plans_built"] == 3
         assert len(session._plans) == 1
+
+    def test_stats_lru_eviction_accounting(self):
+        """stats() counts evictions and keeps evicted plans' build times."""
+        g = cycle_with_chords(14, 5, seed=2)
+        m = g.number_of_edges()
+        session = SolverSession(g, max_plans=1)
+        session.solve(eps=0.5)
+        session.solve(eps=0.5, weights=[1.0] * m)   # evicts plan 1
+        session.solve(eps=0.5, weights=[2.0] * m)   # evicts plan 2
+        session.solve(eps=0.5, weights=[2.0] * m)   # hit on the live plan
+        stats = session.stats()
+        assert stats["solves"] == 4
+        assert stats["plans_built"] == stats["plan_misses"] == 3
+        assert stats["plan_hits"] == 1
+        assert stats["plan_evictions"] == 2
+        assert stats["plans_cached"] == 1 and stats["max_plans"] == 1
+        # Build times aggregate over evicted plans too: the MST was built
+        # three times (once per plan) even though only one plan survives.
+        times = stats["build_times_s"]
+        assert set(times) >= {"mst", "links", "diameter"}
+        assert any(k.startswith("instance:") for k in times)
+        live = sum(
+            sum(p.build_times.values()) for p in session._plans.values()
+        )
+        assert sum(times.values()) > live  # evicted seconds were kept
+
+    def test_stats_is_a_snapshot(self):
+        g = cycle_with_chords(12, 4, seed=3)
+        session = SolverSession(g)
+        before = session.stats()
+        session.solve(eps=0.5)
+        assert before["solves"] == 0  # mutating the session later is fine
+        assert session.stats()["solves"] == 1
 
 
 # ---------------------------------------------------------------------------
@@ -406,9 +440,9 @@ def test_cli_unknown_backend_is_one_line_error(capsys, tmp_path):
         "--cache-dir", str(tmp_path / "c"), "--out-dir", str(tmp_path / "o"),
     ])
     assert rc == 2
-    out = capsys.readouterr().out.strip()
-    assert "warp-drive" in out and "reference" in out
-    assert "\n" not in out  # one line, no traceback
+    err = capsys.readouterr().err.strip()
+    assert "warp-drive" in err and "reference" in err
+    assert "\n" not in err  # one line on stderr, no traceback
 
 
 def test_cli_unknown_engine_is_one_line_error(capsys, tmp_path):
@@ -420,8 +454,8 @@ def test_cli_unknown_engine_is_one_line_error(capsys, tmp_path):
         "--cache-dir", str(tmp_path / "c"), "--out-dir", str(tmp_path / "o"),
     ])
     assert rc == 2
-    out = capsys.readouterr().out.strip()
-    assert "quantum" in out and "sim" in out and "local" in out
+    err = capsys.readouterr().err.strip()
+    assert "quantum" in err and "sim" in err and "local" in err
 
 
 def test_cli_backends_command(capsys):

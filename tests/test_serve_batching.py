@@ -1,0 +1,238 @@
+"""Unit tests for the micro-batcher, worker pool dispatch, and metrics."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.metrics import LatencyHistogram, ServeMetrics
+from repro.serve.protocol import ProtocolError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestMicroBatcher:
+    def test_concurrent_submits_coalesce(self):
+        flushes: list[tuple[str, list]] = []
+
+        async def flush(key, items):
+            flushes.append((key, items))
+            return [f"{key}:{item}" for item in items]
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=10, max_delay=0.01)
+            results = await asyncio.gather(
+                *(batcher.submit("t", i) for i in range(5)),
+                *(batcher.submit("u", i) for i in range(2)),
+            )
+            return batcher, results
+
+        batcher, results = run(scenario())
+        assert results == [f"t:{i}" for i in range(5)] + ["u:0", "u:1"]
+        assert len(flushes) == 2  # one flush per key, not per item
+        assert sorted(len(items) for _, items in flushes) == [2, 5]
+        assert batcher.stats["flush_timer"] == 2
+        assert batcher.stats["max_batch_observed"] == 5
+
+    def test_max_batch_flushes_early(self):
+        async def flush(key, items):
+            return list(items)
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=2, max_delay=60.0)
+            # max_delay is a minute: only the size trigger can flush these.
+            results = await asyncio.wait_for(
+                asyncio.gather(*(batcher.submit("k", i) for i in range(4))),
+                timeout=5.0,
+            )
+            return batcher, results
+
+        batcher, results = run(scenario())
+        assert results == [0, 1, 2, 3]
+        assert batcher.stats["batches"] == 2
+        assert batcher.stats["flush_size"] == 2
+
+    def test_flush_exception_propagates_to_all_waiters(self):
+        async def flush(key, items):
+            raise ProtocolError("unknown-topology", "gone", status=404)
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=8, max_delay=0.001)
+            return await asyncio.gather(
+                *(batcher.submit("k", i) for i in range(3)),
+                return_exceptions=True,
+            )
+
+        results = run(scenario())
+        assert len(results) == 3
+        assert all(isinstance(r, ProtocolError) for r in results)
+
+    def test_wrong_length_flush_is_an_error(self):
+        async def flush(key, items):
+            return [1]  # always too short for a 2-item batch
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=2, max_delay=60.0)
+            return await asyncio.gather(
+                batcher.submit("k", "a"), batcher.submit("k", "b"),
+                return_exceptions=True,
+            )
+
+        results = run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_drain_flushes_pending(self):
+        flushed = []
+
+        async def flush(key, items):
+            await asyncio.sleep(0.01)
+            flushed.extend(items)
+            return list(items)
+
+        async def scenario():
+            batcher = MicroBatcher(flush, max_batch=100, max_delay=60.0)
+            waiters = [
+                asyncio.ensure_future(batcher.submit("k", i))
+                for i in range(3)
+            ]
+            await asyncio.sleep(0)  # let the submits queue up
+            assert batcher.pending() == 3
+            await batcher.drain()
+            assert batcher.pending() == 0
+            assert batcher.stats["flush_drain"] == 1
+            return await asyncio.gather(*waiters)
+
+        assert run(scenario()) == [0, 1, 2]
+        assert flushed == [0, 1, 2]
+
+
+class TestShardedPool:
+    def test_shard_assignment_is_stable_and_covering(self):
+        from repro.serve.workers import ShardedWorkerPool
+
+        pool = ShardedWorkerPool(shards=0)
+        assert pool.num_shards == 1 and pool.inline
+        pool4 = ShardedWorkerPool(shards=4)
+        keys = [f"topo-{i}" for i in range(64)]
+        shards = [pool4.shard_of(k) for k in keys]
+        assert shards == [pool4.shard_of(k) for k in keys]  # stable
+        assert set(shards) == {0, 1, 2, 3}  # all shards used
+
+    def test_bad_mode_rejected(self):
+        from repro.serve.workers import ShardedWorkerPool
+
+        with pytest.raises(ValueError, match="mode"):
+            ShardedWorkerPool(mode="warp")
+
+    def test_unknown_topology_without_graph_raises(self):
+        from repro.serve.protocol import SolveRequest
+        from repro.serve.workers import ShardedWorkerPool
+
+        async def scenario():
+            pool = ShardedWorkerPool(shards=0)
+            await pool.start()
+            with pytest.raises(ProtocolError) as excinfo:
+                await pool.solve_batch(
+                    "missing", [SolveRequest(topology="missing")], None
+                )
+            assert excinfo.value.code == "unknown-topology"
+            assert excinfo.value.status == 404
+            await pool.close()
+
+        run(scenario())
+
+    def test_worker_session_lru_recovers_via_retry(self):
+        """Evicted topologies are re-materialized from the stored graph."""
+        from repro.graphs.families import make_family_instance
+        from repro.serve.protocol import (
+            SolveRequest, fingerprint_graph, graph_payload,
+        )
+        from repro.serve.workers import ShardedWorkerPool
+
+        payloads = [
+            graph_payload(make_family_instance("cycle_chords", 12, seed=s))
+            for s in (1, 2)
+        ]
+        keys = [fingerprint_graph(p) for p in payloads]
+
+        async def scenario():
+            # max_sessions=1: registering the second topology evicts the
+            # first from the worker, while the pool still believes the
+            # shard knows it — the retry path must recover.
+            pool = ShardedWorkerPool(
+                shards=0, settings={"max_sessions": 1}
+            )
+            await pool.start()
+            for key, payload in zip(keys, payloads):
+                items = await pool.solve_batch(
+                    key, [SolveRequest(topology=key)], payload
+                )
+                assert "result" in items[0]
+            items = await pool.solve_batch(
+                keys[0], [SolveRequest(topology=keys[0])], payloads[0]
+            )
+            assert "result" in items[0]
+            await pool.close()
+
+        run(scenario())
+
+
+class TestFlushFallback:
+    def test_flush_uses_batched_request_graph_when_store_evicted(self):
+        """A registration evicted from the dispatcher store while its own
+        request sat in the batcher must still solve (inline fallback)."""
+        from repro.graphs.families import make_family_instance
+        from repro.serve.app import ServeApp, ServeConfig
+        from repro.serve.protocol import graph_payload, parse_solve_request
+
+        payload = graph_payload(
+            make_family_instance("cycle_chords", 14, seed=3)
+        )
+
+        async def scenario():
+            app = ServeApp(ServeConfig(workers=0))
+            await app.startup()
+            try:
+                request = parse_solve_request(
+                    {"graph": payload, "eps": 0.5}
+                )
+                # Simulate the race: the store never saw (or evicted) the
+                # topology, but the batched request carries the graph.
+                assert request.topology not in app._topologies
+                items = await app._flush(request.topology, [request])
+                assert "result" in items[0]
+            finally:
+                await app.shutdown()
+
+        run(scenario())
+
+
+class TestMetrics:
+    def test_histogram_buckets_and_quantiles(self):
+        hist = LatencyHistogram()
+        for ms in (0.5, 1.5, 3.0, 30.0, 30.0, 30.0, 2000.0):
+            hist.observe(ms / 1000.0)
+        snap = hist.snapshot()
+        assert snap["count"] == 7
+        assert snap["buckets"]["le_1ms"] == 1
+        assert snap["buckets"]["le_2ms"] == 1
+        assert snap["buckets"]["le_5ms"] == 1
+        assert snap["buckets"]["le_50ms"] == 3
+        assert snap["buckets"]["le_2500ms"] == 1
+        assert snap["p50_ms"] == 50.0  # upper bound of the median bucket
+        assert snap["max_ms"] == 2000.0
+        empty = LatencyHistogram().snapshot()
+        assert empty["count"] == 0 and empty["p99_ms"] == 0.0
+
+    def test_counters_and_routes(self):
+        metrics = ServeMetrics()
+        metrics.inc("a")
+        metrics.inc("a", 2)
+        metrics.observe("POST /v1/solve", 0.003)
+        snap = metrics.snapshot()
+        assert snap["counters"] == {"a": 3}
+        assert snap["latency"]["POST /v1/solve"]["count"] == 1

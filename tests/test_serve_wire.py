@@ -1,0 +1,399 @@
+"""Wire-level tests: the served results are bit-identical to one-shot calls.
+
+Every test boots the real stack — asyncio HTTP transport, protocol
+parsing, micro-batching, worker dispatch — on an ephemeral port and talks
+to it through :class:`repro.serve.loadgen.HttpClient`.  The differential
+suite compares ``/v1/solve`` responses, field by field with ``==``,
+against :func:`repro.core.tecss.approximate_two_ecss` /
+:func:`repro.dist.pipeline.distributed_two_ecss` payloads serialized by
+the same canonical serializer — across every registered compute backend,
+both engines, reweighted queries, and failure plans.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.tecss import approximate_two_ecss
+from repro.dist.pipeline import distributed_two_ecss
+from repro.fast import HAVE_NUMPY
+from repro.graphs.families import make_family_instance
+from repro.serve.app import ServeApp, ServeConfig
+from repro.serve.loadgen import HttpClient
+from repro.serve.protocol import (
+    failure_plan_from_payload,
+    graph_payload,
+    result_to_payload,
+)
+from repro.serve.server import HttpServer
+
+COMPUTE_BACKENDS = ["reference", "auto"] + (["fast"] if HAVE_NUMPY else [])
+
+
+def serve_session(coro_fn, config: ServeConfig | None = None):
+    """Boot a server (inline workers by default), run ``coro_fn(client,
+    server)``, tear everything down; returns the coroutine's result."""
+    config = config or ServeConfig(workers=0)
+
+    async def main():
+        server = HttpServer(ServeApp(config), port=0)
+        await server.start()
+        client = HttpClient("127.0.0.1", server.port)
+        try:
+            return await coro_fn(client, server)
+        finally:
+            await client.close()
+            await server.aclose()
+
+    return asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# the differential suite
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", COMPUTE_BACKENDS)
+def test_solve_bit_identical_across_backends(backend):
+    cases = [
+        ("cycle_chords", 26, 3, 0.25, "improved"),
+        ("grid", 25, 5, 0.5, "basic"),
+        ("hub_cycle", 22, 7, 1.0, "improved"),
+    ]
+
+    async def scenario(client, server):
+        for family, n, seed, eps, variant in cases:
+            graph = make_family_instance(family, n, seed=seed)
+            status, resp = await client.request("POST", "/v1/solve", {
+                "graph": graph_payload(graph), "eps": eps,
+                "variant": variant, "backend": backend,
+            })
+            assert status == 200, resp
+            want = result_to_payload(approximate_two_ecss(
+                graph, eps=eps, variant=variant, backend=backend
+            ))
+            assert resp["result"] == want
+
+    serve_session(scenario)
+
+
+def test_solve_bit_identical_sim_engine_and_failures():
+    graph = make_family_instance("cycle_chords", 22, seed=3)
+    spec = {"random": {"p": 0.25, "max_rounds": 12, "seed": 2}}
+
+    async def scenario(client, server):
+        payload = graph_payload(graph)
+        status, clean = await client.request("POST", "/v1/solve", {
+            "graph": payload, "eps": 0.5, "engine": "sim",
+        })
+        assert status == 200, clean
+        want = result_to_payload(distributed_two_ecss(graph, eps=0.5))
+        assert clean["result"] == want
+
+        status, lossy = await client.request("POST", "/v1/solve", {
+            "topology": clean["topology"], "eps": 0.5, "engine": "sim",
+            "failures": spec,
+        })
+        assert status == 200, lossy
+        plan = failure_plan_from_payload(spec, graph)
+        want_lossy = result_to_payload(
+            distributed_two_ecss(graph, eps=0.5, failures=plan)
+        )
+        assert lossy["result"] == want_lossy
+
+        status, explicit = await client.request("POST", "/v1/solve", {
+            "topology": clean["topology"], "eps": 0.5, "engine": "sim",
+            "failures": {"edges": [{"u": 0, "v": 1, "rounds": [1, 2, 3]}]},
+        })
+        assert status == 200, explicit
+        eplan = failure_plan_from_payload(
+            {"edges": [{"u": 0, "v": 1, "rounds": [1, 2, 3]}]}, graph
+        )
+        want_explicit = result_to_payload(
+            distributed_two_ecss(graph, eps=0.5, failures=eplan)
+        )
+        assert explicit["result"] == want_explicit
+
+    serve_session(scenario)
+
+
+def test_reweighted_topology_reference_bit_identical():
+    import networkx as nx
+
+    graph = make_family_instance("grid", 30, seed=4)
+    base = [d["weight"] for _, _, d in graph.edges(data=True)]
+    column = [w * 1.3 + 0.5 for w in base]
+
+    async def scenario(client, server):
+        status, first = await client.request("POST", "/v1/solve", {
+            "graph": graph_payload(graph), "eps": 0.5,
+        })
+        assert status == 200
+        status, resp = await client.request("POST", "/v1/solve", {
+            "topology": first["topology"], "eps": 0.5, "weights": column,
+        })
+        assert status == 200, resp
+        reweighted = nx.Graph()
+        reweighted.add_nodes_from(graph.nodes())
+        for (u, v, _), w in zip(graph.edges(data=True), column):
+            reweighted.add_edge(u, v, weight=w)
+        want = result_to_payload(
+            approximate_two_ecss(reweighted, eps=0.5, backend="auto")
+        )
+        assert resp["result"] == want
+        assert resp["topology"] == first["topology"]
+
+    serve_session(scenario)
+
+
+def test_simulate_mst_and_solve_batch():
+    graph = make_family_instance("cycle_chords", 24, seed=9)
+
+    async def scenario(client, server):
+        payload = graph_payload(graph)
+        status, resp = await client.request("POST", "/v1/solve_batch", {
+            "requests": [
+                {"graph": payload, "eps": 0.25},
+                {"graph": payload, "eps": 0.5, "simulate_mst": True},
+                {"graph": payload, "eps": 0.5, "variant": "basic"},
+            ],
+        })
+        assert status == 200, resp
+        answers = resp["responses"]
+        assert [a["status"] for a in answers] == [200, 200, 200]
+        wants = [
+            approximate_two_ecss(graph, eps=0.25, backend="auto"),
+            approximate_two_ecss(
+                graph, eps=0.5, backend="auto", simulate_mst=True
+            ),
+            approximate_two_ecss(
+                graph, eps=0.5, variant="basic", backend="auto"
+            ),
+        ]
+        for answer, want in zip(answers, wants):
+            assert answer["result"] == result_to_payload(want)
+        assert answers[1]["result"]["mst_simulation"]["rounds"] > 0
+
+    serve_session(scenario)
+
+
+def test_process_sharded_workers_bit_identical():
+    """The real process pool: topology-affine shards, identical results."""
+    graphs = [
+        make_family_instance("cycle_chords", 20, seed=1),
+        make_family_instance("grid", 16, seed=2),
+        make_family_instance("hub_cycle", 18, seed=3),
+    ]
+
+    async def scenario(client, server):
+        shard_by_topology = {}
+        for graph in graphs:
+            for _ in range(2):  # second request exercises the warm path
+                status, resp = await client.request("POST", "/v1/solve", {
+                    "graph": graph_payload(graph), "eps": 0.5,
+                })
+                assert status == 200, resp
+                want = result_to_payload(
+                    approximate_two_ecss(graph, eps=0.5, backend="auto")
+                )
+                assert resp["result"] == want
+                shard_by_topology.setdefault(
+                    resp["topology"], set()
+                ).add(resp["server"]["shard"])
+        # Topology affinity: every topology always lands on one shard.
+        assert all(len(s) == 1 for s in shard_by_topology.values())
+        status, metrics = await client.request("GET", "/metrics")
+        assert status == 200
+        sessions = [
+            s for worker in metrics["workers"] for s in worker["sessions"]
+        ]
+        assert {s["topology"] for s in sessions} == set(shard_by_topology)
+        # Warm sessions: the second solve per topology hit the plan cache.
+        assert all(s["plan_hits"] >= 1 for s in sessions)
+
+    serve_session(
+        scenario, ServeConfig(workers=2, max_delay_ms=1.0)
+    )
+
+
+# ---------------------------------------------------------------------------
+# service behavior: routes, errors, introspection
+# ---------------------------------------------------------------------------
+
+
+def test_healthz_metrics_backends_routes():
+    async def scenario(client, server):
+        status, health = await client.request("GET", "/healthz")
+        assert status == 200
+        assert health["status"] == "ok" and health["protocol"] == 1
+        status, backends = await client.request("GET", "/backends")
+        assert status == 200
+        from repro.runtime.registry import registered_payload
+
+        assert backends["backends"] == registered_payload()
+        status, metrics = await client.request("GET", "/metrics")
+        assert status == 200
+        assert metrics["counters"]["http.requests"] >= 2
+        assert "batcher" in metrics and "workers" in metrics
+
+    serve_session(scenario)
+
+
+def test_error_responses_are_structured():
+    graph = make_family_instance("cycle_chords", 16, seed=5)
+
+    async def scenario(client, server):
+        # Unknown route -> 404; wrong method -> 405.
+        status, resp = await client.request("GET", "/nope")
+        assert status == 404 and resp["error"]["code"] == "not-found"
+        status, resp = await client.request("GET", "/v1/solve")
+        assert status == 405 and resp["error"]["code"] == "method-not-allowed"
+        # Unparseable JSON -> 400, structured.
+        status, resp = await client.request("POST", "/v1/solve", None)
+        assert status == 400 and resp["error"]["code"] == "bad-json"
+        # Unknown topology -> 404 with the stable code.
+        status, resp = await client.request(
+            "POST", "/v1/solve", {"topology": "feedfeed", "eps": 0.5}
+        )
+        assert status == 404 and resp["error"]["code"] == "unknown-topology"
+        # Infeasible input graph (a bridge) -> 422, per protocol.
+        status, resp = await client.request("POST", "/v1/solve", {
+            "graph": {"edges": [[0, 1, 1.0], [1, 2, 1.0]]},
+        })
+        assert status == 422
+        assert resp["error"]["code"] == "not-two-edge-connected"
+        # Schema violation -> 400 with a field pointer.
+        status, resp = await client.request("POST", "/v1/solve", {
+            "graph": graph_payload(graph), "eps": -1,
+        })
+        assert status == 400 and resp["error"]["field"] == "eps"
+        # Wrong-length reweight column -> structured worker-side error.
+        status, first = await client.request("POST", "/v1/solve", {
+            "graph": graph_payload(graph),
+        })
+        assert status == 200
+        status, resp = await client.request("POST", "/v1/solve", {
+            "topology": first["topology"], "weights": [1.0, 2.0],
+        })
+        assert status == 400
+        assert resp["error"]["code"] == "invalid-request"
+        # Failure plans need an engine with the capability.
+        status, resp = await client.request("POST", "/v1/solve", {
+            "topology": first["topology"],
+            "failures": {"edges": [{"u": 0, "v": 1}]},
+        })
+        assert status == 400 and resp["error"]["code"] == "bad-request"
+        # A poisoned request must not fail its batch-mates.
+        status, resp = await client.request("POST", "/v1/solve_batch", {
+            "requests": [
+                {"topology": first["topology"], "eps": 0.5},
+                {"topology": first["topology"], "weights": [1.0]},
+            ],
+        })
+        assert status == 200
+        assert resp["responses"][0]["status"] == 200
+        assert resp["responses"][1]["status"] == 400
+
+    serve_session(scenario)
+
+
+def test_solve_batch_isolates_parse_and_topology_errors():
+    """A malformed or unknown-topology item answers per item, and never
+    discards its batch-mates' results."""
+    graph = make_family_instance("cycle_chords", 16, seed=8)
+
+    async def scenario(client, server):
+        status, resp = await client.request("POST", "/v1/solve_batch", {
+            "requests": [
+                {"graph": graph_payload(graph), "eps": 0.5},
+                {"topology": "deadbeef"},            # unknown topology
+                {"graph": graph_payload(graph), "eps": -3},  # schema error
+            ],
+        })
+        assert status == 200, resp
+        answers = resp["responses"]
+        assert [a["status"] for a in answers] == [200, 404, 400]
+        want = result_to_payload(
+            approximate_two_ecss(graph, eps=0.5, backend="auto")
+        )
+        assert answers[0]["result"] == want
+        assert answers[1]["error"]["code"] == "unknown-topology"
+        assert answers[2]["error"]["field"] == "eps"
+
+    serve_session(scenario)
+
+
+def test_metric_labels_are_bounded_and_worker_errors_keep_field():
+    async def scenario(client, server):
+        for path in ("/a", "/b", "/c"):
+            await client.request("GET", path)
+        status, metrics = await client.request("GET", "/metrics")
+        assert status == 200
+        labels = set(metrics["latency"])
+        assert "GET /a" not in labels and "other" in labels
+        # Worker-raised ProtocolError keeps its field pointer on the wire
+        # (per-request mode validates the weights column in the worker).
+        graph = make_family_instance("cycle_chords", 14, seed=2)
+        status, first = await client.request("POST", "/v1/solve", {
+            "graph": graph_payload(graph),
+        })
+        assert status == 200
+        status, resp = await client.request("POST", "/v1/solve", {
+            "topology": first["topology"], "weights": [1.0],
+        })
+        assert status == 400 and resp["error"]["field"] == "weights"
+
+    serve_session(scenario, ServeConfig(workers=0, mode="per-request"))
+
+
+def test_oversize_header_line_answers_400():
+    async def scenario(client, server):
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", server.port
+        )
+        writer.write(
+            b"GET /healthz HTTP/1.1\r\nX-Huge: " + b"a" * (1 << 17)
+            + b"\r\n\r\n"
+        )
+        await writer.drain()
+        line = await reader.readline()
+        assert b"400" in line
+        writer.close()
+        await writer.wait_closed()
+
+    serve_session(scenario)
+
+
+def test_solve_batch_rejects_oversize_and_bad_shape():
+    async def scenario(client, server):
+        status, resp = await client.request("POST", "/v1/solve_batch", {})
+        assert status == 400 and resp["error"]["code"] == "bad-request"
+        status, resp = await client.request("POST", "/v1/solve_batch", {
+            "requests": [{"topology": "x"}] * 5,
+        })
+        assert status == 400 and resp["error"]["code"] == "batch-too-large"
+
+    serve_session(
+        scenario,
+        ServeConfig(workers=0, max_batch_request=4),
+    )
+
+
+def test_naive_mode_still_bit_identical():
+    """per-request mode (the benchmark baseline) serves correct results."""
+    graph = make_family_instance("cycle_chords", 18, seed=6)
+
+    async def scenario(client, server):
+        status, resp = await client.request("POST", "/v1/solve", {
+            "graph": graph_payload(graph), "eps": 0.5,
+        })
+        assert status == 200, resp
+        want = result_to_payload(
+            approximate_two_ecss(graph, eps=0.5, backend="auto")
+        )
+        assert resp["result"] == want
+        assert resp["server"]["mode"] == "per-request"
+
+    serve_session(scenario, ServeConfig(workers=0, mode="per-request"))

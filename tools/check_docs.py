@@ -30,6 +30,7 @@ DOCSTRING_TREES = (
     "src/repro/fast",
     "src/repro/dist",
     "src/repro/runtime",
+    "src/repro/serve",
 )
 
 #: Markdown files whose links must resolve.
