@@ -21,7 +21,7 @@ from repro.core.unweighted import unweighted_tap
 from repro.dist import distributed_two_ecss
 from repro.runtime import SolveQuery, SolverSession
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "SolveQuery",

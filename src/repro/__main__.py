@@ -374,8 +374,9 @@ def run_loadgen_cli(argv: list[str]) -> int:
         help="stop after this many requests (default: duration only)",
     )
     parser.add_argument(
-        "--mode", default=defaults.mode, choices=("closed", "open"),
-        help="closed loop (fixed concurrency) or open loop (fixed rate)",
+        "--mode", default=defaults.mode, choices=("closed", "open", "drift"),
+        help="closed loop (fixed concurrency), open loop (fixed rate), or "
+        "drift (closed loop sending sparse /v1/delta reweights)",
     )
     parser.add_argument(
         "--concurrency", type=int, default=defaults.concurrency,
@@ -405,6 +406,11 @@ def run_loadgen_cli(argv: list[str]) -> int:
     parser.add_argument(
         "--scenarios", type=int, default=defaults.scenarios,
         help="weight scenarios cycled per topology (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--drift-edges", type=float, default=defaults.drift_edges,
+        help="fraction of edges per --mode drift delta "
+        "(default: %(default)s)",
     )
     parser.add_argument("--seed", type=int, default=defaults.seed)
     parser.add_argument("--eps", type=float, default=defaults.eps)
@@ -447,6 +453,7 @@ def run_loadgen_cli(argv: list[str]) -> int:
         topologies=args.topologies,
         zipf_s=args.zipf,
         scenarios=args.scenarios,
+        drift_edges=args.drift_edges,
         seed=args.seed,
         eps=args.eps,
         backend=args.backend,
@@ -468,9 +475,12 @@ def run_loadgen_cli(argv: list[str]) -> int:
         print(json.dumps(summary, indent=2))
     else:
         lat = summary["latency_ms"]
+        deltas = (
+            f" ({summary['deltas']} deltas)" if summary.get("deltas") else ""
+        )
         print(
             f"loadgen ({summary['mode']} loop): {summary['ok']}/"
-            f"{summary['requests']} ok in {summary['duration_s']}s "
+            f"{summary['requests']} ok{deltas} in {summary['duration_s']}s "
             f"-> {summary['throughput_rps']} req/s"
         )
         print(

@@ -45,8 +45,18 @@ class TAPInstance:
         # The fast backend hands over column-oriented edges; keep them as-is
         # (they satisfy the Sequence protocol and materialize lazily).
         self.edges = edges if isinstance(edges, VirtualEdgeColumns) else list(edges)
-        self.layering = Layering(tree)
         self.segment_size = segment_size
+
+    @cached_property
+    def layering(self) -> Layering:
+        """The junction-path layering (Section 3.2), built on first use.
+
+        A pure function of the tree, so plan derivation
+        (:meth:`repro.runtime.plan.SolverPlan._derive_instance`) and
+        :meth:`fresh_copy` seed it from the source instance instead of
+        recomputing.
+        """
+        return Layering(self.tree)
 
     @cached_property
     def hld(self) -> HeavyLightDecomposition:
@@ -108,8 +118,7 @@ class TAPInstance:
         by :meth:`repro.runtime.plan.SolverPlan.private_instance`.
         """
         inst = TAPInstance(self.tree, self.edges, self.segment_size)
-        inst.layering = self.layering
-        for name in ("hld", "segments", "arrays"):
+        for name in ("layering", "hld", "segments", "arrays"):
             if name in self.__dict__:
                 inst.__dict__[name] = self.__dict__[name]
         return inst

@@ -59,13 +59,15 @@ def nontree_links(
 
 
 def assemble_two_ecss(
-    g: nx.Graph,
+    g: nx.Graph | None,
     nodes,
     mst_edges: list[tuple],
     tap,
     validate: bool = True,
     mst_simulation=None,
     diameter: int | None = None,
+    mst_weight: float | None = None,
+    n: int | None = None,
 ) -> TwoEcssResult:
     """Combine MST + TAP augmentation into a validated :class:`TwoEcssResult`.
 
@@ -79,10 +81,19 @@ def assemble_two_ecss(
     ``diameter`` lets a caller with a cached topology diameter (the
     session's :class:`~repro.runtime.handle.GraphHandle`) skip the
     recomputation; ``None`` keeps the original rule (``nx.diameter`` for
-    ``n <= 4000``, else ``-1``).
+    ``n <= 4000``, else ``-1``).  ``mst_weight`` and ``n`` likewise let a
+    plan-backed caller supply cached values; when all three are given and
+    ``validate`` is off, ``g`` is never touched and may be ``None`` (the
+    delta re-solve path skips materializing the nx.Graph entirely).  A
+    supplied ``mst_weight`` must equal the in-order sum over
+    ``mst_edges`` — the session computes it from the same weight objects
+    in the same order, keeping results bit-identical.
     """
     mst_set = set(mst_edges)
-    mst_weight = sum(g[u][v]["weight"] for u, v in mst_edges)
+    if mst_weight is None:
+        mst_weight = sum(g[u][v]["weight"] for u, v in mst_edges)
+    if n is None:
+        n = g.number_of_nodes()
     aug_edges = [tuple(sorted(link)) for link in tap.links]
     chosen = sorted(mst_set.union(aug_edges))
     weight = mst_weight + tap.weight
@@ -97,7 +108,7 @@ def assemble_two_ecss(
     mst_out = [(nodes[u], nodes[v]) for u, v in mst_edges]
 
     if diameter is None:
-        diameter = nx.diameter(g) if g.number_of_nodes() <= 4000 else -1
+        diameter = nx.diameter(g) if n <= 4000 else -1
 
     return TwoEcssResult(
         edges=edges_out,
@@ -106,7 +117,7 @@ def assemble_two_ecss(
         mst_weight=mst_weight,
         augmentation=tap,
         diameter=diameter,
-        n=g.number_of_nodes(),
+        n=n,
         guarantee=COVER_BOUND[tap.variant] * 2 + 1 + tap.eps,
         mst_simulation=mst_simulation,
     )

@@ -14,8 +14,13 @@ class ReproError(Exception):
     """Base class for all library errors."""
 
 
-class GraphFormatError(ReproError):
-    """The input graph is malformed (missing weights, self loops, ...)."""
+class GraphFormatError(ReproError, ValueError):
+    """The input graph is malformed (missing weights, self loops, ...).
+
+    Also a :class:`ValueError`: format problems are bad argument values,
+    and callers that guard generic ``except ValueError`` (e.g. the serving
+    layer's request translation) should catch these too.
+    """
 
 
 class NotConnectedError(ReproError):

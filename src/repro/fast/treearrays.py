@@ -119,6 +119,26 @@ class InstanceArrays:
         )
         self._nla: dict[int, object] = {}
 
+    def reweighted(self, weight) -> "InstanceArrays":
+        """A clone with only the weight column replaced.
+
+        Everything else — tree arrays, ``dec``/``anc``, layering columns,
+        the nearest-in-layer cache — is a pure function of the tree and
+        the virtual-edge *structure*, so the delta plan derivation
+        (:meth:`repro.runtime.plan.SolverPlan._derive_instance`) shares it
+        object-for-object across reweights of the same tree.
+        """
+        clone = InstanceArrays.__new__(InstanceArrays)
+        clone.ta = self.ta
+        clone.dec = self.dec
+        clone.anc = self.anc
+        clone.weight = weight
+        clone.layer = self.layer
+        clone.path_id = self.path_id
+        clone.path_leaf = self.path_leaf
+        clone._nla = self._nla
+        return clone
+
     def nearest_in_layer(self, i: int, layering):
         """``layering.nearest_in_layer(i)`` as a cached int64 array."""
         np = require_numpy()

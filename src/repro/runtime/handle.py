@@ -48,6 +48,16 @@ except ImportError:  # pragma: no cover - the CI image bakes numpy in
 __all__ = ["GraphHandle"]
 
 
+def _canonical_weight(w):
+    """Collapse ``-0.0`` to ``0.0`` for fingerprinting (see weights_key).
+
+    Only floats are touched: an integer ``0`` stays an integer because the
+    weight's Python type propagates into result types, so ``0`` and ``0.0``
+    are genuinely different weight columns.
+    """
+    return 0.0 if isinstance(w, float) and w == 0.0 else w
+
+
 class GraphHandle:
     """One validated, normalized, immutable weighted graph (see module doc).
 
@@ -71,6 +81,11 @@ class GraphHandle:
         self.edges = edges  # normalized (u, v) pairs, input iteration order
         self.weights = weights
         self._topology_key = topology_key
+        #: For handles built by :meth:`reweight_delta`: the parent handle
+        #: and the effective diff ``{edge_position: new_weight}``.  ``None``
+        #: / empty for handles with no recorded delta lineage.
+        self.delta_base: GraphHandle | None = None
+        self.delta_changes: dict[int, object] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -132,13 +147,73 @@ class GraphHandle:
                     f"edge ({self.nodes[u]!r}, {self.nodes[v]!r}) has "
                     f"invalid weight {w!r}"
                 )
+        return self._clone_with_column(column)
+
+    def reweight_delta(self, changed: Mapping) -> "GraphHandle":
+        """A new handle applying a *sparse* weight diff against this one.
+
+        ``changed`` maps edge keys — original labels or normalized ids, in
+        either endpoint order, all-or-nothing like :meth:`reweight` — to
+        new weights; every key must name an edge of this topology.  The
+        returned handle shares the topology caches, carries the full
+        patched weight column, and records the diff (:attr:`delta_base`,
+        :attr:`delta_changes`) so the plan layer can derive artifacts
+        incrementally instead of rebuilding.  Entries equal to the current
+        weight (same value *and* repr, so ``5 -> 5.0`` and ``0.0 -> -0.0``
+        still count as changes) are dropped; if nothing effectively
+        changes, ``self`` is returned unchanged.
+
+        The fingerprint of the result is derived by patching this handle's
+        per-element repr cache in O(k) instead of re-repring the whole
+        column, and equals the from-scratch content fingerprint — so a
+        delta and its equivalent full-column reweight hit the same cached
+        plan.
+        """
+        if not isinstance(changed, Mapping):
+            raise GraphFormatError(
+                "reweight_delta needs a mapping {edge: new_weight}; for a "
+                "full column use reweight()"
+            )
+        changes = self._resolve_sparse_mapping(changed)
+        for i, w in changes.items():
+            if not (w >= 0):
+                u, v = self.edges[i]
+                raise GraphFormatError(
+                    f"edge ({self.nodes[u]!r}, {self.nodes[v]!r}) has "
+                    f"invalid weight {w!r}"
+                )
+        changes = {
+            i: w for i, w in changes.items()
+            if repr(w) != repr(self.weights[i])
+        }
+        if not changes:
+            return self
+        column = list(self.weights)
+        for i, w in changes.items():
+            column[i] = w
+        clone = self._clone_with_column(column)
+        clone.delta_base = self
+        clone.delta_changes = changes
+        # Patch the parent's per-element repr cache in O(k): the clone's
+        # weights_key is then the exact content fingerprint — identical to
+        # a from-scratch handle with the same column — without re-repring
+        # the whole column.
+        reprs = list(self._weight_reprs)
+        for i, w in changes.items():
+            reprs[i] = repr(_canonical_weight(w))
+        clone.__dict__["_weight_reprs"] = reprs
+        return clone
+
+    def _clone_with_column(self, column: list) -> "GraphHandle":
+        """A new handle with ``column`` as weights, sharing topology caches."""
         clone = GraphHandle(
             self.n, self.nodes, self.index, self.edges, tuple(column),
             topology_key=self.topology_key,
         )
         # Topology-derived caches carry over untouched.
-        if "diameter" in self.__dict__:
-            clone.__dict__["diameter"] = self.__dict__["diameter"]
+        for name in ("diameter", "_pair_index", "_endpoint_arrays"):
+            if name in self.__dict__:
+                clone.__dict__[name] = self.__dict__[name]
         return clone
 
     def _column_from_mapping(self, mapping: Mapping) -> list[float]:
@@ -147,7 +222,10 @@ class GraphHandle:
         All-or-nothing: the mapping is interpreted under original labels
         first, then under normalized ids — never mixing the two per edge.
         (Integer labels can collide with normalized ids; a per-edge
-        fallback would silently bind weights to the wrong edges.)
+        fallback would silently bind weights to the wrong edges.)  An edge
+        supplied under *both* endpoint orders with numerically different
+        values is ambiguous and raises :class:`GraphFormatError` (which is
+        a ``ValueError``) instead of silently picking one order.
         """
         interpretations = (
             lambda u, v: (self.nodes[u], self.nodes[v]),  # original labels
@@ -157,9 +235,17 @@ class GraphHandle:
             column = []
             for u, v in self.edges:
                 a, b = keyer(u, v)
-                if (a, b) in mapping:
+                fwd = (a, b) in mapping
+                rev = (a, b) != (b, a) and (b, a) in mapping
+                if fwd and rev and mapping[(a, b)] != mapping[(b, a)]:
+                    raise GraphFormatError(
+                        f"reweight mapping supplies edge ({a!r}, {b!r}) "
+                        f"under both key orders with different values "
+                        f"({mapping[(a, b)]!r} vs {mapping[(b, a)]!r})"
+                    )
+                if fwd:
                     column.append(mapping[(a, b)])
-                elif (b, a) in mapping:
+                elif rev:
                     column.append(mapping[(b, a)])
                 else:
                     break  # this interpretation misses an edge: try next
@@ -168,6 +254,59 @@ class GraphHandle:
         raise GraphFormatError(
             "reweight mapping does not cover every edge under either key "
             "scheme (use original labels or normalized ids, not a mixture)"
+        )
+
+    def _resolve_sparse_mapping(self, changed: Mapping) -> dict[int, object]:
+        """Resolve sparse ``{edge: weight}`` keys to handle edge positions.
+
+        Mirrors :meth:`_column_from_mapping`'s all-or-nothing key schemes:
+        every key must resolve under original labels, or every key under
+        normalized ids.  Both endpoint orders are accepted; supplying the
+        same edge twice with numerically different values raises
+        :class:`GraphFormatError`.
+        """
+        pair_index = self._pair_index
+        label_miss = None
+        for scheme in ("labels", "ids"):
+            out: dict[int, object] = {}
+            ok = True
+            for key, w in changed.items():
+                try:
+                    a, b = key
+                except (TypeError, ValueError):
+                    raise GraphFormatError(
+                        f"reweight_delta keys must be edge pairs; got {key!r}"
+                    ) from None
+                if scheme == "labels":
+                    try:
+                        pair = (self.index[a], self.index[b])
+                    except (KeyError, TypeError):
+                        ok = False
+                        break
+                else:
+                    if not (isinstance(a, int) and isinstance(b, int)):
+                        ok = False
+                        break
+                    pair = (a, b)
+                i = pair_index.get(pair)
+                if i is None:
+                    ok = False
+                    if scheme == "labels":
+                        label_miss = key
+                    break
+                if i in out and out[i] != w:
+                    raise GraphFormatError(
+                        f"reweight_delta supplies edge {key!r} under both "
+                        f"key orders with different values "
+                        f"({out[i]!r} vs {w!r})"
+                    )
+                out[i] = w
+            if ok:
+                return out
+        raise GraphFormatError(
+            f"reweight_delta mapping has keys that are not edges of this "
+            f"topology under either key scheme (first miss: "
+            f"{label_miss if label_miss is not None else key!r})"
         )
 
     # ------------------------------------------------------------------
@@ -236,6 +375,24 @@ class GraphHandle:
         return indptr, indices, wvals
 
     @cached_property
+    def _endpoint_arrays(self):
+        """``(a, b)`` int64 endpoint columns over handle edge order.
+
+        Topology-only (shared across reweights via
+        :meth:`_clone_with_column`); consumed by the swap-edge maintenance
+        of :mod:`repro.runtime.delta`, whose cut-rule queries slice
+        crossing candidates out of them.  Requires numpy — callers gate on
+        its availability.
+        """
+        m = len(self.edges)
+        return (
+            _np.fromiter((e[0] for e in self.edges), dtype=_np.int64,
+                         count=m),
+            _np.fromiter((e[1] for e in self.edges), dtype=_np.int64,
+                         count=m),
+        )
+
+    @cached_property
     def diameter(self) -> int:
         """Graph diameter when ``n <= 4000``, else ``-1`` (topology-only).
 
@@ -262,8 +419,44 @@ class GraphHandle:
 
     @cached_property
     def weights_key(self) -> str:
-        """SHA-1 fingerprint of the weight column (plan-cache key part)."""
-        return hashlib.sha1(repr(self.weights).encode()).hexdigest()
+        """SHA-1 fingerprint of the weight column (plan-cache key part).
+
+        Hashed over the *canonical* column: ``-0.0`` collapses to ``0.0``
+        (numerically equal weights must not produce distinct cache keys,
+        and ``repr``-hashing would otherwise tell them apart), while the
+        int/float distinction is preserved because weight types propagate
+        into result types.  NaN weights never reach this point — handle
+        validation (:func:`~repro.graphs.validation.ensure_weights`,
+        :meth:`reweight`, :meth:`reweight_delta`) rejects them, so a NaN's
+        unequal-to-itself semantics cannot poison the plan cache.
+
+        The hash runs over the per-element repr cache
+        (:attr:`_weight_reprs`), which :meth:`reweight_delta` patches in
+        O(k) — so a delta-built handle fingerprints in O(join) instead of
+        O(m reprs), yet the key is a pure *content* fingerprint: any two
+        handles with the same canonical column get the same key, however
+        they were built.
+        """
+        joined = ", ".join(self._weight_reprs)
+        return hashlib.sha1(joined.encode()).hexdigest()
+
+    @cached_property
+    def _weight_reprs(self) -> list[str]:
+        """Per-element canonical weight reprs backing :attr:`weights_key`."""
+        return [repr(_canonical_weight(w)) for w in self.weights]
+
+    @cached_property
+    def _pair_index(self) -> dict[tuple[int, int], int]:
+        """Normalized endpoint pair (either order) -> handle edge position.
+
+        Topology-derived; shared across :meth:`reweight` /
+        :meth:`reweight_delta` clones like :attr:`diameter`.
+        """
+        out: dict[tuple[int, int], int] = {}
+        for i, (u, v) in enumerate(self.edges):
+            out[(u, v)] = i
+            out[(v, u)] = i
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

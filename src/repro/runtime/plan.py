@@ -46,6 +46,61 @@ from repro.trees.rooted import RootedTree
 __all__ = ["SolverPlan"]
 
 
+def _links_from_handle(
+    handle: GraphHandle, mst_set: set[tuple[int, int]]
+) -> list[tuple[int, int, float]]:
+    """:func:`nontree_links` from the handle's flat arrays, no nx.Graph.
+
+    ``handle.edges`` preserves the graph's edge-iteration order and the
+    weight objects are the same, so the output is identical tuple for
+    tuple — including the ``float()`` casts — while skipping the O(m)
+    ``nx.Graph`` materialization the delta path must avoid.
+    """
+    out = []
+    for (u, v), w in zip(handle.edges, handle.weights):
+        key = (u, v) if u < v else (v, u)
+        if key not in mst_set:
+            out.append((key[0], key[1], float(w)))
+    return out
+
+
+def _links_from_parent(
+    parent: "SolverPlan", handle: GraphHandle, swaps
+) -> list[tuple[int, int, float]]:
+    """``parent.links`` patched to the child's weights and swapped edges.
+
+    Links are the handle's edges minus the tree edges, in edge-iteration
+    order — so a ``k``-edge diff with ``s`` swaps turns the parent's list
+    into the child's with ``k`` weight patches, ``s`` deletions (edges
+    that entered the tree) and ``s`` ordered insertions (edges that left
+    it), instead of an O(m) re-filter.  Output is tuple-for-tuple what
+    :func:`_links_from_handle` builds on the child handle.
+    """
+    from bisect import bisect_left
+
+    pair_index = handle._pair_index
+    links = list(parent.links)
+    positions = list(parent._link_edge_pos)
+    link_pos = parent._link_pos
+    for i, w in handle.delta_changes.items():
+        u, v = handle.edges[i]
+        key = (u, v) if u < v else (v, u)
+        at = link_pos.get(key)
+        if at is not None:
+            links[at] = (key[0], key[1], float(w))
+    for outkey, inkey in swaps:
+        at = bisect_left(positions, pair_index[inkey])
+        del links[at]
+        del positions[at]
+        pos = pair_index[outkey]
+        at = bisect_left(positions, pos)
+        links.insert(
+            at, (outkey[0], outkey[1], float(handle.weights[pos]))
+        )
+        positions.insert(at, pos)
+    return links
+
+
 class SolverPlan:
     """Cached per-(topology, weights) artifacts of the 2-ECSS pipeline.
 
@@ -62,10 +117,20 @@ class SolverPlan:
         self.instance_builds = 0
         #: Wall-clock seconds spent building each artifact, keyed by phase
         #: name (``mst``, ``links``, ``diameter``, ``instance:<flavor>``).
-        #: Lazily-built artifacts record exactly one entry on first use;
+        #: Delta-derived plans use ``<phase>:delta`` keys so the savings
+        #: are visible side by side with full builds in ``stats()`` and
+        #: ``/metrics``.  Lazily-built artifacts record exactly one entry
+        #: on first use;
         #: :meth:`repro.runtime.session.SolverSession.stats` aggregates
         #: these across the plan LRU (evicted plans included).
         self.build_times: dict[str, float] = {}
+        #: For plans built by :meth:`from_delta`: how the diff was applied
+        #: (``mode`` is ``reused`` / ``swapped`` / ``fallback``, plus
+        #: ``changed`` / ``swaps`` counts and a fallback ``reason``).
+        #: ``None`` for plans built from scratch.
+        self.delta_info: dict | None = None
+        self._links_builder = None
+        self._delta_parent: SolverPlan | None = None
 
     def _timed(self, phase: str, build):
         """Run ``build()`` and record its wall-clock under ``phase``."""
@@ -78,6 +143,86 @@ class SolverPlan:
     def for_graph(cls, graph: nx.Graph) -> "SolverPlan":
         """Build a plan straight from a (possibly unlabeled) ``nx.Graph``."""
         return cls(GraphHandle.from_graph(graph))
+
+    @classmethod
+    def from_delta(
+        cls,
+        parent: "SolverPlan",
+        handle: GraphHandle,
+        max_fraction: float = 0.05,
+        max_swaps: int | None = None,
+    ) -> "SolverPlan":
+        """Derive a plan for a :meth:`GraphHandle.reweight_delta` handle.
+
+        Instead of rebuilding every weight-dependent artifact, the diff is
+        replayed over ``parent``'s MST with the swap rules of
+        :mod:`repro.runtime.delta`; what survives depends on what changed:
+
+        * **tree unchanged** (no swap fired) — the parent's rooted tree,
+          layering, segments, HLD and kernel tree-arrays are shared
+          object-for-object; only the weight columns are patched
+          (``mst:delta`` / ``links:delta`` / ``instance:<flavor>:delta``
+          build phases, each orders of magnitude below a full build);
+        * **tree swapped** — the maintained tree seeds ``mst`` (still no
+          Kruskal run), links derive from the handle's arrays, but
+          instances rebuild from scratch (they embed the tree);
+        * **fallback** — diffs above ``max_fraction`` of the edges, or a
+          swap budget overrun, degrade to a plain full-rebuild plan.
+
+        The derived plan is bit-identical to ``SolverPlan(handle)`` in
+        everything a solve reads — held by the differential suite in
+        ``tests/test_delta_resolve.py``.
+        """
+        from repro.runtime.delta import DeltaFallback, maintain_mst
+
+        changes = handle.delta_changes
+        if handle.delta_base is None or (
+            handle.delta_base.weights_key != parent.handle.weights_key
+        ):
+            raise ValueError(
+                "from_delta needs the plan of the handle's delta base"
+            )
+        plan = cls(handle)
+        plan._delta_parent = parent
+        info = {"changed": len(changes), "swaps": 0}
+        plan.delta_info = info
+        limit = max(1, int(max_fraction * handle.m))
+        if len(changes) > limit:
+            info.update(mode="fallback", reason=f"diff > {limit} edges")
+            return plan
+        try:
+            outcome = plan._timed(
+                "mst:delta",
+                lambda: maintain_mst(
+                    handle, parent.tree, parent.mst_edges, max_swaps=max_swaps
+                ),
+            )
+        except DeltaFallback as exc:
+            plan.build_times.pop("mst:delta", None)
+            info.update(mode="fallback", reason=str(exc))
+            return plan
+        info["swaps"] = len(outcome.swaps)
+        info["mode"] = "reused" if not outcome.changed_tree else "swapped"
+        plan.__dict__["_mst"] = (outcome.tree, outcome.mst_edges)
+        pair_index = handle._pair_index
+        plan.__dict__["mst_weight"] = sum(
+            handle.weights[pair_index[e]] for e in outcome.mst_edges
+        )
+        # Links never need the nx.Graph: splice the parent's list when it
+        # is already materialized (O(k + s) instead of O(m)), else replay
+        # nontree_links from the handle's flat arrays (same edge order,
+        # same float() casts — identical output either way).
+        if "links" in parent.__dict__:
+            swaps = outcome.swaps
+            plan._links_builder = lambda: _links_from_parent(
+                parent, handle, swaps
+            )
+        else:
+            mst_set = set(outcome.mst_edges)
+            plan._links_builder = lambda: _links_from_handle(
+                handle, mst_set
+            )
+        return plan
 
     # ------------------------------------------------------------------
     # weight-dependent artifacts (computed once per plan)
@@ -125,9 +270,35 @@ class SolverPlan:
     @cached_property
     def links(self) -> list[tuple[int, int, float]]:
         """The candidate links: every non-MST edge as ``(u, v, weight)``."""
+        if self._links_builder is not None:
+            return self._timed("links:delta", self._links_builder)
         return self._timed(
             "links", lambda: nontree_links(self.g, set(self.mst_edges))
         )
+
+    @cached_property
+    def _link_pos(self) -> dict[tuple[int, int], int]:
+        """Link key -> position in :attr:`links` (delta-derivation index)."""
+        return {(u, v): i for i, (u, v, _) in enumerate(self.links)}
+
+    @cached_property
+    def _link_edge_pos(self) -> list[int]:
+        """Handle edge position of each link, ascending (delta-derivation).
+
+        Links preserve edge-iteration order, so this column is sorted —
+        :func:`_links_from_parent` bisects it to splice swapped edges in
+        and out at the right rank.
+        """
+        pair_index = self.handle._pair_index
+        return [pair_index[(u, v)] for u, v, _ in self.links]
+
+    @cached_property
+    def _link_weight_column(self):
+        """Per-link float64 weights (numpy; delta-derivation base column)."""
+        from repro.fast import require_numpy
+
+        np = require_numpy()
+        return np.asarray([w for _, _, w in self.links], dtype=np.float64)
 
     # ------------------------------------------------------------------
     # instances
@@ -146,14 +317,83 @@ class SolverPlan:
         flavor = resolve_compute(backend)
         inst = self._instances.get(flavor)
         if inst is None:
-            inst = self._timed(
-                f"instance:{flavor}",
-                lambda: TAPInstance.from_links(
-                    self.tree, self.links, backend=flavor
-                ),
-            )
+            if self._can_derive_instance():
+                inst = self._timed(
+                    f"instance:{flavor}:delta",
+                    lambda: self._derive_instance(flavor),
+                )
+            else:
+                inst = self._timed(
+                    f"instance:{flavor}",
+                    lambda: TAPInstance.from_links(
+                        self.tree, self.links, backend=flavor
+                    ),
+                )
             self._instances[flavor] = inst
             self.instance_builds += 1
+        return inst
+
+    def _can_derive_instance(self) -> bool:
+        """Derivation needs an unchanged tree and a live parent plan."""
+        return (
+            self._delta_parent is not None
+            and self.delta_info is not None
+            and self.delta_info.get("mode") == "reused"
+        )
+
+    def _derive_instance(self, flavor: str) -> TAPInstance:
+        """Clone the parent's instance with only the weight column patched.
+
+        Valid only when the maintained tree is the parent's tree object
+        (``mode == "reused"``): the virtual-edge structure (dec/anc pairs,
+        originating links, eids) is a pure function of tree + non-tree
+        edge *set*, which is unchanged — so the parent's layering, HLD,
+        segments and :class:`~repro.fast.treearrays.TreeArrays` are shared
+        and only weights are rewritten, producing the same objects field
+        for field as a fresh ``from_links`` build on the patched links.
+        """
+        from repro.core.virtual_graph import VirtualEdgeColumns
+
+        parent = self._delta_parent
+        parent_inst = parent.instance(flavor)
+        changed = {
+            tuple(sorted(self.handle.edges[i])): float(w)
+            for i, w in self.handle.delta_changes.items()
+        }
+        if isinstance(parent_inst.edges, VirtualEdgeColumns):
+            cols = parent_inst.edges
+            link_pos = parent._link_pos
+            link_w = parent._link_weight_column.copy()
+            for pair, w in changed.items():
+                pos = link_pos.get(pair)
+                if pos is not None:
+                    link_w[pos] = w
+            edges = VirtualEdgeColumns(
+                cols.dec, cols.anc, link_w[cols.link_of], cols.link_of,
+                cols._links, cols._origins,
+            )
+            inst = TAPInstance(
+                parent_inst.tree, edges, parent_inst.segment_size
+            )
+            if "arrays" in parent_inst.__dict__:
+                # Same tree, same virtual-edge structure: the parent's
+                # kernel arrays carry over with just the weight column
+                # swapped (incl. the nearest-in-layer cache).
+                inst.__dict__["arrays"] = parent_inst.arrays.reweighted(
+                    edges.weight
+                )
+        else:
+            edges = [
+                e if e.origin not in changed
+                else e._replace(weight=changed[e.origin])
+                for e in parent_inst.edges
+            ]
+            inst = TAPInstance(
+                parent_inst.tree, edges, parent_inst.segment_size
+            )
+        for name in ("layering", "hld", "segments"):
+            if name in parent_inst.__dict__:
+                inst.__dict__[name] = parent_inst.__dict__[name]
         return inst
 
     def private_instance(self, backend: str = "reference") -> TAPInstance:

@@ -67,6 +67,7 @@ class SolveQuery:
     backend: str | None = None
     engine: str | None = None
     weights: object = field(default=None, compare=False)
+    weights_delta: object = field(default=None, compare=False)
     failures: object = field(default=None, compare=False)
     simulate_mst: bool = False
 
@@ -88,6 +89,11 @@ class SolverSession:
         Size of the per-weights plan LRU; reweighted scenarios beyond the
         cap evict the least recently used plan (the handle's
         topology-level caches are never evicted).
+    delta_max_fraction, delta_max_swaps:
+        Guard rails for the delta re-solve path: diffs larger than
+        ``delta_max_fraction`` of the edges — or maintenance runs
+        exceeding ``delta_max_swaps`` tree swaps (default: one per changed
+        edge, the provable maximum) — fall back to a full plan rebuild.
     """
 
     def __init__(
@@ -98,6 +104,8 @@ class SolverSession:
         words_per_edge: int = 4,
         scheduler=None,
         max_plans: int = 8,
+        delta_max_fraction: float = 0.05,
+        delta_max_swaps: int | None = None,
     ) -> None:
         self.handle = (
             graph if isinstance(graph, GraphHandle)
@@ -108,60 +116,133 @@ class SolverSession:
         self.words_per_edge = words_per_edge
         self.scheduler = scheduler
         self.max_plans = max(1, max_plans)
+        self.delta_max_fraction = delta_max_fraction
+        self.delta_max_swaps = delta_max_swaps
         self._plans: "OrderedDict[str, SolverPlan]" = OrderedDict()
         self._counters = {
             "solves": 0, "plans_built": 0, "plan_hits": 0,
-            "plan_evictions": 0,
+            "plan_evictions": 0, "delta_requests": 0, "delta_tree_reuses": 0,
+            "delta_tree_swaps": 0, "delta_fallbacks": 0,
         }
         self._evicted_build_times: dict[str, float] = {}
+        # The base plan is pinned outside the LRU: every delta derives
+        # from it, so eviction must never force a full rebuild of it.
+        self._base_plan: SolverPlan | None = None
 
     # ------------------------------------------------------------------
     # plans
     # ------------------------------------------------------------------
 
-    def plan(self, weights=None) -> SolverPlan:
+    def plan(self, weights=None, weights_delta=None) -> SolverPlan:
         """The cached plan for this topology under ``weights`` (LRU).
 
-        ``weights=None`` means the handle's own weight column.  Plans are
-        keyed by the weight-column fingerprint, so two equal reassignments
-        share one plan.
+        ``weights=None`` means the handle's own weight column;
+        ``weights_delta`` instead applies a sparse ``{edge: new_weight}``
+        diff against the session's **base** weights (idempotent and
+        order-independent, so coalesced/retried delta requests are safe)
+        and derives the plan incrementally from the pinned base plan (see
+        :meth:`SolverPlan.from_delta`).  Plans are keyed by the
+        weight-column fingerprint, so two equal reassignments — or two
+        equal diffs — share one plan.
         """
+        if weights_delta is not None:
+            if weights is not None:
+                raise ValueError(
+                    "pass either weights or weights_delta, not both"
+                )
+            return self._delta_plan(weights_delta)
         handle = self.handle if weights is None else self.handle.reweight(weights)
         key = handle.weights_key
         plan = self._plans.get(key)
         if plan is None:
             plan = SolverPlan(handle)
-            self._plans[key] = plan
-            self._counters["plans_built"] += 1
-            while len(self._plans) > self.max_plans:
-                _, evicted = self._plans.popitem(last=False)
-                self._counters["plan_evictions"] += 1
-                # Keep the evicted plan's build-time accounting: stats()
-                # reports total seconds spent building artifacts, not just
-                # the seconds still resident in the LRU.
-                for phase, secs in evicted.build_times.items():
-                    self._evicted_build_times[phase] = (
-                        self._evicted_build_times.get(phase, 0.0) + secs
-                    )
+            self._insert_plan(key, plan)
+        else:
+            self._counters["plan_hits"] += 1
+        self._plans.move_to_end(key)
+        if key == self.handle.weights_key and self._base_plan is None:
+            self._base_plan = plan
+        return plan
+
+    def base_plan(self) -> SolverPlan:
+        """The pinned plan for the session's own weight column.
+
+        Built on first use and kept alive independently of the LRU —
+        every delta derivation reads its tree and instances, so evicting
+        it would silently reintroduce full rebuilds.
+        """
+        if self._base_plan is None:
+            self.plan(None)  # builds and pins
+        return self._base_plan
+
+    def _delta_plan(self, changed) -> SolverPlan:
+        """Resolve, derive, and cache the plan for one sparse diff."""
+        self._counters["delta_requests"] += 1
+        handle = self.handle.reweight_delta(changed)
+        if handle is self.handle:
+            # No effective change: the diff restated base weights.
+            self._counters["delta_tree_reuses"] += 1
+            return self.plan(None)
+        key = handle.weights_key
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = SolverPlan.from_delta(
+                self.base_plan(), handle,
+                max_fraction=self.delta_max_fraction,
+                max_swaps=self.delta_max_swaps,
+            )
+            mode = plan.delta_info["mode"]
+            counter = {
+                "reused": "delta_tree_reuses",
+                "swapped": "delta_tree_swaps",
+                "fallback": "delta_fallbacks",
+            }[mode]
+            self._counters[counter] += 1
+            self._insert_plan(key, plan)
         else:
             self._counters["plan_hits"] += 1
         self._plans.move_to_end(key)
         return plan
+
+    def _insert_plan(self, key: str, plan: SolverPlan) -> None:
+        """Insert a freshly built plan and evict past the LRU cap."""
+        self._plans[key] = plan
+        self._counters["plans_built"] += 1
+        while len(self._plans) > self.max_plans:
+            _, evicted = self._plans.popitem(last=False)
+            self._counters["plan_evictions"] += 1
+            if evicted is self._base_plan:
+                # Still pinned and still accumulating build times; its
+                # accounting stays live in stats() instead of freezing.
+                continue
+            # Keep the evicted plan's build-time accounting: stats()
+            # reports total seconds spent building artifacts, not just
+            # the seconds still resident in the LRU.
+            for phase, secs in evicted.build_times.items():
+                self._evicted_build_times[phase] = (
+                    self._evicted_build_times.get(phase, 0.0) + secs
+                )
 
     def stats(self) -> dict:
         """Plan-cache and build-time accounting for this session.
 
         Returns a fresh dict with the lifetime counters (``solves``,
         ``plans_built``, ``plan_hits``, ``plan_misses`` — equal to
-        ``plans_built`` — and ``plan_evictions``), the cache occupancy
+        ``plans_built`` — and ``plan_evictions``; plus the delta-path
+        counters ``delta_requests``, ``delta_tree_reuses``,
+        ``delta_tree_swaps``, ``delta_fallbacks``), the cache occupancy
         (``plans_cached`` / ``max_plans``), and ``build_times_s``: wall
         seconds per build phase (``mst``, ``links``, ``diameter``,
-        ``instance:<flavor>``) summed across every plan this session ever
-        built, evicted plans included.  Surfaced by the serving layer's
+        ``instance:<flavor>``, and their incremental ``<phase>:delta``
+        counterparts) summed across every plan this session ever built,
+        evicted plans included.  Surfaced by the serving layer's
         ``/metrics`` route and ``python -m repro sweep --debug``.
         """
         build_times = dict(self._evicted_build_times)
-        for plan in self._plans.values():
+        live = list(self._plans.values())
+        if self._base_plan is not None and self._base_plan not in live:
+            live.append(self._base_plan)  # pinned past its LRU eviction
+        for plan in live:
             for phase, secs in plan.build_times.items():
                 build_times[phase] = build_times.get(phase, 0.0) + secs
         return {
@@ -185,10 +266,16 @@ class SolverSession:
         backend: str | None = None,
         engine: str | None = None,
         weights=None,
+        weights_delta=None,
         failures=None,
         simulate_mst: bool = False,
     ):
         """Solve one query against the cached plan.
+
+        ``weights_delta`` is the sparse counterpart of ``weights``: a
+        ``{edge: new_weight}`` diff against the session's base weights,
+        served by the incremental plan-derivation path (see
+        :meth:`plan`) with bit-identical results.
 
         Returns a :class:`~repro.core.result.TwoEcssResult` for the
         ``local`` engine and a
@@ -206,7 +293,7 @@ class SolverSession:
                 f"got {engine!r}"
             )
         self._counters["solves"] += 1
-        plan = self.plan(weights)
+        plan = self.plan(weights, weights_delta)
         if engine == "sim":
             from repro.dist.pipeline import distributed_two_ecss
 
@@ -258,10 +345,18 @@ class SolverSession:
             inst, fwd, rev, eps=eps, variant=variant, segmented=segmented,
             validate=validate, backend=flavor,
         )
+        # Only validation walks the nx.Graph; every other input is on the
+        # plan, so a validate=False solve never materializes the graph —
+        # an O(m) build the delta path must not pay per tick.
         return assemble_two_ecss(
-            plan.g, plan.nodes, mst_edges, tap,
+            plan.g if (validate or simulate_mst) else None,
+            plan.nodes, mst_edges, tap,
             validate=validate, mst_simulation=mst_simulation,
             diameter=plan.diameter,
+            mst_weight=(
+                plan.mst_weight if mst_edges is plan.mst_edges else None
+            ),
+            n=plan.handle.n,
         )
 
     def solve_many(self, queries: Iterable[SolveQuery | Mapping]) -> list:

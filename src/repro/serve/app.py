@@ -8,6 +8,9 @@ sockets.  Routes:
 ========================  ====================================================
 ``POST /v1/solve``        one solve request (:mod:`repro.serve.protocol`)
 ``POST /v1/solve_batch``  ``{"requests": [...]}``, answered per item
+``POST /v1/delta``        sparse re-solve: topology fingerprint + weight
+                          diffs against the registered baseline
+                          (:func:`repro.serve.protocol.parse_delta_request`)
 ``GET /healthz``          liveness + config summary
 ``GET /metrics``          counters, latency histograms, batcher stats,
                           per-shard worker/session stats
@@ -38,6 +41,7 @@ from repro.serve.protocol import (
     ProtocolError,
     SolveRequest,
     error_payload,
+    parse_delta_request,
     parse_solve_request,
 )
 from repro.serve.workers import ShardedWorkerPool
@@ -49,6 +53,7 @@ __all__ = ["ServeApp", "ServeConfig"]
 #: unbounded histogram keys any more than unique paths can).
 _ROUTES = frozenset({
     ("POST", "/v1/solve"), ("POST", "/v1/solve_batch"),
+    ("POST", "/v1/delta"),
     ("GET", "/healthz"), ("GET", "/metrics"), ("GET", "/backends"),
 })
 
@@ -166,6 +171,8 @@ class ServeApp:
             return await self._solve_route(body)
         if path == "/v1/solve_batch" and method == "POST":
             return await self._solve_batch_route(body)
+        if path == "/v1/delta" and method == "POST":
+            return await self._delta_route(body)
         if path == "/healthz" and method == "GET":
             return 200, self._healthz()
         if path == "/metrics" and method == "GET":
@@ -177,7 +184,7 @@ class ServeApp:
                 "protocol": PROTOCOL_VERSION,
                 "backends": registered_payload(),
             }
-        if path in ("/v1/solve", "/v1/solve_batch"):
+        if path in ("/v1/solve", "/v1/solve_batch", "/v1/delta"):
             raise ProtocolError(
                 "method-not-allowed", f"{path} expects POST", status=405
             )
@@ -196,6 +203,15 @@ class ServeApp:
 
     async def _solve_route(self, body: bytes) -> tuple[int, dict]:
         request = parse_solve_request(self._parse_body(body))
+        return await self._solve_one(request)
+
+    async def _delta_route(self, body: bytes) -> tuple[int, dict]:
+        """Sparse re-solve: rides the same per-topology batching path as
+        ``/v1/solve`` (delta requests coalesce with full requests for the
+        topology), but can never register — an unknown fingerprint is the
+        structured 404 that tells the client to degrade to a full solve."""
+        request = parse_delta_request(self._parse_body(body))
+        self.metrics.inc("delta.requests")
         return await self._solve_one(request)
 
     async def _solve_batch_route(self, body: bytes) -> tuple[int, dict]:

@@ -8,12 +8,20 @@ probability proportional to ``1 / (r + 1) ** s``), so a few topologies
 are hot (and exercise batching + session reuse) while the tail exercises
 registration and worker LRU churn.
 
-Two driving disciplines:
+Three traffic modes:
 
 * **closed loop** — ``concurrency`` workers each keep exactly one request
   in flight (classic throughput measurement; the benchmark uses this);
 * **open loop** — requests fire at a fixed ``rate``/s regardless of
-  completions (latency under load, queueing behavior).
+  completions (latency under load, queueing behavior);
+* **drift** — closed-loop discipline, but after registering each topology
+  the workers send sparse ``/v1/delta`` requests (``drift_edges`` of the
+  edges re-jittered against the baseline per request) — the
+  weights-drift-slowly traffic the incremental re-solve path exists for.
+  A delta answered ``unknown-topology`` (server restart, store eviction)
+  degrades to one full ``/v1/solve`` carrying the graph plus the
+  equivalent full weight column, counted as a ``reregistrations`` — never
+  an error.
 
 Each worker holds one keep-alive connection (:class:`HttpClient`, asyncio
 streams, stdlib only).  The first request for a topology ships the full
@@ -128,7 +136,8 @@ class LoadgenConfig:
     #: Stop after this many seconds (or after ``requests``, if set).
     duration_s: float = 10.0
     requests: int | None = None
-    #: ``"closed"`` (concurrency workers) or ``"open"`` (fixed rate).
+    #: ``"closed"`` (concurrency workers), ``"open"`` (fixed rate) or
+    #: ``"drift"`` (closed-loop sparse ``/v1/delta`` traffic).
     mode: str = "closed"
     concurrency: int = 4
     rate: float = 20.0
@@ -142,6 +151,8 @@ class LoadgenConfig:
     #: Distinct weight scenarios cycled per topology (the reweight knob);
     #: 0 always solves the registered baseline weights.
     scenarios: int = 4
+    #: Fraction of each topology's edges re-jittered per ``drift`` delta.
+    drift_edges: float = 0.01
     seed: int = 0
     eps: float = 0.5
     variant: str = "improved"
@@ -172,6 +183,7 @@ class _Traffic:
                 "family": family,
                 "graph": payload,
                 "columns": columns,
+                "drift": random.Random(f"{cfg.seed}:{i}:drift"),
                 "key": None,  # filled from the first response
                 "uses": 0,
             })
@@ -180,8 +192,13 @@ class _Traffic:
         total = sum(weights)
         self.popularity = [w / total for w in weights]
 
-    def next_request(self) -> tuple[dict, dict]:
-        """Sample one topology and build its request body."""
+    def next_request(self) -> tuple[dict, str, dict, dict | None]:
+        """Sample one topology; build ``(topo, path, body, fallback)``.
+
+        ``fallback`` is set only for drift-mode delta bodies: the full
+        ``/v1/solve`` equivalent (graph + patched weight column) the
+        client degrades to when the server answers ``unknown-topology``.
+        """
         (index,) = self.rng.choices(
             range(len(self.topologies)), weights=self.popularity
         )
@@ -195,14 +212,45 @@ class _Traffic:
             body["backend"] = self.cfg.backend
         if self.cfg.engine is not None:
             body["engine"] = self.cfg.engine
+        if self.cfg.mode == "drift" and topo["key"] is not None:
+            return (topo, "/v1/delta") + self._drift_body(topo, body)
         if topo["key"] is None:
             body["graph"] = topo["graph"]
         else:
             body["topology"] = topo["key"]
-        if topo["columns"]:
+        if self.cfg.mode != "drift" and topo["columns"]:
             body["weights"] = topo["columns"][topo["uses"] % len(topo["columns"])]
         topo["uses"] += 1
-        return topo, body
+        return topo, "/v1/solve", body, None
+
+    def _drift_body(self, topo: dict, body: dict) -> tuple[dict, dict]:
+        """One sparse delta against the baseline, plus its full fallback.
+
+        Each delta re-jitters ``drift_edges`` of the edges relative to the
+        *registered* weights — the diff-against-base semantics
+        ``/v1/delta`` defines, so consecutive deltas are independent and a
+        lost/retried one changes nothing.
+        """
+        edges = topo["graph"]["edges"]
+        rng = topo["drift"]
+        k = min(len(edges), max(1, round(self.cfg.drift_edges * len(edges))))
+        chosen = rng.sample(range(len(edges)), k)
+        column = [w for _, _, w in edges]
+        delta = []
+        for i in chosen:
+            u, v, w = edges[i]
+            column[i] = w * rng.uniform(0.8, 1.25)
+            delta.append([u, v, column[i]])
+        body["topology"] = topo["key"]
+        body["delta"] = delta
+        fallback = {
+            k_: v_ for k_, v_ in body.items()
+            if k_ not in ("topology", "delta")
+        }
+        fallback["graph"] = topo["graph"]
+        fallback["weights"] = column
+        topo["uses"] += 1
+        return body, fallback
 
 
 @dataclass
@@ -211,6 +259,7 @@ class _Tally:
 
     sent: int = 0
     ok: int = 0
+    deltas: int = 0
     protocol_errors: int = 0
     transport_errors: int = 0
     reregistrations: int = 0
@@ -228,11 +277,13 @@ async def _issue(
     client: HttpClient, traffic: _Traffic, tally: _Tally
 ) -> None:
     """Send one sampled request and account for its outcome."""
-    topo, body = traffic.next_request()
+    topo, path, body, fallback = traffic.next_request()
     tally.sent += 1
+    if path == "/v1/delta":
+        tally.deltas += 1
     t0 = time.perf_counter()
     try:
-        status, payload = await client.request("POST", "/v1/solve", body)
+        status, payload = await client.request("POST", path, body)
     except (OSError, asyncio.IncompleteReadError, ValueError):
         tally.transport_errors += 1
         await client.close()
@@ -247,11 +298,34 @@ async def _issue(
             tally.batch_sizes.append(server["batch_size"])
         return
     code = (error or {}).get("code", f"http-{status}")
-    if code == "unknown-topology" and topo["key"] is not None:
+    if code == "unknown-topology" and "topology" in body:
         # Server forgot the topology (restart/eviction): re-register
-        # transparently, as a real client would.
+        # transparently, as a real client would.  A delta request
+        # degrades immediately to its full-solve fallback (graph + the
+        # equivalent full weight column) on the same connection.  Keyed
+        # off the request we sent, not ``topo["key"]`` — a concurrent
+        # worker may already have cleared it for the same eviction.
         topo["key"] = None
         tally.reregistrations += 1
+        if fallback is not None:
+            t1 = time.perf_counter()
+            try:
+                status, payload = await client.request(
+                    "POST", "/v1/solve", fallback
+                )
+            except (OSError, asyncio.IncompleteReadError, ValueError):
+                tally.transport_errors += 1
+                await client.close()
+                return
+            tally.latencies_s.append(time.perf_counter() - t1)
+            error = payload.get("error")
+            if status == 200 and not error:
+                topo["key"] = payload.get("topology", topo["key"])
+                tally.ok += 1
+                return
+            tally.record_error(
+                (error or {}).get("code", f"http-{status}")
+            )
         return
     tally.record_error(code)
 
@@ -334,10 +408,12 @@ async def _run(cfg: LoadgenConfig) -> dict:
     deadline = t0 + cfg.duration_s
     if cfg.mode == "open":
         await _open_loop(cfg, traffic, tally, deadline)
-    elif cfg.mode == "closed":
+    elif cfg.mode in ("closed", "drift"):
         await _closed_loop(cfg, traffic, tally, deadline)
     else:
-        raise ValueError(f"mode must be 'closed' or 'open', got {cfg.mode!r}")
+        raise ValueError(
+            f"mode must be 'closed', 'open' or 'drift', got {cfg.mode!r}"
+        )
     wall = time.perf_counter() - t0
     lat = tally.latencies_s
     return {
@@ -345,6 +421,7 @@ async def _run(cfg: LoadgenConfig) -> dict:
         "duration_s": round(wall, 3),
         "requests": tally.sent,
         "ok": tally.ok,
+        "deltas": tally.deltas,
         "protocol_errors": tally.protocol_errors,
         "transport_errors": tally.transport_errors,
         "reregistrations": tally.reregistrations,
@@ -366,6 +443,7 @@ async def _run(cfg: LoadgenConfig) -> dict:
         "topologies": cfg.topologies,
         "zipf_s": cfg.zipf_s,
         "scenarios": cfg.scenarios,
+        "drift_edges": cfg.drift_edges,
     }
 
 

@@ -30,6 +30,19 @@ being misinterpreted.
   :func:`failure_plan_from_payload`) for engines with the
   ``failure-injection`` capability.
 
+``POST /v1/delta`` is the sparse counterpart of a topology + ``weights``
+re-query: ``{"topology": ..., "delta": [[u, v, w], ...]}`` names only the
+edges whose weights drifted, *as diffs against the registered baseline
+weights* (idempotent and order-independent, so batcher coalescing and
+client retries are safe).  It is parsed by :func:`parse_delta_request`
+into the same :class:`SolveRequest` shape (``delta`` field set) and served
+by the incremental plan-derivation path
+(:meth:`repro.runtime.session.SolverSession.solve` with
+``weights_delta``), bit-identical to the equivalent full-column request.
+A delta request can never register a topology: when the server no longer
+knows the fingerprint it answers a structured ``unknown-topology`` 404 and
+the client degrades to a full ``/v1/solve`` with graph + weight column.
+
 The schema is deliberately **k-ready**: validation is per-field with
 structured errors, so the k-ECSS generalization (Dory, arXiv:1805.07764)
 can add a ``k`` field without breaking version 1 clients.
@@ -65,6 +78,7 @@ __all__ = [
     "fingerprint_graph",
     "graph_from_payload",
     "graph_payload",
+    "parse_delta_request",
     "parse_graph_payload",
     "parse_solve_request",
     "result_to_payload",
@@ -77,6 +91,15 @@ PROTOCOL_VERSION = 1
 #: Top-level request keys version 1 understands (typos fail loudly).
 _REQUEST_KEYS = frozenset({
     "protocol", "graph", "topology", "weights", "failures",
+    "eps", "variant", "segmented", "validate", "backend", "engine",
+    "simulate_mst",
+})
+
+#: Top-level keys of a ``/v1/delta`` request: a topology reference plus
+#: the sparse diff — never a graph (deltas cannot register topologies)
+#: and never a full weight column.
+_DELTA_KEYS = frozenset({
+    "protocol", "topology", "delta",
     "eps", "variant", "segmented", "validate", "backend", "engine",
     "simulate_mst",
 })
@@ -125,14 +148,17 @@ class SolveRequest:
     (``{"nodes": [...], "edges": [...]}``) when the client sent one
     (``None`` for topology-referencing requests); ``topology`` is the
     fingerprint — filled in from ``graph`` at parse time, so it is always
-    set on a valid request.  Solver-level validation (feasibility, weight
-    column length, backend resolution) happens in the worker, where the
-    session lives.
+    set on a valid request.  ``delta`` is set only for ``/v1/delta``
+    requests: the validated ``[[u, v, w], ...]`` sparse diff against the
+    topology's baseline weights.  Solver-level validation (feasibility,
+    weight column length, delta edges existing, backend resolution)
+    happens in the worker, where the session lives.
     """
 
     topology: str
     graph: dict | None = None
     weights: list | None = None
+    delta: list | None = None
     failures: dict | None = None
     eps: float = 0.25
     variant: str = "improved"
@@ -164,14 +190,14 @@ def fingerprint_graph(graph: dict) -> str:
     return hashlib.sha1(payload.encode()).hexdigest()
 
 
-def _check_label(label, index: int, end: str):
+def _check_label(label, index: int, end: str, field_name: str = "graph"):
     """Validate one node label (int or str, bools rejected)."""
     if isinstance(label, bool) or not isinstance(label, (int, str)):
         raise ProtocolError(
             "invalid-graph",
             f"edge {index}: {end} label must be an int or str, "
             f"got {type(label).__name__}",
-            field="graph",
+            field=field_name,
         )
     return label
 
@@ -443,17 +469,11 @@ def _check_name(obj: dict, key: str, kind: str) -> str | None:
     return value
 
 
-def parse_solve_request(obj) -> SolveRequest:
-    """Parse and schema-validate one ``/v1/solve`` body.
-
-    Raises :class:`ProtocolError` with a stable ``code``/``field`` on any
-    violation; never lets a malformed payload reach the solver.  Exactly
-    one of ``graph`` (full edge list) and ``topology`` (fingerprint of a
-    previously sent graph) must be present.
-    """
+def _check_envelope(obj, allowed: frozenset) -> None:
+    """Shared request-envelope checks: shape, unknown keys, version."""
     if not isinstance(obj, dict):
         raise ProtocolError("bad-request", "request body must be a JSON object")
-    unknown = set(obj) - _REQUEST_KEYS
+    unknown = set(obj) - allowed
     if unknown:
         raise ProtocolError(
             "unknown-field",
@@ -467,6 +487,44 @@ def parse_solve_request(obj) -> SolveRequest:
             f"this server speaks protocol {PROTOCOL_VERSION}, got {version!r}",
             field="protocol",
         )
+
+
+def _query_fields(obj: dict) -> dict:
+    """Validate the query-parameter fields shared by solve and delta."""
+    eps = obj.get("eps", 0.25)
+    if isinstance(eps, bool) or not isinstance(eps, (int, float)) \
+            or not math.isfinite(eps) or eps <= 0:
+        raise ProtocolError(
+            "invalid-field", f"eps must be a positive finite number, got {eps!r}",
+            field="eps",
+        )
+    variant = obj.get("variant", "improved")
+    if variant not in _VARIANTS:
+        raise ProtocolError(
+            "invalid-field",
+            f"variant must be one of {_VARIANTS}, got {variant!r}",
+            field="variant",
+        )
+    return {
+        "eps": float(eps),
+        "variant": variant,
+        "segmented": _check_bool(obj, "segmented", True),
+        "validate": _check_bool(obj, "validate", True),
+        "backend": _check_name(obj, "backend", "compute"),
+        "engine": _check_name(obj, "engine", "engine"),
+        "simulate_mst": _check_bool(obj, "simulate_mst", False),
+    }
+
+
+def parse_solve_request(obj) -> SolveRequest:
+    """Parse and schema-validate one ``/v1/solve`` body.
+
+    Raises :class:`ProtocolError` with a stable ``code``/``field`` on any
+    violation; never lets a malformed payload reach the solver.  Exactly
+    one of ``graph`` (full edge list) and ``topology`` (fingerprint of a
+    previously sent graph) must be present.
+    """
+    _check_envelope(obj, _REQUEST_KEYS)
 
     has_graph = "graph" in obj
     has_topology = "topology" in obj
@@ -497,21 +555,6 @@ def parse_solve_request(obj) -> SolveRequest:
         for i, w in enumerate(weights):
             _check_weight(w, i, "weights")
 
-    eps = obj.get("eps", 0.25)
-    if isinstance(eps, bool) or not isinstance(eps, (int, float)) \
-            or not math.isfinite(eps) or eps <= 0:
-        raise ProtocolError(
-            "invalid-field", f"eps must be a positive finite number, got {eps!r}",
-            field="eps",
-        )
-    variant = obj.get("variant", "improved")
-    if variant not in _VARIANTS:
-        raise ProtocolError(
-            "invalid-field",
-            f"variant must be one of {_VARIANTS}, got {variant!r}",
-            field="variant",
-        )
-
     failures = obj.get("failures")
     if failures is not None:
         validate_failure_spec(failures)
@@ -521,13 +564,65 @@ def parse_solve_request(obj) -> SolveRequest:
         graph=graph,
         weights=weights,
         failures=failures,
-        eps=float(eps),
-        variant=variant,
-        segmented=_check_bool(obj, "segmented", True),
-        validate=_check_bool(obj, "validate", True),
-        backend=_check_name(obj, "backend", "compute"),
-        engine=_check_name(obj, "engine", "engine"),
-        simulate_mst=_check_bool(obj, "simulate_mst", False),
+        **_query_fields(obj),
+    )
+
+
+def parse_delta_request(obj) -> SolveRequest:
+    """Parse and schema-validate one ``/v1/delta`` body.
+
+    A delta request always references a known topology by fingerprint
+    (never a ``graph`` — deltas cannot register topologies) and carries a
+    non-empty ``delta`` list of ``[u, v, w]`` triples naming the edges
+    whose weights changed *relative to the registered baseline*.  Labels
+    and weights are checked with the same rules as graph edges; self-loops
+    and duplicate pairs (in either endpoint order) are rejected — a
+    duplicate would make the diff ambiguous, the sparse analogue of the
+    both-key-orders conflict :meth:`GraphHandle.reweight_delta` rejects.
+    """
+    _check_envelope(obj, _DELTA_KEYS)
+
+    topology = obj.get("topology")
+    if not isinstance(topology, str) or not topology:
+        raise ProtocolError(
+            "bad-request", "topology must be a non-empty string",
+            field="topology",
+        )
+
+    delta = obj.get("delta")
+    if not isinstance(delta, list) or not delta:
+        raise ProtocolError(
+            "invalid-field", "delta must be a non-empty [[u, v, w], ...] list",
+            field="delta",
+        )
+    seen: set[frozenset] = set()
+    for i, item in enumerate(delta):
+        if not isinstance(item, list) or len(item) != 3:
+            raise ProtocolError(
+                "invalid-field",
+                f"delta[{i}] must be a [u, v, weight] triple", field="delta",
+            )
+        u = _check_label(item[0], i, "u", field_name="delta")
+        v = _check_label(item[1], i, "v", field_name="delta")
+        _check_weight(item[2], i, "delta")
+        if u == v:
+            raise ProtocolError(
+                "invalid-field", f"delta[{i}] is a self-loop at {u!r}",
+                field="delta",
+            )
+        pair = frozenset(((type(u).__name__, u), (type(v).__name__, v)))
+        if pair in seen:
+            raise ProtocolError(
+                "duplicate-edge",
+                f"delta[{i}] duplicates an earlier ({u!r}, {v!r}) entry",
+                field="delta",
+            )
+        seen.add(pair)
+
+    return SolveRequest(
+        topology=topology,
+        delta=delta,
+        **_query_fields(obj),
     )
 
 

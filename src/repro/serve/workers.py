@@ -123,8 +123,12 @@ def _original_graph(handle):
 def _query_for(session, request: SolveRequest, with_weights: bool = True):
     """Translate one wire request into a :class:`SolveQuery`.
 
-    ``with_weights=False`` drops the reweight column — used by the naive
-    baseline, which bakes the column into the per-request graph instead.
+    A wire ``delta`` becomes the session's sparse ``weights_delta``
+    mapping — keyed by caller-labeled edge pairs, which
+    :meth:`~repro.runtime.handle.GraphHandle.reweight_delta` resolves
+    against the registered edge order.  ``with_weights=False`` drops the
+    reweight column *and* the delta — used by the naive baseline, which
+    bakes the weights into the per-request graph instead.
     """
     from repro.runtime.session import SolveQuery
 
@@ -133,6 +137,9 @@ def _query_for(session, request: SolveRequest, with_weights: bool = True):
         failures = failure_plan_from_payload(
             request.failures, _original_graph(session.handle)
         )
+    delta = None
+    if request.delta is not None and with_weights:
+        delta = {(u, v): w for u, v, w in request.delta}
     return SolveQuery(
         eps=request.eps,
         variant=request.variant,
@@ -141,6 +148,7 @@ def _query_for(session, request: SolveRequest, with_weights: bool = True):
         backend=request.backend,
         engine=request.engine,
         weights=request.weights if with_weights else None,
+        weights_delta=delta,
         failures=failures,
         simulate_mst=request.simulate_mst,
     )
@@ -225,6 +233,28 @@ def _solve_per_request(
                     [u, v, w]
                     for (u, v, _), w in zip(edges, request.weights)
                 ]
+            if request.delta is not None:
+                # The baseline has no incremental path: splice the sparse
+                # diff into a full per-request edge list instead.
+                changed = {
+                    frozenset(((type(u).__name__, u), (type(v).__name__, v))): w
+                    for u, v, w in request.delta
+                }
+                row = [
+                    [u, v, changed.pop(
+                        frozenset(
+                            ((type(u).__name__, u), (type(v).__name__, v))
+                        ), w,
+                    )]
+                    for u, v, w in row
+                ]
+                if changed:
+                    raise ProtocolError(
+                        "invalid-field",
+                        f"delta names {len(changed)} edge(s) not in the "
+                        "registered topology",
+                        field="delta",
+                    )
             session = SolverSession(
                 graph_from_payload({"nodes": graph["nodes"], "edges": row}),
                 backend=_SETTINGS["backend"],

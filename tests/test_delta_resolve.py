@@ -1,0 +1,395 @@
+"""The incremental re-solve path: sparse deltas must be bit-identical.
+
+Mirrors the session-reuse differential suite
+(``tests/test_runtime_session.py``): for every registered compute backend,
+a :meth:`~repro.runtime.session.SolverSession.solve` driven by a sparse
+``weights_delta`` must be **bit-identical** to a fresh one-shot call on a
+graph rebuilt with the same patched weights — across swap-forcing diffs,
+non-swap diffs, fallback-forcing configurations, and tie-heavy integer
+weights.  Also pins the correctness-hardening satellites: the weight
+fingerprint canonicalizes signed zero and rejects NaN, and a reweight
+mapping naming one edge under both key orders with different values is an
+explicit :class:`~repro.exceptions.GraphFormatError`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.tecss import approximate_two_ecss
+from repro.exceptions import GraphFormatError
+from repro.fast import HAVE_NUMPY
+from repro.graphs import cycle_with_chords
+from repro.graphs.families import make_family_instance
+from repro.runtime import GraphHandle, SolverPlan, SolverSession
+from repro.runtime.delta import DeltaFallback, maintain_mst
+
+COMPUTE_BACKENDS = ["reference"] + (["fast"] if HAVE_NUMPY else [])
+
+
+def _assert_same_result(a, b):
+    """Field-by-field bit-identity of two TwoEcssResult objects."""
+    assert a.edges == b.edges
+    assert a.weight == b.weight
+    assert a.mst_edges == b.mst_edges
+    assert a.mst_weight == b.mst_weight
+    assert a.diameter == b.diameter
+    assert a.n == b.n
+    assert a.guarantee == b.guarantee
+    ta, tb = a.augmentation, b.augmentation
+    assert ta.links == tb.links
+    assert ta.weight == tb.weight
+    assert ta.virtual_eids == tb.virtual_eids
+    assert ta.virtual_weight == tb.virtual_weight
+    assert ta.dual_bound == tb.dual_bound
+    assert ta.guarantee == tb.guarantee
+    assert ta.iterations_per_epoch == tb.iterations_per_epoch
+    assert ta.num_layers == tb.num_layers
+    assert ta.max_coverage_of_dual_edges == tb.max_coverage_of_dual_edges
+
+
+def _sparse_diff(graph, seed, k, lo=0.1, hi=12.0):
+    """``k`` seeded weight changes as an edge-label mapping."""
+    rng = random.Random(seed)
+    edges = list(graph.edges())
+    chosen = rng.sample(range(len(edges)), min(k, len(edges)))
+    return {edges[i]: round(rng.uniform(lo, hi), 3) for i in chosen}
+
+
+def _patched(graph, changed):
+    """A fresh copy of ``graph`` with the diff applied (same edge order)."""
+    out = graph.copy()
+    for (u, v), w in changed.items():
+        out[u][v]["weight"] = w
+    return out
+
+
+def _stable_mst_edges(graph):
+    """The stable-Kruskal MST edge set, via networkx's stable sort."""
+    import networkx as nx
+
+    mst = nx.minimum_spanning_tree(graph, weight="weight")
+    return sorted(tuple(sorted(e)) for e in mst.edges())
+
+
+# ---------------------------------------------------------------------------
+# swap-edge MST maintenance (unit level)
+# ---------------------------------------------------------------------------
+
+
+class TestMaintainMst:
+    def test_fuzz_matches_stable_kruskal(self):
+        """Maintained tree == stable Kruskal of the patched graph, 30 trials."""
+        for trial in range(30):
+            graph = cycle_with_chords(40, 14, seed=trial)
+            handle = GraphHandle.from_graph(graph)
+            plan = SolverPlan(handle)
+            changed = _sparse_diff(graph, 1000 + trial, k=1 + trial % 5)
+            new = handle.reweight_delta(changed)
+            outcome = maintain_mst(new, plan.tree, plan.mst_edges)
+            assert outcome.mst_edges == _stable_mst_edges(_patched(graph, changed))
+            assert len(outcome.swaps) <= len(new.delta_changes)
+
+    def test_tie_heavy_integer_weights(self):
+        """Integer weights with many ties: the lex tie-break must hold."""
+        for trial in range(10):
+            rng = random.Random(trial)
+            graph = cycle_with_chords(30, 12, seed=trial)
+            for _, _, data in graph.edges(data=True):
+                data["weight"] = rng.randint(1, 4)
+            handle = GraphHandle.from_graph(graph)
+            plan = SolverPlan(handle)
+            changed = {
+                e: rng.randint(1, 4)
+                for e in rng.sample(list(graph.edges()), 4)
+            }
+            new = handle.reweight_delta(changed)
+            if new is handle:
+                continue
+            outcome = maintain_mst(new, plan.tree, plan.mst_edges)
+            assert outcome.mst_edges == _stable_mst_edges(_patched(graph, changed))
+
+    def test_swap_budget_raises_fallback(self):
+        """A cascade past ``max_swaps`` aborts with :class:`DeltaFallback`."""
+        graph = cycle_with_chords(40, 14, seed=7)
+        handle = GraphHandle.from_graph(graph)
+        plan = SolverPlan(handle)
+        # Make several chords much cheaper than the tree path they span:
+        # each must enter the tree, forcing one swap per change.
+        changed = {e: 0.001 for e in list(graph.edges())[-6:]}
+        new = handle.reweight_delta(changed)
+        with pytest.raises(DeltaFallback):
+            maintain_mst(new, plan.tree, plan.mst_edges, max_swaps=0)
+
+
+# ---------------------------------------------------------------------------
+# GraphHandle.reweight_delta + fingerprint hardening
+# ---------------------------------------------------------------------------
+
+
+class TestReweightDelta:
+    def setup_method(self):
+        self.graph = cycle_with_chords(24, 8, seed=1)
+        self.handle = GraphHandle.from_graph(self.graph)
+
+    def test_noop_delta_returns_self(self):
+        (u, v) = next(iter(self.graph.edges()))
+        w = self.graph[u][v]["weight"]
+        assert self.handle.reweight_delta({(u, v): w}) is self.handle
+
+    def test_records_base_and_changes(self):
+        changed = _sparse_diff(self.graph, 5, k=3)
+        new = self.handle.reweight_delta(changed)
+        assert new.delta_base is self.handle
+        assert len(new.delta_changes) == 3
+        for i, w in new.delta_changes.items():
+            assert new.weights[i] == w
+
+    def test_derived_key_matches_full_recompute(self):
+        """The O(k) chained fingerprint == the O(m) from-scratch one."""
+        changed = _sparse_diff(self.graph, 6, k=4)
+        new = self.handle.reweight_delta(changed)
+        fresh = GraphHandle.from_graph(_patched(self.graph, changed))
+        assert new.weights_key == fresh.weights_key
+
+    def test_unknown_edge_raises(self):
+        with pytest.raises(GraphFormatError, match="delta"):
+            self.handle.reweight_delta({(0, 999): 1.0})
+
+    def test_reverse_key_is_same_edge(self):
+        (u, v) = next(iter(self.graph.edges()))
+        a = self.handle.reweight_delta({(u, v): 3.25})
+        b = self.handle.reweight_delta({(v, u): 3.25})
+        assert a.weights == b.weights
+        assert a.weights_key == b.weights_key
+
+    def test_both_key_orders_conflict_raises(self):
+        """Satellite: (u,v) and (v,u) with different values is an error."""
+        (u, v) = next(iter(self.graph.edges()))
+        with pytest.raises(GraphFormatError, match="both key orders"):
+            self.handle.reweight({(u, v): 1.0, (v, u): 2.0})
+        # ... and GraphFormatError is a ValueError, so callers guarding
+        # with a generic ``except ValueError`` still catch it.
+        assert issubclass(GraphFormatError, ValueError)
+
+    def test_both_key_orders_same_value_ok(self):
+        (u, v) = next(iter(self.graph.edges()))
+        new = self.handle.reweight_delta({(u, v): 4.5, (v, u): 4.5})
+        assert 4.5 in new.weights
+        with pytest.raises(GraphFormatError, match="both key orders"):
+            self.handle.reweight_delta({(u, v): 1.0, (v, u): 2.0})
+
+    def test_nan_rejected(self):
+        """Satellite: NaN weights are rejected everywhere, never hashed."""
+        (u, v) = next(iter(self.graph.edges()))
+        with pytest.raises(GraphFormatError):
+            self.handle.reweight_delta({(u, v): math.nan})
+        with pytest.raises(GraphFormatError):
+            self.handle.reweight({(u, v): math.nan})
+        bad = self.graph.copy()
+        bad[u][v]["weight"] = math.nan
+        with pytest.raises(GraphFormatError):
+            GraphHandle.from_graph(bad)
+
+    def test_signed_zero_canonicalized(self):
+        """Satellite: -0.0 == 0.0 must fingerprint identically."""
+        (u, v) = next(iter(self.graph.edges()))
+        pos = self.handle.reweight_delta({(u, v): 0.0})
+        neg = self.handle.reweight_delta({(u, v): -0.0})
+        assert pos.weights_key == neg.weights_key
+        # Full-column reweights agree with the delta-derived keys.
+        col = list(self.handle.weights)
+        col[list(pos.delta_changes)[0]] = -0.0
+        assert GraphHandle.from_graph(
+            _patched(self.graph, {(u, v): -0.0})
+        ).weights_key == pos.weights_key
+
+
+# ---------------------------------------------------------------------------
+# end-to-end differential: session delta solve vs fresh one-shot
+# ---------------------------------------------------------------------------
+
+
+class TestDeltaDifferential:
+    @pytest.mark.parametrize("backend", COMPUTE_BACKENDS)
+    def test_fuzz_bit_identical(self, backend):
+        """Seeded fuzz: delta solves == one-shot solves, every backend."""
+        for trial in range(8):
+            graph = cycle_with_chords(36, 12, seed=trial)
+            session = SolverSession(graph, backend=backend)
+            session.solve(eps=0.5)  # warm the base plan
+            for tick in range(3):
+                changed = _sparse_diff(graph, 100 * trial + tick, k=2 + tick)
+                got = session.solve(eps=0.5, weights_delta=changed)
+                want = approximate_two_ecss(
+                    _patched(graph, changed), eps=0.5, backend=backend
+                )
+                _assert_same_result(got, want)
+            assert session.stats()["delta_requests"] == 3 * 1
+
+    @pytest.mark.parametrize("backend", COMPUTE_BACKENDS)
+    def test_swap_and_nonswap_paths(self, backend):
+        """Force both maintenance outcomes and check counters + identity."""
+        graph = make_family_instance("grid", 49, seed=2)
+        session = SolverSession(graph, backend=backend)
+        session.solve(eps=0.5)
+        edges = list(graph.edges())
+        # Non-tree edge made very cheap: must swap into the tree.
+        swap_diff = {edges[-1]: 0.0001}
+        got = session.solve(eps=0.5, weights_delta=swap_diff)
+        _assert_same_result(
+            got, approximate_two_ecss(
+                _patched(graph, swap_diff), eps=0.5, backend=backend
+            ),
+        )
+        # Tiny decrease of an already-cheap edge: tree unchanged.
+        reuse_diff = {edges[0]: graph[edges[0][0]][edges[0][1]]["weight"] * 0.999}
+        got = session.solve(eps=0.5, weights_delta=reuse_diff)
+        _assert_same_result(
+            got, approximate_two_ecss(
+                _patched(graph, reuse_diff), eps=0.5, backend=backend
+            ),
+        )
+        stats = session.stats()
+        assert stats["delta_requests"] == 2
+        assert stats["delta_tree_swaps"] >= 1
+
+    def test_fallback_path_bit_identical(self):
+        """A too-large diff falls back to a plain rebuild — same result."""
+        graph = cycle_with_chords(36, 12, seed=3)
+        session = SolverSession(graph, delta_max_fraction=0.0001)
+        session.solve(eps=0.5)
+        changed = _sparse_diff(graph, 9, k=5)
+        got = session.solve(eps=0.5, weights_delta=changed)
+        want = approximate_two_ecss(_patched(graph, changed), eps=0.5)
+        _assert_same_result(got, want)
+        assert session.stats()["delta_fallbacks"] == 1
+
+    def test_chained_deltas_are_base_relative(self):
+        """A second delta replaces the first — diffs are against the base."""
+        graph = cycle_with_chords(30, 10, seed=4)
+        session = SolverSession(graph)
+        edges = list(graph.edges())
+        first = {edges[0]: 7.5}
+        second = {edges[1]: 2.5}
+        session.solve(eps=0.5, weights_delta=first)
+        got = session.solve(eps=0.5, weights_delta=second)
+        # One-shot: only the SECOND change applied (first reverted to base).
+        want = approximate_two_ecss(_patched(graph, second), eps=0.5)
+        _assert_same_result(got, want)
+
+    def test_noop_delta_hits_base_plan(self):
+        graph = cycle_with_chords(30, 10, seed=5)
+        session = SolverSession(graph)
+        (u, v) = next(iter(graph.edges()))
+        base = session.plan()
+        same = session.plan(weights_delta={(u, v): graph[u][v]["weight"]})
+        assert same is base
+
+    def test_weights_and_delta_are_exclusive(self):
+        graph = cycle_with_chords(30, 10, seed=6)
+        session = SolverSession(graph)
+        (u, v) = next(iter(graph.edges()))
+        with pytest.raises(ValueError, match="weights"):
+            session.solve(
+                weights=[1.0] * graph.number_of_edges(),
+                weights_delta={(u, v): 1.0},
+            )
+
+    def test_sim_engine_delta(self):
+        """Delta plans feed the sim engine identically to a fresh solve."""
+        from repro.dist.pipeline import distributed_two_ecss
+
+        graph = cycle_with_chords(24, 8, seed=7)
+        session = SolverSession(graph, engine="sim")
+        changed = _sparse_diff(graph, 11, k=2)
+        got = session.solve(eps=0.5, weights_delta=changed)
+        want = distributed_two_ecss(_patched(graph, changed), eps=0.5)
+        assert got.result.edges == want.result.edges
+        assert got.result.weight == want.result.weight
+        assert got.measured_rounds == want.measured_rounds
+
+    def test_delta_build_times_visible(self):
+        """The reused path books ``mst:delta`` time, not ``mst`` time."""
+        graph = cycle_with_chords(30, 10, seed=8)
+        session = SolverSession(graph)
+        session.solve(eps=0.5)
+        edges = list(graph.edges())
+        reuse = {edges[0]: graph[edges[0][0]][edges[0][1]]["weight"] * 0.999}
+        session.solve(eps=0.5, weights_delta=reuse)
+        times = session.stats()["build_times_s"]
+        assert "mst:delta" in times
+        assert any(key.endswith(":delta") and key.startswith("instance")
+                   for key in times)
+
+
+# ---------------------------------------------------------------------------
+# plan-level invalidation
+# ---------------------------------------------------------------------------
+
+
+class TestDeltaPlan:
+    def test_from_delta_requires_matching_parent(self):
+        graph = cycle_with_chords(24, 8, seed=1)
+        handle = GraphHandle.from_graph(graph)
+        parent = SolverPlan(handle)
+        other = handle.reweight_delta(_sparse_diff(graph, 2, k=2))
+        stranger = SolverPlan(handle.reweight([1.0] * handle.m))
+        with pytest.raises(ValueError, match="base"):
+            SolverPlan.from_delta(stranger, other)
+
+    def test_tree_shared_when_unchanged(self):
+        """No swap → the parent's tree/instance artifacts are shared."""
+        graph = cycle_with_chords(24, 8, seed=2)
+        handle = GraphHandle.from_graph(graph)
+        parent = SolverPlan(handle)
+        parent.instance("fast" if HAVE_NUMPY else "reference")
+        edges = list(graph.edges())
+        reuse = {edges[0]: graph[edges[0][0]][edges[0][1]]["weight"] * 0.999}
+        child = SolverPlan.from_delta(parent, handle.reweight_delta(reuse))
+        assert child.delta_info["mode"] == "reused"
+        assert child.tree is parent.tree
+        assert child.mst_edges is parent.mst_edges
+        flavor = "fast" if HAVE_NUMPY else "reference"
+        assert child.instance(flavor).layering is parent.instance(flavor).layering
+
+    def test_swap_rebuilds_tree_only(self):
+        graph = make_family_instance("grid", 36, seed=3)
+        handle = GraphHandle.from_graph(graph)
+        parent = SolverPlan(handle)
+        mst_set = set(parent.mst_edges)
+        chord = next(
+            e for e in graph.edges() if tuple(sorted(e)) not in mst_set
+        )
+        child = SolverPlan.from_delta(
+            parent, handle.reweight_delta({chord: 0.0001})
+        )
+        assert child.delta_info["mode"] == "swapped"
+        assert child.tree is not parent.tree
+        assert child.mst_edges != parent.mst_edges
+        assert child.mst_edges == _stable_mst_edges(
+            _patched(graph, {chord: 0.0001})
+        )
+
+    def test_spliced_links_match_full_replay(self):
+        """Swapped-mode links (parent-list splice) are tuple-for-tuple the
+        from-scratch ``nontree_links`` of the patched graph — deletions,
+        ordered insertions, and weight patches all at the right ranks."""
+        graph = make_family_instance("grid", 36, seed=3)
+        handle = GraphHandle.from_graph(graph)
+        parent = SolverPlan(handle)
+        parent.links  # materialize: from_delta must take the splice path
+        mst_set = set(parent.mst_edges)
+        chords = [
+            e for e in graph.edges() if tuple(sorted(e)) not in mst_set
+        ]
+        diff = {chords[0]: 0.0001, chords[3]: 0.0002, chords[7]: 3.75}
+        child = SolverPlan.from_delta(parent, handle.reweight_delta(diff))
+        assert child.delta_info["mode"] == "swapped"
+        assert child.delta_info["swaps"] >= 2
+        fresh = SolverPlan(GraphHandle.from_graph(_patched(graph, diff)))
+        assert child.mst_edges == fresh.mst_edges
+        assert child.links == fresh.links

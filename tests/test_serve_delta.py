@@ -1,0 +1,299 @@
+"""The ``/v1/delta`` serve route: parsing, bit-identity, eviction degrade.
+
+The wire contract under test: a sparse delta request answers bit-identical
+to the equivalent full-weight-column ``/v1/solve``; a delta naming a
+topology the server no longer stores is a *structured* ``unknown-topology``
+404 (never a 500), which clients degrade from by resending the full graph;
+and worker-side session eviction is invisible to delta clients because
+deltas are diffs against the registered baseline, which the dispatcher can
+always replay to a fresh worker session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+
+import pytest
+
+from repro.graphs.families import make_family_instance
+from repro.serve.app import ServeApp, ServeConfig
+from repro.serve.protocol import (
+    ProtocolError,
+    fingerprint_graph,
+    graph_payload,
+    parse_delta_request,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _payload(size=30, seed=3):
+    return graph_payload(make_family_instance("cycle_chords", size, seed=seed))
+
+
+async def _post(app, path, body):
+    return await app.handle("POST", path, json.dumps(body).encode())
+
+
+# ---------------------------------------------------------------------------
+# request parsing
+# ---------------------------------------------------------------------------
+
+
+class TestParseDeltaRequest:
+    def test_valid(self):
+        req = parse_delta_request({
+            "topology": "abc", "delta": [[0, 1, 2.5], [3, 4, 0.0]],
+            "eps": 0.5, "validate": False,
+        })
+        assert req.topology == "abc"
+        assert req.delta == [[0, 1, 2.5], [3, 4, 0.0]]
+        assert req.graph is None and req.weights is None
+        assert req.eps == 0.5 and req.validate is False
+
+    @pytest.mark.parametrize("body,code,field", [
+        ({"delta": [[0, 1, 1.0]]}, "bad-request", "topology"),
+        ({"topology": "", "delta": [[0, 1, 1.0]]}, "bad-request", "topology"),
+        ({"topology": "t"}, "invalid-field", "delta"),
+        ({"topology": "t", "delta": []}, "invalid-field", "delta"),
+        ({"topology": "t", "delta": [[0, 1]]}, "invalid-field", "delta"),
+        ({"topology": "t", "delta": [[0, 0, 1.0]]}, "invalid-field", "delta"),
+        ({"topology": "t", "delta": [[0, 1, -1.0]]}, "invalid-weight", "delta"),
+        ({"topology": "t", "delta": [[0, 1, math.nan]]},
+         "invalid-weight", "delta"),
+        ({"topology": "t", "delta": [[0, 1, True]]}, "invalid-weight", "delta"),
+        ({"topology": "t", "delta": [[0, 1, 1.0]], "graph": {}},
+         "unknown-field", "graph"),
+        ({"topology": "t", "delta": [[0, 1, 1.0]], "weights": [1.0]},
+         "unknown-field", "weights"),
+        ({"topology": "t", "delta": [[0, 1, 1.0]], "protocol": 99},
+         "unsupported-protocol", "protocol"),
+    ])
+    def test_rejections(self, body, code, field):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_delta_request(body)
+        assert excinfo.value.code == code
+        assert excinfo.value.field == field
+
+    def test_duplicate_pair_either_order(self):
+        for second in ([0, 1, 3.0], [1, 0, 3.0]):
+            with pytest.raises(ProtocolError) as excinfo:
+                parse_delta_request(
+                    {"topology": "t", "delta": [[0, 1, 2.0], second]}
+                )
+            assert excinfo.value.code == "duplicate-edge"
+            assert excinfo.value.field == "delta"
+
+
+# ---------------------------------------------------------------------------
+# the route, end to end (inline pool)
+# ---------------------------------------------------------------------------
+
+
+class TestDeltaRoute:
+    def test_bit_identical_to_full_column(self):
+        payload = _payload()
+
+        async def scenario():
+            app = ServeApp(ServeConfig(workers=0))
+            await app.startup()
+            try:
+                status, resp = await _post(
+                    app, "/v1/solve", {"graph": payload, "eps": 0.5}
+                )
+                assert status == 200
+                topo = resp["topology"]
+                edges = payload["edges"]
+                delta = [
+                    [edges[i][0], edges[i][1], edges[i][2] * 0.5]
+                    for i in (0, 5, 11)
+                ]
+                status, dresp = await _post(app, "/v1/delta", {
+                    "topology": topo, "delta": delta, "eps": 0.5,
+                })
+                assert status == 200
+                column = [w for _, _, w in edges]
+                for i in (0, 5, 11):
+                    column[i] *= 0.5
+                status, fresp = await _post(app, "/v1/solve", {
+                    "topology": topo, "weights": column, "eps": 0.5,
+                })
+                assert status == 200
+                assert dresp["result"] == fresp["result"]
+                status, metrics = await app.handle("GET", "/metrics", b"")
+                assert metrics["counters"]["delta.requests"] == 1
+            finally:
+                await app.shutdown()
+
+        run(scenario())
+
+    def test_unknown_topology_is_structured_404(self):
+        async def scenario():
+            app = ServeApp(ServeConfig(workers=0))
+            await app.startup()
+            try:
+                status, resp = await _post(app, "/v1/delta", {
+                    "topology": "never-registered", "delta": [[0, 1, 1.0]],
+                })
+                assert status == 404
+                assert resp["error"]["code"] == "unknown-topology"
+            finally:
+                await app.shutdown()
+
+        run(scenario())
+
+    def test_unknown_delta_edge_is_structured_400(self):
+        payload = _payload()
+
+        async def scenario():
+            app = ServeApp(ServeConfig(workers=0))
+            await app.startup()
+            try:
+                _, resp = await _post(
+                    app, "/v1/solve", {"graph": payload, "eps": 0.5}
+                )
+                status, bad = await _post(app, "/v1/delta", {
+                    "topology": resp["topology"],
+                    "delta": [[99998, 99999, 1.0]],
+                })
+                assert status == 400
+                assert bad["error"]["code"] == "invalid-request"
+            finally:
+                await app.shutdown()
+
+        run(scenario())
+
+    def test_get_is_method_not_allowed(self):
+        async def scenario():
+            app = ServeApp(ServeConfig(workers=0))
+            await app.startup()
+            try:
+                status, resp = await app.handle("GET", "/v1/delta", b"")
+                assert status == 405
+                assert resp["error"]["code"] == "method-not-allowed"
+            finally:
+                await app.shutdown()
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# eviction fault injection
+# ---------------------------------------------------------------------------
+
+
+class TestDeltaUnderEviction:
+    def test_dispatcher_store_eviction_mid_stream(self):
+        """Evicting the topology mid-stream degrades deltas to a 404, and
+        a full re-register resumes delta service — never a 500."""
+        first = _payload(seed=1)
+        crowd = [_payload(seed=s) for s in (2, 3)]
+
+        async def scenario():
+            app = ServeApp(ServeConfig(workers=0, max_topologies=2))
+            await app.startup()
+            try:
+                _, resp = await _post(
+                    app, "/v1/solve", {"graph": first, "eps": 0.5}
+                )
+                topo = resp["topology"]
+                e = first["edges"][0]
+                delta = {"topology": topo,
+                         "delta": [[e[0], e[1], e[2] * 0.5]], "eps": 0.5}
+                status, _ = await _post(app, "/v1/delta", delta)
+                assert status == 200
+                # Crowd the LRU: the first topology falls out of the store.
+                for payload in crowd:
+                    await _post(app, "/v1/solve",
+                                {"graph": payload, "eps": 0.5})
+                assert topo not in app._topologies
+                status, resp = await _post(app, "/v1/delta", delta)
+                assert status == 404
+                assert resp["error"]["code"] == "unknown-topology"
+                # The degrade a client performs: re-register, retry delta.
+                status, _ = await _post(
+                    app, "/v1/solve", {"graph": first, "eps": 0.5}
+                )
+                assert status == 200
+                status, _ = await _post(app, "/v1/delta", delta)
+                assert status == 200
+            finally:
+                await app.shutdown()
+
+        run(scenario())
+
+    def test_worker_session_eviction_is_transparent(self):
+        """Worker-side LRU eviction between deltas: the rebuilt session
+        replays the base-relative diff identically."""
+        payloads = [_payload(seed=s) for s in (1, 2)]
+        keys = [fingerprint_graph(p) for p in payloads]
+
+        async def scenario():
+            app = ServeApp(ServeConfig(workers=0, max_sessions=1))
+            await app.startup()
+            try:
+                for payload in payloads:
+                    await _post(app, "/v1/solve",
+                                {"graph": payload, "eps": 0.5})
+                e = payloads[0]["edges"][0]
+                delta = {"topology": keys[0],
+                         "delta": [[e[0], e[1], e[2] * 0.5]], "eps": 0.5}
+                # The worker only holds topology 2's session now; the pool
+                # retry re-materializes topology 1 from the stored graph
+                # and the base-relative delta still applies exactly.
+                status, dresp = await _post(app, "/v1/delta", delta)
+                assert status == 200
+                column = [w for _, _, w in payloads[0]["edges"]]
+                column[0] = e[2] * 0.5
+                status, fresp = await _post(app, "/v1/solve", {
+                    "topology": keys[0], "weights": column, "eps": 0.5,
+                })
+                assert dresp["result"] == fresp["result"]
+            finally:
+                await app.shutdown()
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# loadgen drift mode
+# ---------------------------------------------------------------------------
+
+
+class TestDriftLoadgen:
+    def test_drift_burst_zero_protocol_errors(self):
+        from repro.serve.loadgen import LoadgenConfig, run_loadgen
+
+        summary = run_loadgen(
+            LoadgenConfig(
+                mode="drift", duration_s=2.0, concurrency=2,
+                topologies=2, size=24, eps=0.5, seed=5,
+            ),
+            spawn=ServeConfig(workers=0),
+        )
+        assert summary["mode"] == "drift"
+        assert summary["deltas"] > 0
+        assert summary["protocol_errors"] == 0
+        assert summary["transport_errors"] == 0
+
+    def test_drift_degrades_on_store_eviction(self):
+        """max_topologies=1 with two topologies: constant evictions — every
+        delta that hits a forgotten fingerprint degrades to a full solve
+        (counted as a reregistration), never erroring."""
+        from repro.serve.loadgen import LoadgenConfig, run_loadgen
+
+        summary = run_loadgen(
+            LoadgenConfig(
+                mode="drift", duration_s=2.0, concurrency=2,
+                topologies=2, size=24, eps=0.5, seed=6, zipf_s=0.0,
+            ),
+            spawn=ServeConfig(workers=0, max_topologies=1),
+        )
+        assert summary["protocol_errors"] == 0
+        assert summary["transport_errors"] == 0
+        assert summary["reregistrations"] > 0
+        assert summary["ok"] > 0
