@@ -15,17 +15,19 @@ True
 """
 
 from repro import graphs
+from repro.core.k_ecss import approximate_k_ecss
 from repro.core.tap import approximate_tap
 from repro.core.tecss import approximate_two_ecss
 from repro.core.unweighted import unweighted_tap
 from repro.dist import distributed_two_ecss
 from repro.runtime import SolveQuery, SolverSession
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "SolveQuery",
     "SolverSession",
+    "approximate_k_ecss",
     "approximate_tap",
     "approximate_two_ecss",
     "distributed_two_ecss",

@@ -138,6 +138,14 @@ def run_sweep_cli(argv: list[str]) -> int:
         help="comma-separated eps values (default: %(default)s)",
     )
     parser.add_argument(
+        "--k", default="2",
+        help=(
+            "comma-separated connectivity targets; k > 2 runs the "
+            "iterated-augmentation k-ECSS layer and needs an engine with "
+            "the 'k-ecss' capability (default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
         "--variant", default="improved", choices=("improved", "basic"),
         help="reverse-delete variant (default: %(default)s)",
     )
@@ -201,6 +209,7 @@ def run_sweep_cli(argv: list[str]) -> int:
             backend=args.backend,
             validate=not args.no_validate,
             engine=args.engine,
+            ks=_split(args.k, int, "--k"),
             workers=args.workers,
             cache_dir=args.cache_dir,
             name=args.name,
@@ -208,6 +217,9 @@ def run_sweep_cli(argv: list[str]) -> int:
         )
     except UnknownBackendError as exc:
         # One line listing the registered backends, not a traceback.
+        raise CliError(str(exc)) from None
+    except ValueError as exc:
+        # e.g. --k 3 with an engine lacking the k-ecss capability.
         raise CliError(str(exc)) from None
     from repro.analysis.tables import format_table
 

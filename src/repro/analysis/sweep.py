@@ -73,7 +73,9 @@ __all__ = [
 #: v3: cells run through a shared per-topology SolverSession —
 #: ``build_s`` now records the group's shared graph + session build time
 #: and the first cell's ``solve_s`` includes the lazy plan construction.
-CACHE_VERSION = 3
+#: v4: task gained the ``k`` field (k-ECSS sweeps) and every row gained a
+#: ``k`` column.
+CACHE_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -88,6 +90,7 @@ class SweepTask:
     backend: str = "fast"
     validate: bool = True
     engine: str = "local"
+    k: int = 2
 
     def fingerprint(self) -> str:
         """Stable cache key for this cell (includes the schema version)."""
@@ -99,7 +102,7 @@ class SweepTask:
     def sort_key(self) -> tuple:
         """The grid key rows are ordered by in every report."""
         return (
-            self.engine, self.family, self.n, self.eps, self.seed,
+            self.engine, self.family, self.n, self.k, self.eps, self.seed,
             self.variant, self.backend,
         )
 
@@ -177,20 +180,26 @@ def _solve_cell(session, task: SweepTask) -> dict:
             validate=task.validate,
             backend=backend,
             engine="local",
+            k=task.k,
         )
     solve_s = time.perf_counter() - t0
-    aug = res.augmentation
+    # A k > 2 cell returns a KEcssResult: the 2-ECSS columns (mst_weight,
+    # layers, max_iters) come from its embedded base solve, while weight /
+    # guarantee / certified_ratio describe the full k-ECSS subgraph.
+    base = res.base if task.k > 2 else res
+    aug = base.augmentation
     return {
         "engine": task.engine,
         "family": task.family,
         "n": res.n,
         "m": session.handle.m,
         "seed": task.seed,
+        "k": task.k,
         "eps": task.eps,
         "variant": task.variant,
         "backend": backend,
         "weight": res.weight,
-        "mst_weight": res.mst_weight,
+        "mst_weight": base.mst_weight,
         "certified_ratio": res.certified_ratio,
         "guarantee": res.guarantee,
         "layers": aug.num_layers,
@@ -320,12 +329,16 @@ def _grid(
     backend: str,
     validate: bool,
     engine: str,
+    ks: Iterable[int] = (2,),
 ) -> list[SweepTask]:
     """Materialize the task grid, sorted by grid key (report order)."""
     tasks = [
-        SweepTask(family, n, seed, eps, variant, backend, validate, engine)
+        SweepTask(
+            family, n, seed, eps, variant, backend, validate, engine, k
+        )
         for family in families
         for n in sizes
+        for k in ks
         for eps in eps_values
         for seed in seeds
     ]
@@ -342,6 +355,7 @@ def run_sweep(
     backend: str = "fast",
     validate: bool = True,
     engine: str = "local",
+    ks: Sequence[int] = (2,),
     workers: int | None = None,
     cache_dir: str | None = None,
     name: str = "sweep",
@@ -367,6 +381,12 @@ def run_sweep(
         engine always executes the reference code path, so ``backend`` is
         pinned to ``"reference"`` for its cache keys.  Unknown engine
         names raise a one-line error listing the registered engines.
+    ks:
+        Connectivity targets, crossed with the grid (default ``(2,)``).
+        ``k > 2`` cells run the iterated-augmentation k-ECSS layer
+        (:mod:`repro.core.k_ecss`) and require an engine with the
+        ``k-ecss`` capability — requesting ``k > 2`` on the sim engine is
+        rejected up front.
     workers:
         Process-pool width; ``None`` lets the executor pick
         (``os.cpu_count()``), ``0`` or ``1`` runs serially in-process.
@@ -379,7 +399,7 @@ def run_sweep(
         under ``out_dir`` (default ``benchmarks/out``).
 
     Rows are returned (and written) in grid-key order —
-    ``(engine, family, n, eps, seed, variant, backend)`` — regardless of
+    ``(engine, family, n, k, eps, seed, variant, backend)`` — regardless of
     axis order or pool completion order, so sweep outputs diff cleanly.
     """
     from repro.analysis.tables import (
@@ -391,14 +411,20 @@ def run_sweep(
     )
     from repro.runtime.registry import get_backend, resolve_compute
 
-    get_backend("engine", engine)  # one-line error listing registered engines
+    spec = get_backend("engine", engine)  # one-line error if unregistered
+    if any(k != 2 for k in ks) and not spec.has("k-ecss"):
+        raise ValueError(
+            f"ks={tuple(ks)} includes k != 2, which requires an engine "
+            f"with the 'k-ecss' capability (e.g. 'local'); got {engine!r}"
+        )
     backend = "reference" if engine == "sim" else resolve_compute(backend)
     if cache_dir is None:
         cache_dir = os.path.join(default_out_dir(), "sweep_cache")
     os.makedirs(cache_dir, exist_ok=True)
 
     tasks = _grid(
-        families, sizes, seeds, eps_values, variant, backend, validate, engine
+        families, sizes, seeds, eps_values, variant, backend, validate,
+        engine, ks,
     )
     rows_by_key: dict[str, dict] = {}
     pending: list[SweepTask] = []

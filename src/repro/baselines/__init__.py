@@ -20,6 +20,7 @@ from repro.baselines.arborescence import (
 from repro.baselines.exact_milp import (
     brute_force_tap,
     brute_force_two_ecss,
+    exact_k_ecss_milp,
     exact_tap_milp,
     exact_two_ecss_milp,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "tap_2approx_arborescence",
     "brute_force_tap",
     "brute_force_two_ecss",
+    "exact_k_ecss_milp",
     "exact_tap_milp",
     "exact_two_ecss_milp",
     "greedy_tap",

@@ -8,6 +8,11 @@
   violation) and add its constraint.  Every round adds a constraint the
   previous optimum violates, so the loop terminates; the final solution is a
   true optimum because only valid inequalities were added.
+* ``exact_k_ecss_milp`` — the ``k >= 2`` generalization: degree constraints
+  start at ``k`` and separation finds any global cut with fewer than ``k``
+  chosen edges (components when disconnected, else a Stoer–Wagner minimum
+  cut under unit edge weights).  The ground truth the k-ECSS differential
+  suite (``tests/test_k_ecss.py``) measures approximation ratios against.
 * ``brute_force_tap`` / ``brute_force_two_ecss`` — exhaustive search for
   tiny instances, used to cross-check the MILP encodings in the tests.
 
@@ -27,12 +32,17 @@ from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
 from repro.exceptions import NotTwoEdgeConnectedError, SolverError
-from repro.graphs.validation import check_two_edge_connected, ensure_weights
+from repro.graphs.validation import (
+    check_k_edge_connected,
+    check_two_edge_connected,
+    ensure_weights,
+)
 from repro.trees.rooted import RootedTree
 
 __all__ = [
     "exact_tap_milp",
     "exact_two_ecss_milp",
+    "exact_k_ecss_milp",
     "brute_force_tap",
     "brute_force_two_ecss",
     "MilpResult",
@@ -142,6 +152,88 @@ def _find_violated_cut(sub: nx.Graph, n: int) -> set[int] | None:
         sub2 = sub.copy()
         sub2.remove_edge(u, v)
         return set(nx.node_connected_component(sub2, u))
+    return None
+
+
+def exact_k_ecss_milp(
+    graph: nx.Graph, k: int, max_rounds: int = 400
+) -> MilpResult:
+    """Exact minimum-weight k-ECSS via cut MILP with lazy separation.
+
+    The ``k``-generalization of :func:`exact_two_ecss_milp`: degree
+    constraints start at ``k``, and each separation round adds the
+    constraint of a global cut crossed by fewer than ``k`` chosen edges
+    (a connected component when the choice is disconnected, else a
+    Stoer–Wagner minimum cut under unit edge weights).  Only valid
+    inequalities of the k-ECSS polytope are ever added and every round
+    cuts off the previous optimum, so the final solution is a true
+    optimum.  Raises the structured feasibility error of
+    :func:`~repro.graphs.validation.check_k_edge_connected` — never a
+    disconnected "solution" — when the input's connectivity is below
+    ``k``, and ``ValueError`` for ``k < 2``.
+    """
+    if isinstance(k, bool) or not isinstance(k, int) or k < 2:
+        raise ValueError(f"k must be an int >= 2, got {k!r}")
+    ensure_weights(graph)
+    check_k_edge_connected(graph, k)
+    nodes = list(graph.nodes())
+    index = {u: i for i, u in enumerate(nodes)}
+    edges = [
+        (index[u], index[v], float(d["weight"]))
+        for u, v, d in graph.edges(data=True)
+    ]
+    n, m = len(nodes), len(edges)
+    c = np.array([w for _, _, w in edges])
+
+    # Initial valid inequalities: every vertex has degree >= k.
+    rows, cols = [], []
+    for j, (u, v, _) in enumerate(edges):
+        rows.extend([u, v])
+        cols.extend([j, j])
+    a_rows = [
+        sparse.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(n, m))
+    ]
+    lbs = [np.full(n, float(k))]
+
+    for rounds in range(1, max_rounds + 1):
+        a = sparse.vstack(a_rows).tocsr()
+        lb = np.concatenate(lbs)
+        x = _solve_binary_min(c, a, lb)
+        sub = nx.Graph()
+        sub.add_nodes_from(range(n))
+        for j, (u, v, _) in enumerate(edges):
+            if x[j]:
+                sub.add_edge(u, v, cutw=1)
+        side = _find_violated_k_cut(sub, k)
+        if side is None:
+            chosen = [
+                (nodes[edges[j][0]], nodes[edges[j][1]])
+                for j in range(m) if x[j]
+            ]
+            return MilpResult(
+                weight=float(c @ x), chosen=chosen, iterations=rounds
+            )
+        row = np.zeros(m)
+        for j, (u, v, _) in enumerate(edges):
+            if (u in side) != (v in side):
+                row[j] = 1.0
+        a_rows.append(sparse.csr_matrix(row))
+        lbs.append(np.array([float(k)]))
+    raise SolverError(
+        f"cut separation did not converge in {max_rounds} rounds"
+    )
+
+
+def _find_violated_k_cut(sub: nx.Graph, k: int) -> set[int] | None:
+    """A vertex set S with fewer than ``k`` chosen edges across (S, V-S)."""
+    comps = list(nx.connected_components(sub))
+    if len(comps) > 1:
+        return set(comps[0])
+    if sub.number_of_nodes() < 2:
+        return None
+    cut_value, (side, _) = nx.stoer_wagner(sub, weight="cutw")
+    if cut_value < k:
+        return set(side)
     return None
 
 

@@ -4,23 +4,35 @@ Public entry points:
 
 * :func:`repro.core.tap.approximate_tap` — weighted tree augmentation.
 * :func:`repro.core.tecss.approximate_two_ecss` — weighted 2-ECSS.
+* :func:`repro.core.k_ecss.approximate_k_ecss` — weighted k-ECSS
+  (``k >= 2``) by iterated augmentation rounds on the TAP machinery.
 * :func:`repro.core.unweighted.unweighted_tap` — the simple Section 3.6.1
   2-approximation (on the virtual graph) for unweighted TAP.
 """
 
 from repro.core.instance import TAPInstance
-from repro.core.result import TapResult, TwoEcssResult
+from repro.core.k_ecss import (
+    MAX_K,
+    approximate_k_ecss,
+    assert_k_edge_connected,
+)
+from repro.core.result import KEcssResult, KEcssRound, TapResult, TwoEcssResult
 from repro.core.tap import approximate_tap
 from repro.core.tecss import approximate_two_ecss
 from repro.core.unweighted import unweighted_tap
 from repro.core.virtual_graph import VirtualEdge, build_virtual_edges
 
 __all__ = [
+    "MAX_K",
     "TAPInstance",
     "TapResult",
     "TwoEcssResult",
+    "KEcssResult",
+    "KEcssRound",
     "approximate_tap",
     "approximate_two_ecss",
+    "approximate_k_ecss",
+    "assert_k_edge_connected",
     "unweighted_tap",
     "VirtualEdge",
     "build_virtual_edges",

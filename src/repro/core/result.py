@@ -7,7 +7,7 @@ from typing import Hashable
 
 from repro.core.rounds import PrimitiveLog, RoundCostModel
 
-__all__ = ["TapResult", "TwoEcssResult"]
+__all__ = ["KEcssResult", "KEcssRound", "TapResult", "TwoEcssResult"]
 
 
 @dataclass
@@ -93,4 +93,69 @@ class TwoEcssResult:
             f"(MST {self.mst_weight:.2f} + aug {self.augmentation.weight:.2f}), "
             f"guarantee {self.guarantee:.2f}, certified ratio <= "
             f"{self.certified_ratio:.3f}, modeled rounds {self.modeled_rounds():.0f}"
+        )
+
+
+@dataclass
+class KEcssRound:
+    """One connectivity-raising round of :func:`repro.core.k_ecss`.
+
+    Round ``j`` lifts the running subgraph from ``(j-1)``- to
+    ``j``-edge-connectivity; ``iterations`` counts the TAP sub-solves the
+    round needed (each covers one Gomory–Hu contraction of the deficient
+    cuts) and ``edges`` lists the caller-labeled edges the round added.
+    """
+
+    j: int
+    iterations: int
+    edges: list[tuple]
+    weight: float
+
+
+@dataclass
+class KEcssResult:
+    """Output of :func:`repro.core.k_ecss.approximate_k_ecss` for ``k >= 3``.
+
+    The subgraph is ``base (2-ECSS) + rounds``; ``guarantee`` is the
+    per-run proven factor ``base.guarantee + iterations * (2c + eps)``
+    (each TAP sub-solve is a ``(2c + eps)``-approximation against an
+    instance whose optimum is at most ``OPT_k``; see the module docstring
+    of :mod:`repro.core.k_ecss`).
+    """
+
+    k: int
+    edges: list[tuple]
+    weight: float
+    base: TwoEcssResult
+    rounds: list[KEcssRound]
+    diameter: int
+    n: int
+    guarantee: float
+    degree_lower_bound: float
+
+    @property
+    def certified_lower_bound(self) -> float:
+        """The larger of the 2-ECSS bound and the degree bound.
+
+        Both are valid lower bounds on ``OPT(k-ECSS)``: every k-ECSS is a
+        2-ECSS, and every k-ECSS has minimum degree ``k``, so its weight is
+        at least half the sum over vertices of the ``k`` cheapest incident
+        edge weights.
+        """
+        return max(self.base.certified_lower_bound, self.degree_lower_bound)
+
+    @property
+    def certified_ratio(self) -> float:
+        """Checked upper bound on this run's approximation ratio."""
+        lb = self.certified_lower_bound
+        return self.weight / lb if lb > 0 else float("inf")
+
+    def summary(self) -> str:
+        """One-line human-readable report (used by the demo CLI)."""
+        iterations = sum(r.iterations for r in self.rounds)
+        return (
+            f"{self.k}-ECSS: n={self.n}, weight={self.weight:.2f} "
+            f"(2-ECSS {self.base.weight:.2f} + {len(self.rounds)} round(s), "
+            f"{iterations} TAP solve(s)), guarantee {self.guarantee:.2f}, "
+            f"certified ratio <= {self.certified_ratio:.3f}"
         )

@@ -31,6 +31,15 @@ class NotTwoEdgeConnectedError(ReproError):
     """The input graph has a bridge, so no 2-ECSS / TAP solution exists."""
 
 
+class NotKEdgeConnectedError(ReproError):
+    """The input graph has edge connectivity below ``k``, so no k-ECSS exists.
+
+    Raised by the k-ECSS layer (``k >= 3``); the ``k = 2`` entry points keep
+    raising :class:`NotTwoEdgeConnectedError` so existing callers and the
+    serving layer's error mapping are unchanged.
+    """
+
+
 class NotATreeError(ReproError):
     """The supplied edge set does not form a spanning tree."""
 

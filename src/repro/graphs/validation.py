@@ -12,6 +12,7 @@ import networkx as nx
 from repro.exceptions import (
     GraphFormatError,
     NotConnectedError,
+    NotKEdgeConnectedError,
     NotTwoEdgeConnectedError,
 )
 
@@ -20,6 +21,8 @@ __all__ = [
     "find_bridges",
     "is_two_edge_connected",
     "check_two_edge_connected",
+    "is_k_edge_connected",
+    "check_k_edge_connected",
     "normalize_graph",
 ]
 
@@ -68,6 +71,56 @@ def check_two_edge_connected(graph: nx.Graph) -> None:
     if bridge is not None:
         raise NotTwoEdgeConnectedError(
             f"input graph has a bridge {bridge!r}; no 2-ECSS exists"
+        )
+
+
+def is_k_edge_connected(graph: nx.Graph, k: int) -> bool:
+    """Whether the graph's global edge connectivity is at least ``k``.
+
+    ``k = 1`` is plain connectivity and ``k = 2`` delegates to the
+    bridge-based :func:`is_two_edge_connected`; higher ``k`` runs the
+    flow-based :func:`networkx.edge_connectivity` (weights are ignored —
+    connectivity counts edges).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if graph.number_of_nodes() < 2:
+        return False
+    if k == 1:
+        return nx.is_connected(graph)
+    if k == 2:
+        return is_two_edge_connected(graph)
+    if min((d for _, d in graph.degree()), default=0) < k:
+        return False
+    if not nx.is_connected(graph):
+        return False
+    return nx.edge_connectivity(graph) >= k
+
+
+def check_k_edge_connected(graph: nx.Graph, k: int) -> None:
+    """Raise a descriptive error if edge connectivity is below ``k``.
+
+    ``k = 2`` raises exactly what :func:`check_two_edge_connected` raises
+    (the feasibility errors existing callers dispatch on); ``k >= 3``
+    raises :class:`~repro.exceptions.NotKEdgeConnectedError` carrying the
+    measured connectivity.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if k == 2:
+        check_two_edge_connected(graph)
+        return
+    if graph.number_of_nodes() < 2:
+        raise GraphFormatError("graph needs at least 2 vertices")
+    if not nx.is_connected(graph):
+        raise NotConnectedError("input graph is not connected")
+    if k == 1:
+        return
+    connectivity = nx.edge_connectivity(graph)
+    if connectivity < k:
+        raise NotKEdgeConnectedError(
+            f"graph has edge connectivity {connectivity} < {k}; "
+            f"no {k}-ECSS exists"
         )
 
 

@@ -23,7 +23,12 @@ exactly once; the topology-only rows live on the handle itself and are
 shared across :meth:`~repro.runtime.handle.GraphHandle.reweight` variants.
 The phases that *do* depend on query parameters (forward primal-dual,
 reverse-delete, certificates) run per solve in
-:class:`~repro.runtime.session.SolverSession` on top of a plan.
+:class:`~repro.runtime.session.SolverSession` on top of a plan.  The
+k-ECSS augmentation rounds (:mod:`repro.core.k_ecss`) sit in between:
+they depend on the query's ``eps``/``variant``/``segmented``/flavor but
+are deterministic given those, so :meth:`SolverPlan.k_rounds` memoizes
+them per parameter key — coalesced identical ``k``-queries recompute no
+Gomory–Hu trees, and a ``k=4`` query extends a cached ``k=3`` answer.
 
 Every consumer of a plan instance must treat it as immutable; code that
 needs to inject state (the measured-ops facade of
@@ -131,6 +136,13 @@ class SolverPlan:
         self.delta_info: dict | None = None
         self._links_builder = None
         self._delta_parent: SolverPlan | None = None
+        #: k-ECSS augmentation-round memo, keyed by the query parameters
+        #: the rounds depend on (``eps``, ``variant``, ``segmented``,
+        #: flavor, ``validate``).  Rounds for ``j = 3..k`` are computed
+        #: lazily and *extended* on demand — a ``k=4`` query after a
+        #: ``k=3`` one reuses round 3 and only computes round 4.
+        self._k_rounds: dict[tuple, dict] = {}
+        self._k_degree_bounds: dict[int, float] = {}
 
     def _timed(self, phase: str, build):
         """Run ``build()`` and record its wall-clock under ``phase``."""
@@ -299,6 +311,73 @@ class SolverPlan:
 
         np = require_numpy()
         return np.asarray([w for _, _, w in self.links], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # k-ECSS rounds
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def _k_candidates(self) -> list[tuple[int, int, float]]:
+        """Every edge as a sorted ``(u, v, weight)`` triple, edge order.
+
+        The k-ECSS rounds' candidate pool: unlike :attr:`links` it keeps
+        the MST edges too (a later round may re-add nothing, but the
+        Gomory–Hu contraction needs every ``G``-edge as a potential
+        class-crossing link).
+        """
+        return [
+            ((u, v, float(w)) if u < v else (v, u, float(w)))
+            for (u, v), w in zip(self.handle.edges, self.handle.weights)
+        ]
+
+    def k_rounds(
+        self,
+        k: int,
+        base_edges: set,
+        eps: float,
+        variant: str,
+        segmented: bool,
+        flavor: str,
+        validate: bool,
+    ) -> list[dict]:
+        """The augmentation-round records for ``j = 3..k`` (memoized).
+
+        ``base_edges`` is the round-2 output (MST + TAP links) as
+        normalized sorted pairs — a pure function of the memo key on this
+        plan's weights, so the cached rounds stay valid across queries.
+        Each round runs once per key and is shared by every later query
+        with the same parameters and ``k' >= j``; build time is recorded
+        under ``kecss:<j>`` phases.
+        """
+        from repro.core.k_ecss import augment_round
+
+        key = (eps, variant, segmented, flavor, validate)
+        entry = self._k_rounds.get(key)
+        if entry is None:
+            entry = {"chosen": set(base_edges), "rounds": []}
+            self._k_rounds[key] = entry
+        while len(entry["rounds"]) < k - 2:
+            j = 3 + len(entry["rounds"])
+            record = self._timed(
+                f"kecss:{j}",
+                lambda: augment_round(
+                    self.handle.n, entry["chosen"], self._k_candidates,
+                    j, k, eps=eps, variant=variant, segmented=segmented,
+                    validate=validate, backend=flavor,
+                ),
+            )
+            entry["rounds"].append(record)
+        return entry["rounds"][: k - 2]
+
+    def k_degree_bound(self, k: int) -> float:
+        """Memoized :func:`repro.core.k_ecss.degree_lower_bound` for ``k``."""
+        bound = self._k_degree_bounds.get(k)
+        if bound is None:
+            from repro.core.k_ecss import degree_lower_bound
+
+            bound = degree_lower_bound(self.handle.n, self._k_candidates, k)
+            self._k_degree_bounds[k] = bound
+        return bound
 
     # ------------------------------------------------------------------
     # instances

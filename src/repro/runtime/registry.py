@@ -16,10 +16,14 @@ string arguments threaded through the codebase:
 This module registers all of them as :class:`BackendSpec` entries under
 three *kinds* — ``"compute"``, ``"engine"``, ``"network"`` — each carrying
 **capability flags** (``vectorized``, ``message-level``,
-``failure-injection``, …) so callers can select by capability instead of
-hard-coding names, and unknown names fail with a one-line error listing
-what *is* registered.  :func:`register_backend` is the extension point
-future backends (sharded plans, async serving, k-ECSS engines) plug into;
+``failure-injection``, ``k-ecss``, …) so callers can select by capability
+instead of hard-coding names, and unknown names fail with a one-line error
+listing what *is* registered.  The ``k-ecss`` flag gates the iterated
+augmentation rounds of :mod:`repro.core.k_ecss`: compute flavors and
+engines carrying it accept ``k > 2`` queries
+(:meth:`repro.runtime.session.SolverSession.solve` rejects ``k > 2`` on
+anything else, e.g. the ``sim`` engine).  :func:`register_backend` is the
+extension point future backends (sharded plans, async serving) plug into;
 the CLI (``python -m repro backends``) prints the live table.
 
 Resolution helpers:
@@ -202,13 +206,13 @@ def _register_defaults() -> None:
         name="reference",
         kind="compute",
         description="per-edge Python loops; the auditable baseline",
-        capabilities=frozenset({"portable", "auditable"}),
+        capabilities=frozenset({"portable", "auditable", "k-ecss"}),
     ))
     register_backend(BackendSpec(
         name="fast",
         kind="compute",
         description="vectorized numpy kernels (repro.fast), bit-identical",
-        capabilities=frozenset({"vectorized"}),
+        capabilities=frozenset({"vectorized", "k-ecss"}),
         requires=require_numpy,
     ))
     register_backend(BackendSpec(
@@ -222,7 +226,7 @@ def _register_defaults() -> None:
         name="local",
         kind="engine",
         description="centralized solver on the cached SolverPlan",
-        capabilities=frozenset({"plan-reuse", "batch-queries"}),
+        capabilities=frozenset({"plan-reuse", "batch-queries", "k-ecss"}),
     ))
     register_backend(BackendSpec(
         name="sim",

@@ -6,7 +6,9 @@ weight assignment) and exposes:
 
 * :meth:`SolverSession.solve` — one 2-ECSS query (``eps``, ``variant``,
   compute backend, engine, optional weight reassignment, optional failure
-  plan), reusing every plan artifact a previous solve already built;
+  plan) — or a k-ECSS query via ``k > 2`` (:mod:`repro.core.k_ecss`),
+  gated on the ``k-ecss`` backend capability — reusing every plan
+  artifact a previous solve already built;
 * :meth:`SolverSession.solve_many` — a batch of :class:`SolveQuery`
   records (or kwargs dicts) solved in order against the shared plan cache,
   the API the scenario sweeps (:mod:`repro.analysis.sweep`) and the
@@ -39,6 +41,7 @@ from typing import Iterable, Mapping
 import networkx as nx
 
 from repro.core.instance import TAPInstance
+from repro.core.k_ecss import MAX_K
 from repro.core.tap import assemble_tap_result, solve_virtual_tap
 from repro.core.tecss import assemble_two_ecss, nontree_links
 from repro.runtime.handle import GraphHandle
@@ -47,6 +50,16 @@ from repro.runtime.registry import get_backend, resolve_compute
 from repro.trees.rooted import RootedTree
 
 __all__ = ["SolveQuery", "SolverSession"]
+
+
+def _check_k(k) -> None:
+    """Validate a query's ``k``: an int (not a bool) in ``2..MAX_K``."""
+    if isinstance(k, bool) or not isinstance(k, int):
+        raise ValueError(f"k must be an int, got {k!r}")
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    if k > MAX_K:
+        raise ValueError(f"k={k} exceeds the supported maximum k={MAX_K}")
 
 
 @dataclass(frozen=True)
@@ -58,6 +71,9 @@ class SolveQuery:
     shapes); ``failures`` is a :class:`~repro.sim.failures.FailurePlan`
     for engines with the ``failure-injection`` capability.  ``backend``
     and ``engine`` default to the session's own defaults when ``None``.
+    ``k`` is the target edge connectivity (default 2; values above 2 need
+    the ``k-ecss`` capability on both the compute backend and the engine
+    and return a :class:`~repro.core.result.KEcssResult`).
     """
 
     eps: float = 0.25
@@ -70,6 +86,7 @@ class SolveQuery:
     weights_delta: object = field(default=None, compare=False)
     failures: object = field(default=None, compare=False)
     simulate_mst: bool = False
+    k: int = 2
 
 
 class SolverSession:
@@ -269,6 +286,7 @@ class SolverSession:
         weights_delta=None,
         failures=None,
         simulate_mst: bool = False,
+        k: int = 2,
     ):
         """Solve one query against the cached plan.
 
@@ -277,11 +295,20 @@ class SolverSession:
         served by the incremental plan-derivation path (see
         :meth:`plan`) with bit-identical results.
 
+        ``k`` is the target edge connectivity.  The default ``k=2`` takes
+        exactly the existing 2-ECSS path; ``k > 2`` (up to
+        :data:`repro.core.k_ecss.MAX_K`) runs the iterated augmentation
+        rounds of :mod:`repro.core.k_ecss` on top of the same plan
+        artifacts and is gated on the ``k-ecss`` capability of both the
+        resolved compute backend and the engine (the ``sim`` engine does
+        not carry it).
+
         Returns a :class:`~repro.core.result.TwoEcssResult` for the
-        ``local`` engine and a
+        ``local`` engine with ``k=2``, a
+        :class:`~repro.core.result.KEcssResult` for ``k > 2``, and a
         :class:`~repro.dist.pipeline.DistTwoEcssResult` for ``sim`` —
-        exactly the objects the corresponding one-shot functions return,
-        bit-identical field by field.
+        for ``k=2``, exactly the objects the corresponding one-shot
+        functions return, bit-identical field by field.
         """
         backend = backend if backend is not None else self.default_backend
         engine = engine if engine is not None else self.default_engine
@@ -292,6 +319,19 @@ class SolverSession:
                 f"'failure-injection' capability (e.g. 'sim'); "
                 f"got {engine!r}"
             )
+        _check_k(k)
+        if k != 2:
+            if not spec.has("k-ecss"):
+                raise ValueError(
+                    f"k={k} requires an engine with the 'k-ecss' "
+                    f"capability (e.g. 'local'); got {engine!r}"
+                )
+            compute_spec = get_backend("compute", resolve_compute(backend))
+            if not compute_spec.has("k-ecss"):
+                raise ValueError(
+                    f"k={k} requires a compute backend with the 'k-ecss' "
+                    f"capability; got {backend!r}"
+                )
         self._counters["solves"] += 1
         plan = self.plan(weights, weights_delta)
         if engine == "sim":
@@ -308,9 +348,48 @@ class SolverSession:
                 failures=failures,
                 plan=plan,
             )
-        return self._solve_local(
-            plan, eps, variant, segmented, validate,
-            resolve_compute(backend), simulate_mst,
+        flavor = resolve_compute(backend)
+        if k == 2:
+            return self._solve_local(
+                plan, eps, variant, segmented, validate, flavor,
+                simulate_mst,
+            )
+        return self._solve_k(
+            plan, k, eps, variant, segmented, validate, flavor,
+            simulate_mst,
+        )
+
+    def _solve_k(
+        self, plan, k, eps, variant, segmented, validate, flavor,
+        simulate_mst,
+    ):
+        """The k > 2 path: round-2 base solve + memoized augmentation rounds.
+
+        The base 2-ECSS runs through :meth:`_solve_local` (same plan
+        artifacts, same bit-identity), its normalized edge set seeds the
+        plan's :meth:`~repro.runtime.plan.SolverPlan.k_rounds` memo, and
+        :func:`repro.core.k_ecss.assemble_k_ecss` stitches the rounds into
+        a :class:`~repro.core.result.KEcssResult` (with the final min-cut
+        certificate when ``validate`` is on).
+        """
+        from repro.core.k_ecss import assemble_k_ecss
+
+        base = self._solve_local(
+            plan, eps, variant, segmented, validate, flavor, simulate_mst
+        )
+        base_edges = set(plan.mst_edges)
+        base_edges.update(
+            tuple(sorted(link)) for link in base.augmentation.links
+        )
+        rounds = plan.k_rounds(
+            k, base_edges, eps=eps, variant=variant, segmented=segmented,
+            flavor=flavor, validate=validate,
+        )
+        return assemble_k_ecss(
+            plan.g if validate else None,
+            plan.nodes, base, base_edges, rounds, k,
+            validate=validate, diameter=plan.diameter, n=plan.handle.n,
+            degree_bound=plan.k_degree_bound(k),
         )
 
     def _solve_local(

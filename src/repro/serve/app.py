@@ -178,11 +178,13 @@ class ServeApp:
         if path == "/metrics" and method == "GET":
             return 200, await self._metrics()
         if path == "/backends" and method == "GET":
+            from repro.core.k_ecss import MAX_K
             from repro.runtime.registry import registered_payload
 
             return 200, {
                 "protocol": PROTOCOL_VERSION,
                 "backends": registered_payload(),
+                "max_k": MAX_K,
             }
         if path in ("/v1/solve", "/v1/solve_batch", "/v1/delta"):
             raise ProtocolError(

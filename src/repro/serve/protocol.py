@@ -43,9 +43,14 @@ A delta request can never register a topology: when the server no longer
 knows the fingerprint it answers a structured ``unknown-topology`` 404 and
 the client degrades to a full ``/v1/solve`` with graph + weight column.
 
-The schema is deliberately **k-ready**: validation is per-field with
-structured errors, so the k-ECSS generalization (Dory, arXiv:1805.07764)
-can add a ``k`` field without breaking version 1 clients.
+The schema's k-readiness paid off: the k-ECSS generalization (Dory,
+arXiv:1805.07764) is the optional ``k`` field (default 2, so version 1
+clients are unaffected).  ``k`` rides both ``/v1/solve`` and
+``/v1/solve_batch``; unsupported values — non-integers, ``k < 2``, or
+``k`` above the :data:`repro.core.k_ecss.MAX_K` capability advertised by
+``GET /backends`` — are rejected with the stable ``unsupported-k`` code,
+and ``/v1/delta`` rejects any ``k != 2`` outright (its incremental path
+re-solves 2-ECSS baselines only; silently downgrading would be wrong).
 
 **Responses** carry the solve result serialized by
 :func:`result_to_payload` — a *canonical* JSON form (tuples to lists, int
@@ -92,16 +97,18 @@ PROTOCOL_VERSION = 1
 _REQUEST_KEYS = frozenset({
     "protocol", "graph", "topology", "weights", "failures",
     "eps", "variant", "segmented", "validate", "backend", "engine",
-    "simulate_mst",
+    "simulate_mst", "k",
 })
 
 #: Top-level keys of a ``/v1/delta`` request: a topology reference plus
 #: the sparse diff — never a graph (deltas cannot register topologies)
-#: and never a full weight column.
+#: and never a full weight column.  ``k`` is accepted but must be 2:
+#: the delta path re-solves 2-ECSS baselines only, and silently solving
+#: ``k=2`` for a ``k=3`` client would be a correctness bug.
 _DELTA_KEYS = frozenset({
     "protocol", "topology", "delta",
     "eps", "variant", "segmented", "validate", "backend", "engine",
-    "simulate_mst",
+    "simulate_mst", "k",
 })
 
 _VARIANTS = ("improved", "basic")
@@ -167,6 +174,7 @@ class SolveRequest:
     backend: str | None = None
     engine: str | None = None
     simulate_mst: bool = False
+    k: int = 2
     extra: dict = field(default_factory=dict)
 
 
@@ -513,7 +521,38 @@ def _query_fields(obj: dict) -> dict:
         "backend": _check_name(obj, "backend", "compute"),
         "engine": _check_name(obj, "engine", "engine"),
         "simulate_mst": _check_bool(obj, "simulate_mst", False),
+        "k": _check_k_field(obj),
     }
+
+
+def _check_k_field(obj: dict) -> int:
+    """Validate the optional ``k`` field (target edge connectivity).
+
+    Every rejection uses the stable ``unsupported-k`` code so clients can
+    dispatch on it: non-integers (bools included), ``k < 2`` (0, 1 and
+    negatives have no augmentation reading), and ``k`` above the
+    advertised :data:`repro.core.k_ecss.MAX_K` capability (also surfaced
+    by ``GET /backends``).
+    """
+    k = obj.get("k", 2)
+    if isinstance(k, bool) or not isinstance(k, int):
+        raise ProtocolError(
+            "unsupported-k", f"k must be an integer, got {k!r}", field="k",
+        )
+    if k < 2:
+        raise ProtocolError(
+            "unsupported-k", f"k must be >= 2, got {k}", field="k",
+        )
+    from repro.core.k_ecss import MAX_K
+
+    if k > MAX_K:
+        raise ProtocolError(
+            "unsupported-k",
+            f"k={k} exceeds this server's maximum supported k={MAX_K} "
+            "(see GET /backends)",
+            field="k",
+        )
+    return k
 
 
 def parse_solve_request(obj) -> SolveRequest:
@@ -619,10 +658,20 @@ def parse_delta_request(obj) -> SolveRequest:
             )
         seen.add(pair)
 
+    fields = _query_fields(obj)
+    if fields["k"] != 2:
+        # Explicit rejection, not a silent k=2 solve: the delta path
+        # re-solves the registered 2-ECSS baseline only.
+        raise ProtocolError(
+            "unsupported-k",
+            f"/v1/delta re-solves k=2 baselines only, got k={fields['k']}; "
+            "send a full /v1/solve request for k > 2",
+            field="k",
+        )
     return SolveRequest(
         topology=topology,
         delta=delta,
-        **_query_fields(obj),
+        **fields,
     )
 
 
@@ -687,11 +736,38 @@ def _two_ecss_payload(res) -> dict:
     }
 
 
+def _k_ecss_payload(res) -> dict:
+    """Serialize a :class:`~repro.core.result.KEcssResult` (``k > 2``)."""
+    return {
+        "type": "k_ecss",
+        "k": res.k,
+        "n": res.n,
+        "diameter": res.diameter,
+        "edges": [list(e) for e in res.edges],
+        "weight": res.weight,
+        "guarantee": res.guarantee,
+        "certified_lower_bound": res.certified_lower_bound,
+        "certified_ratio": res.certified_ratio,
+        "degree_lower_bound": res.degree_lower_bound,
+        "rounds": [
+            {
+                "j": r.j,
+                "iterations": r.iterations,
+                "edges": [list(e) for e in r.edges],
+                "weight": r.weight,
+            }
+            for r in res.rounds
+        ],
+        "base": _two_ecss_payload(res.base),
+    }
+
+
 def result_to_payload(result) -> dict:
     """Canonical JSON payload of a solve result.
 
-    Accepts both result types the session can return — a
-    :class:`~repro.core.result.TwoEcssResult` (``engine="local"``) and a
+    Accepts every result type the session can return — a
+    :class:`~repro.core.result.TwoEcssResult` (``engine="local"``,
+    ``k=2``), a :class:`~repro.core.result.KEcssResult` (``k > 2``) and a
     :class:`~repro.dist.pipeline.DistTwoEcssResult` (``engine="sim"``) —
     and emits a payload that compares ``==`` across the wire (see
     :func:`_canonical`).  This is the single serializer used by the
@@ -699,6 +775,8 @@ def result_to_payload(result) -> dict:
     "bit-identical through the wire" is checked against the same code
     path the service runs.
     """
+    if hasattr(result, "rounds") and hasattr(result, "k"):  # KEcssResult
+        return _canonical(_k_ecss_payload(result))
     if hasattr(result, "measured"):  # DistTwoEcssResult
         return _canonical({
             "type": "dist_two_ecss",

@@ -78,6 +78,7 @@ def error_item_from_exception(exc: Exception) -> dict:
     from repro.exceptions import (
         GraphFormatError,
         NotConnectedError,
+        NotKEdgeConnectedError,
         NotTwoEdgeConnectedError,
     )
     from repro.runtime.registry import UnknownBackendError
@@ -89,6 +90,8 @@ def error_item_from_exception(exc: Exception) -> dict:
         code, status = "unknown-backend", 400
     elif isinstance(exc, NotConnectedError):
         code, status = "not-connected", 422
+    elif isinstance(exc, NotKEdgeConnectedError):
+        code, status = "not-k-edge-connected", 422
     elif isinstance(exc, NotTwoEdgeConnectedError):
         code, status = "not-two-edge-connected", 422
     elif isinstance(exc, GraphFormatError):
@@ -151,6 +154,7 @@ def _query_for(session, request: SolveRequest, with_weights: bool = True):
         weights_delta=delta,
         failures=failures,
         simulate_mst=request.simulate_mst,
+        k=request.k,
     )
 
 

@@ -179,3 +179,60 @@ class TestErrorHandling:
         for u, v in res.links:
             covered.update(tree.path_edges(u, v))
         assert covered == set(tree.tree_edges())
+
+
+class TestKEcssMilp:
+    """The k-connectivity MILP, including its infeasibility paths.
+
+    The 2-ECSS MILP's infeasibility coverage never exercised the k >= 3
+    separation: a graph whose min cut is below k must surface as the
+    structured connectivity error *before* (or instead of) the solver
+    returning a disconnected "optimum".
+    """
+
+    def test_min_cut_below_k_is_structured(self):
+        from repro.baselines.exact_milp import exact_k_ecss_milp
+        from repro.exceptions import NotKEdgeConnectedError
+
+        g = cycle_with_chords(10, 0, seed=1)  # exactly 2-edge-connected
+        assert nx.edge_connectivity(g) == 2
+        with pytest.raises(NotKEdgeConnectedError):
+            exact_k_ecss_milp(g, 3)
+
+    def test_disconnected_input_is_structured(self):
+        from repro.baselines.exact_milp import exact_k_ecss_milp
+        from repro.exceptions import NotConnectedError
+
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=1.0)
+        g.add_edge(2, 3, weight=1.0)
+        with pytest.raises(NotConnectedError):
+            exact_k_ecss_milp(g, 3)
+
+    @pytest.mark.parametrize("k", [0, 1, -1, 1.5, True])
+    def test_bad_k_rejected(self, k):
+        from repro.baselines.exact_milp import exact_k_ecss_milp
+
+        g = cycle_with_chords(8, 2, seed=1)
+        with pytest.raises(ValueError):
+            exact_k_ecss_milp(g, k)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_k2_equals_two_ecss_milp(self, seed):
+        from repro.baselines.exact_milp import exact_k_ecss_milp
+
+        g = cycle_with_chords(8, 3, seed=seed)
+        assert exact_k_ecss_milp(g, 2).weight == pytest.approx(
+            exact_two_ecss_milp(g).weight, rel=1e-9
+        )
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_optimum_is_k_connected(self, k):
+        from repro.baselines.exact_milp import exact_k_ecss_milp
+        from repro.core.k_ecss import assert_k_edge_connected
+
+        g = erdos_renyi_2ec(10, 0.7, seed=4)
+        if nx.edge_connectivity(g) < k:
+            pytest.skip("instance below target connectivity")
+        res = exact_k_ecss_milp(g, k)
+        assert_k_edge_connected(g, res.chosen, k)

@@ -1,0 +1,129 @@
+"""The reusable k-connectivity certificate, positively and adversarially.
+
+:func:`repro.core.k_ecss.assert_k_edge_connected` is the feasibility
+oracle of the k-ECSS test wall, so this suite checks the checker: it must
+accept genuine spanning k-edge-connected subgraphs (graph or bare edge
+list), and reject — with :class:`~repro.exceptions.InvariantViolation` —
+subgraphs whose connectivity is only ``k - 1``, subgraphs carrying edges
+the host graph does not have, and subgraphs that fail to span.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.k_ecss import approximate_k_ecss, assert_k_edge_connected
+from repro.exceptions import InvariantViolation
+from repro.graphs import cycle_with_chords
+
+from test_k_ecss import k_connected_instance
+
+
+class TestAccepts:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_whole_graph_accepted(self, k, seed):
+        g = k_connected_instance(10, k, seed)
+        assert_k_edge_connected(g, g, k)
+        # The bare edge-iterable form must be equivalent.
+        assert_k_edge_connected(g, list(g.edges()), k)
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_solver_output_accepted(self, k, seed):
+        g = k_connected_instance(11, k, seed)
+        res = approximate_k_ecss(g, k)
+        assert_k_edge_connected(g, res.edges, k)
+
+
+class TestRejects:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_cut_edge_removal_rejected(self, k, seed):
+        # Thin one minimum cut down to k - 1 crossing edges: the result is
+        # exactly (k-1)-edge-connected, so the certificate must reject it
+        # at k while still accepting it at k - 1.
+        g = k_connected_instance(10, k, seed)
+        res = approximate_k_ecss(g, k)
+        sub = nx.Graph()
+        sub.add_nodes_from(g.nodes())
+        sub.add_edges_from(res.edges)
+        conn = nx.edge_connectivity(sub)
+        assert conn >= k
+        cut = sorted(tuple(sorted(e)) for e in nx.minimum_edge_cut(sub))
+        to_remove = set(cut[: conn - (k - 1)])
+        broken = [
+            e for e in res.edges if tuple(sorted(e)) not in to_remove
+        ]
+        with pytest.raises(InvariantViolation, match="edge-connected"):
+            assert_k_edge_connected(g, broken, k)
+        assert_k_edge_connected(g, broken, k - 1)
+
+    def test_cycle_is_not_three_connected(self):
+        g = cycle_with_chords(12, 0, seed=1)  # a plain weighted cycle
+        assert_k_edge_connected(g, g, 2)
+        with pytest.raises(InvariantViolation, match="not 3-edge-connected"):
+            assert_k_edge_connected(g, g, 3)
+
+    def test_spanning_tree_rejected_at_two(self):
+        g = k_connected_instance(9, 2, seed=6)
+        tree_edges = list(nx.minimum_spanning_edges(g, data=False))
+        assert_k_edge_connected(g, tree_edges, 1)
+        with pytest.raises(InvariantViolation, match="not 2-edge-connected"):
+            assert_k_edge_connected(g, tree_edges, 2)
+
+    def test_foreign_edge_rejected(self):
+        g = cycle_with_chords(10, 0, seed=2)
+        missing = None
+        for u in g.nodes():
+            for v in g.nodes():
+                if u < v and not g.has_edge(u, v):
+                    missing = (u, v)
+                    break
+            if missing:
+                break
+        assert missing is not None
+        with pytest.raises(InvariantViolation, match="not an edge"):
+            assert_k_edge_connected(g, list(g.edges()) + [missing], 2)
+
+    def test_stray_node_rejected(self):
+        g = cycle_with_chords(8, 0, seed=3)
+        sub = nx.Graph(g.edges())
+        sub.add_node("ghost")
+        with pytest.raises(InvariantViolation, match="not in the graph"):
+            assert_k_edge_connected(g, sub, 2)
+
+    def test_non_spanning_subgraph_rejected(self):
+        # Leaving a node isolated breaks connectivity, hence any k >= 1.
+        g = k_connected_instance(8, 2, seed=8)
+        victim = max(g.nodes())
+        edges = [e for e in g.edges() if victim not in e]
+        with pytest.raises(InvariantViolation):
+            assert_k_edge_connected(g, edges, 1)
+
+
+class TestFuzz:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_subsets_agree_with_networkx(self, seed):
+        rng = random.Random(seed)
+        g = k_connected_instance(9, 2, seed=seed + 20)
+        all_edges = sorted(g.edges())
+        for _ in range(10):
+            edges = [e for e in all_edges if rng.random() < 0.8]
+            sub = nx.Graph()
+            sub.add_nodes_from(g.nodes())
+            sub.add_edges_from(edges)
+            for k in (1, 2, 3):
+                ok = (
+                    sub.number_of_nodes() >= 2
+                    and nx.is_connected(sub)
+                    and nx.edge_connectivity(sub) >= k
+                )
+                if ok:
+                    assert_k_edge_connected(g, edges, k)
+                else:
+                    with pytest.raises(InvariantViolation):
+                        assert_k_edge_connected(g, edges, k)

@@ -192,3 +192,60 @@ class TestResultSerialization:
         assert payload["measured_rounds"] == dist.measured_rounds
         assert payload["result"]["weight"] == dist.result.weight
         assert payload["comparison"] == dist.comparison
+
+
+class TestKField:
+    def test_k_defaults_to_two_and_round_trips(self):
+        assert parse_solve_request({"graph": _edges((0, 1, 1))}).k == 2
+        req = parse_solve_request({"graph": _edges((0, 1, 1)), "k": 3})
+        assert req.k == 3
+
+    def test_max_k_accepted(self):
+        from repro.core.k_ecss import MAX_K
+
+        req = parse_solve_request({"graph": _edges((0, 1, 1)), "k": MAX_K})
+        assert req.k == MAX_K
+
+    @pytest.mark.parametrize("k", [0, 1, -1, 2.5, "3", True, False])
+    def test_unsupported_k_rejected(self, k):
+        err = _err({"graph": _edges((0, 1, 1)), "k": k})
+        assert err.code == "unsupported-k" and err.field == "k"
+
+    def test_k_above_capability_rejected(self):
+        from repro.core.k_ecss import MAX_K
+
+        err = _err({"graph": _edges((0, 1, 1)), "k": MAX_K + 1})
+        assert err.code == "unsupported-k" and err.field == "k"
+        assert str(MAX_K) in str(err)
+
+    def test_delta_rejects_k_not_two(self):
+        from repro.serve.protocol import parse_delta_request
+
+        body = {"topology": "t", "delta": [[0, 1, 2.0]], "k": 2}
+        assert parse_delta_request(body).k == 2
+        for k in (3, 4):
+            with pytest.raises(ProtocolError) as excinfo:
+                parse_delta_request(
+                    {"topology": "t", "delta": [[0, 1, 2.0]], "k": k}
+                )
+            assert excinfo.value.code == "unsupported-k"
+            assert excinfo.value.field == "k"
+
+    def test_k_ecss_payload(self):
+        import json
+
+        from repro.core.k_ecss import approximate_k_ecss
+        from repro.graphs import erdos_renyi_2ec
+
+        g = erdos_renyi_2ec(14, 0.6, seed=3)
+        res = approximate_k_ecss(g, 3)
+        payload = result_to_payload(res)
+        assert payload == json.loads(json.dumps(payload))
+        assert payload["type"] == "k_ecss" and payload["k"] == 3
+        assert payload["weight"] == res.weight
+        assert payload["edges"] == [list(e) for e in res.edges]
+        assert payload["guarantee"] == res.guarantee
+        assert payload["certified_lower_bound"] == res.certified_lower_bound
+        assert [r["j"] for r in payload["rounds"]] == [3]
+        assert payload["base"]["type"] == "two_ecss"
+        assert payload["base"]["weight"] == res.base.weight

@@ -397,3 +397,127 @@ def test_naive_mode_still_bit_identical():
         assert resp["server"]["mode"] == "per-request"
 
     serve_session(scenario, ServeConfig(workers=0, mode="per-request"))
+
+
+# ---------------------------------------------------------------------------
+# k-ECSS over the wire
+# ---------------------------------------------------------------------------
+
+
+def _dense_graph(n=14, seed=3):
+    import networkx as nx
+    import random as _random
+
+    rng = _random.Random(seed)
+    g = nx.gnp_random_graph(n, 0.6, seed=seed)
+    assert nx.edge_connectivity(g) >= 4
+    for u, v in sorted(g.edges()):
+        g[u][v]["weight"] = round(rng.uniform(1.0, 20.0), 3)
+    return g
+
+
+@pytest.mark.parametrize("backend", COMPUTE_BACKENDS)
+def test_k_solve_bit_identical(backend):
+    from repro.core.k_ecss import approximate_k_ecss
+
+    graph = _dense_graph()
+
+    async def scenario(client, server):
+        for k in (2, 3, 4):
+            status, resp = await client.request("POST", "/v1/solve", {
+                "graph": graph_payload(graph), "k": k, "backend": backend,
+            })
+            assert status == 200, resp
+            want = result_to_payload(
+                approximate_k_ecss(graph, k, backend=backend)
+            )
+            assert resp["result"] == want
+
+    serve_session(scenario)
+
+
+def test_k_solve_batch_round_trip():
+    from repro.core.k_ecss import MAX_K, approximate_k_ecss
+
+    graph = _dense_graph(seed=5)
+
+    async def scenario(client, server):
+        status, first = await client.request("POST", "/v1/solve", {
+            "graph": graph_payload(graph), "backend": "reference",
+        })
+        assert status == 200, first
+        topo = first["topology"]
+        status, resp = await client.request("POST", "/v1/solve_batch", {
+            "requests": [
+                {"topology": topo, "k": 3, "backend": "reference"},
+                {"topology": topo, "k": 4, "backend": "reference"},
+                {"topology": topo, "k": 1},
+                {"topology": topo, "k": MAX_K + 1},
+            ],
+        })
+        assert status == 200, resp
+        ok3, ok4, bad_low, bad_high = resp["responses"]
+        for k, item in ((3, ok3), (4, ok4)):
+            assert item["status"] == 200, item
+            want = result_to_payload(
+                approximate_k_ecss(graph, k, backend="reference")
+            )
+            assert item["result"] == want
+        for item in (bad_low, bad_high):
+            assert item["status"] == 400
+            assert item["error"]["code"] == "unsupported-k"
+            assert item["error"]["field"] == "k"
+
+    serve_session(scenario)
+
+
+def test_delta_rejects_k_over_the_wire():
+    graph = _dense_graph(seed=7)
+
+    async def scenario(client, server):
+        status, first = await client.request("POST", "/v1/solve", {
+            "graph": graph_payload(graph), "backend": "reference",
+        })
+        assert status == 200, first
+        edge = sorted(graph.edges())[0]
+        status, resp = await client.request("POST", "/v1/delta", {
+            "topology": first["topology"],
+            "delta": [[edge[0], edge[1], 9.0]],
+            "k": 3,
+        })
+        assert status == 400
+        assert resp["error"]["code"] == "unsupported-k"
+        assert resp["error"]["field"] == "k"
+
+    serve_session(scenario)
+
+
+def test_infeasible_k_is_structured():
+    graph = make_family_instance("cycle_chords", 16, seed=1)
+
+    async def scenario(client, server):
+        status, resp = await client.request("POST", "/v1/solve", {
+            "graph": graph_payload(graph), "k": 4, "backend": "reference",
+        })
+        assert status == 422
+        assert resp["error"]["code"] == "not-k-edge-connected"
+
+    serve_session(scenario)
+
+
+def test_backends_route_advertises_max_k():
+    from repro.core.k_ecss import MAX_K
+
+    async def scenario(client, server):
+        status, resp = await client.request("GET", "/backends", None)
+        assert status == 200
+        assert resp["max_k"] == MAX_K
+        by_name = {
+            (b["kind"], b["name"]): set(b["capabilities"])
+            for b in resp["backends"]
+        }
+        assert "k-ecss" in by_name[("engine", "local")]
+        assert "k-ecss" in by_name[("compute", "reference")]
+        assert "k-ecss" not in by_name[("engine", "sim")]
+
+    serve_session(scenario)
