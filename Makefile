@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: check test bench bench-smoke example serve-smoke
+.PHONY: check test bench bench-smoke example serve-smoke lint typecheck
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,5 +34,18 @@ serve-smoke:
 docs-check:
 	$(PYTHON) tools/check_docs.py
 
-check: test bench-smoke example docs-check
+# Static-analysis gate: AST rules over src/repro + tools (determinism,
+# asyncio-safety, registry/protocol consistency, exception contract,
+# hygiene, typed-def).  Exits non-zero on any unbaselined finding or
+# stale baseline entry; see docs/ARCHITECTURE.md "Static analysis layer".
+lint:
+	$(PYTHON) -m tools.lint
+
+# Typed-core mypy gate (repro.core / repro.runtime / repro.serve.protocol,
+# see mypy.ini).  Skips with a notice where mypy is not installed; CI
+# installs mypy and enforces it on both matrix Pythons.
+typecheck:
+	$(PYTHON) tools/run_mypy.py
+
+check: test bench-smoke example docs-check lint typecheck
 	@echo "check: OK"

@@ -50,6 +50,8 @@ __all__ = [
 
 @dataclass
 class ArborescenceTapResult:
+    """Exact vertical-TAP cover: chosen virtual-edge ids and total weight."""
+
     eids: list[int]
     weight: float
 
@@ -102,6 +104,8 @@ def tap_2approx_arborescence(
 
 @dataclass
 class KtTecssResult:
+    """Khuller–Thurimella 3-approximation output (MST + exact TAP)."""
+
     edges: list[tuple]
     weight: float
     mst_weight: float

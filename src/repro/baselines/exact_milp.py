@@ -51,6 +51,8 @@ __all__ = [
 
 @dataclass
 class MilpResult:
+    """Exact MILP optimum: weight, chosen edges, separation rounds used."""
+
     weight: float
     chosen: list
     iterations: int = 1  # separation rounds (2-ECSS only)

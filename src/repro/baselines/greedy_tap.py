@@ -21,6 +21,8 @@ __all__ = ["GreedyTapResult", "greedy_tap"]
 
 @dataclass
 class GreedyTapResult:
+    """Greedy set-cover TAP baseline: picked links and their total weight."""
+
     links: list[tuple[int, int]]
     weight: float
     picks: int

@@ -150,7 +150,7 @@ def forward_phase(
             if iteration == 1:
                 # |S_e^k|: how many uncovered layer-k edges each link covers.
                 z = [0.0] * n
-                for t in remaining:
+                for t in remaining:  # lint: disable=det-set-iter -- element-wise writes to distinct indices; order-insensitive
                     z[t] = 1.0
                 cum_z = ops.ancestor_sums(z)
                 log.record("aggregate")
@@ -167,7 +167,7 @@ def forward_phase(
                     updates.append((e.dec, e.anc, ((e.weight - s_e) / cnt, e.eid)))
                 start_vals = ops.chmin_over_paths(updates)
                 log.record("aggregate")
-                for t in remaining:
+                for t in remaining:  # lint: disable=det-set-iter -- per-index reads/writes, no cross-index dependence
                     val = start_vals.get(t)
                     if val == start_vals.identity:  # pragma: no cover
                         raise InvariantViolation(
@@ -177,7 +177,7 @@ def forward_phase(
                 cum = ops.ancestor_sums(y)
                 log.record("aggregate")
             else:
-                for t in remaining:
+                for t in remaining:  # lint: disable=det-set-iter -- independent scalar updates per index; order-insensitive
                     y[t] *= 1.0 + eps
                 cum = ops.ancestor_sums(y)
                 log.record("aggregate")

@@ -10,7 +10,7 @@ one virtual edge, which is exactly 2-edge-connectivity of the input graph.
 from __future__ import annotations
 
 from functools import cached_property
-from typing import Hashable, Iterable, Sequence
+from typing import Any, Hashable, Iterable, Sequence
 
 from repro.decomp.layering import Layering
 from repro.decomp.segments import SegmentDecomposition
@@ -131,7 +131,7 @@ class TAPInstance:
         return SegmentDecomposition(self.tree, s=self.segment_size)
 
     @cached_property
-    def arrays(self):
+    def arrays(self) -> Any:
         """Numpy views for the fast kernels (requires numpy; built once).
 
         See :class:`repro.fast.treearrays.InstanceArrays`; shared by the

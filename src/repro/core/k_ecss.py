@@ -56,6 +56,8 @@ from __future__ import annotations
 
 import networkx as nx
 
+from typing import Iterable, Sequence
+
 from repro.core.result import KEcssResult, KEcssRound, TwoEcssResult
 from repro.core.reverse import COVER_BOUND
 from repro.core.tap import approximate_tap
@@ -79,7 +81,7 @@ __all__ = [
 MAX_K = 8
 
 
-def _unit_capacity_graph(n: int, edge_set) -> nx.Graph:
+def _unit_capacity_graph(n: int, edge_set: "Iterable[tuple[int, int]]") -> nx.Graph:
     """The subgraph ``H`` as an nx.Graph with explicit unit capacities.
 
     ``nx.gomory_hu_tree`` treats a *missing* capacity attribute as
@@ -94,7 +96,9 @@ def _unit_capacity_graph(n: int, edge_set) -> nx.Graph:
     return h
 
 
-def _deficient_contraction(n: int, edge_set, j: int):
+def _deficient_contraction(
+    n: int, edge_set: "Iterable[tuple[int, int]]", j: int
+) -> "tuple[list[int], int, list[tuple[int, int]]] | None":
     """Contract the ``lambda >= j`` classes of ``H``; keep deficient cuts.
 
     Returns ``None`` when ``H`` is already ``j``-edge-connected, else
@@ -127,7 +131,12 @@ def _deficient_contraction(n: int, edge_set, j: int):
     return comp_of, num_classes, tree_edges
 
 
-def _check_coverable(tree: RootedTree, links, j: int, k: int) -> None:
+def _check_coverable(
+    tree: RootedTree,
+    links: "list[tuple[int, int, float]]",
+    j: int,
+    k: int,
+) -> None:
     """Every contracted tree edge must be crossable by some candidate.
 
     An uncoverable edge is a cut of ``G`` with fewer than ``j <= k`` edges
@@ -149,7 +158,7 @@ def _check_coverable(tree: RootedTree, links, j: int, k: int) -> None:
 def augment_round(
     n: int,
     chosen: set,
-    candidates,
+    candidates: "Iterable[tuple[int, int, float]]",
     j: int,
     k: int,
     eps: float = 0.25,
@@ -204,7 +213,9 @@ def augment_round(
     }
 
 
-def degree_lower_bound(n: int, weighted_edges, k: int) -> float:
+def degree_lower_bound(
+    n: int, weighted_edges: "Iterable[tuple[int, int, float]]", k: int
+) -> float:
     """``(1/2) sum_v (k cheapest incident weights at v)``: a k-ECSS bound.
 
     Every k-ECSS has minimum degree ``k`` and each edge is counted at its
@@ -227,10 +238,10 @@ def degree_lower_bound(n: int, weighted_edges, k: int) -> float:
 
 def assemble_k_ecss(
     g: nx.Graph | None,
-    nodes,
+    nodes: "Sequence | None",
     base: TwoEcssResult,
     base_edges: set,
-    rounds,
+    rounds: "Iterable[dict]",
     k: int,
     validate: bool = True,
     diameter: int | None = None,
@@ -296,7 +307,7 @@ def approximate_k_ecss(
     segmented: bool = True,
     validate: bool = True,
     backend: str = "reference",
-):
+) -> "TwoEcssResult | KEcssResult":
     """Approximate minimum-weight k-edge-connected spanning subgraph.
 
     ``k = 2`` returns exactly what
@@ -327,7 +338,9 @@ def approximate_k_ecss(
     )
 
 
-def assert_k_edge_connected(graph: nx.Graph, subgraph, k: int) -> None:
+def assert_k_edge_connected(
+    graph: nx.Graph, subgraph: "nx.Graph | Iterable", k: int
+) -> None:
     """Certificate: ``subgraph`` is a spanning k-edge-connected subgraph.
 
     The reusable checker behind the k-ECSS test wall.  ``subgraph`` may be

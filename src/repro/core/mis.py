@@ -30,7 +30,7 @@ unaffected because anchors only ever live in layers ``>= k``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core.instance import TAPInstance
 from repro.decomp.petals import PetalOracle
@@ -100,7 +100,7 @@ class EpochContext:
             self._pairs = [self.inst.edges[eid].pair for eid in self.x_list]
         return self._pairs
 
-    def _make_oracle(self):
+    def _make_oracle(self) -> PetalOracle:
         """Petal oracle for the epoch's fixed edge set ``X`` (Claim 4.11)."""
         return PetalOracle(self.inst.ops, self.inst.layering, self._x_pairs())
 
@@ -108,7 +108,7 @@ class EpochContext:
         """Incremental coverage counter tracking the growing cover ``Y``."""
         return self.inst.ops.make_coverage_counter()
 
-    def _make_x_coverage(self):
+    def _make_x_coverage(self) -> Any:
         """Per-tree-edge coverage counts of ``X`` (indexable by edge id)."""
         return self.inst.ops.coverage_counts(self._x_pairs())
 
@@ -197,7 +197,7 @@ def global_candidates(
     """
     out: set[int] = set()
     seg_ids = {key[0] for key in seg_layer_highway if key[1] == i}
-    for sid in seg_ids:
+    for sid in sorted(seg_ids):
         eligible = [
             t
             for t in seg_layer_highway[(sid, i)]

@@ -28,6 +28,8 @@ Two execution modes:
 
 from __future__ import annotations
 
+from typing import Any
+
 from dataclasses import dataclass, field
 
 from repro.core.forward import ForwardResult
@@ -69,7 +71,7 @@ def reverse_delete(
     segmented: bool = True,
     validate: bool = True,
     backend: str = "reference",
-    hooks=None,
+    hooks: Any = None,
 ) -> ReverseResult:
     """Run the reverse-delete phase on the forward phase's output.
 

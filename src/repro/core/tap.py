@@ -16,7 +16,7 @@ for 2-ECSS.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Sequence
+from typing import Any, Hashable, Iterable, Sequence
 
 from repro.core import certificates as cert
 from repro.core.forward import forward_phase
@@ -38,8 +38,8 @@ def solve_virtual_tap(
     segmented: bool = True,
     validate: bool = True,
     backend: str = "reference",
-    hooks=None,
-):
+    hooks: Any = None,
+) -> tuple[ForwardResult, ReverseResult]:
     """Solve TAP on an already-virtual instance; returns (fwd, rev).
 
     The dual-growth parameter is ``eps' = eps / c`` so the final factor on
@@ -71,7 +71,7 @@ def solve_virtual_tap(
     return fwd, rev
 
 
-def _certificates(backend: str):
+def _certificates(backend: str) -> Any:
     """The certificate implementation for a backend (same checks, same
     return values; the fast one is vectorized)."""
     if backend == "fast":
@@ -144,8 +144,8 @@ def approximate_tap(
 
 def assemble_tap_result(
     inst: TAPInstance,
-    fwd,
-    rev,
+    fwd: ForwardResult,
+    rev: ReverseResult,
     eps: float,
     variant: str,
     segmented: bool,

@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import networkx as nx
 
-from repro.core.result import TwoEcssResult
+from typing import Any, Sequence
+
+from repro.core.result import TapResult, TwoEcssResult
 from repro.core.reverse import COVER_BOUND
 from repro.graphs.validation import check_two_edge_connected
 from repro.trees.rooted import RootedTree
@@ -60,11 +62,11 @@ def nontree_links(
 
 def assemble_two_ecss(
     g: nx.Graph | None,
-    nodes,
+    nodes: "Sequence | None",
     mst_edges: list[tuple],
-    tap,
+    tap: "TapResult",
     validate: bool = True,
-    mst_simulation=None,
+    mst_simulation: Any = None,
     diameter: int | None = None,
     mst_weight: float | None = None,
     n: int | None = None,

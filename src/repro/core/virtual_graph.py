@@ -16,7 +16,7 @@ descendant endpoint* using LCA labels; centrally we just record the pair.
 from __future__ import annotations
 
 from collections.abc import Sequence as AbcSequence
-from typing import Hashable, Iterable, NamedTuple, Sequence
+from typing import Any, Hashable, Iterable, NamedTuple, Sequence
 
 from repro.trees.rooted import RootedTree
 
@@ -63,7 +63,15 @@ class VirtualEdgeColumns(AbcSequence):
 
     __slots__ = ("dec", "anc", "weight", "link_of", "_links", "_origins", "_cache")
 
-    def __init__(self, dec, anc, weight, link_of, links, origins) -> None:
+    def __init__(
+        self,
+        dec: Any,
+        anc: Any,
+        weight: Any,
+        link_of: Any,
+        links: "list[tuple[int, int, float]]",
+        origins: "Sequence[Hashable] | None",
+    ) -> None:
         self.dec = dec
         self.anc = anc
         self.weight = weight
@@ -75,7 +83,7 @@ class VirtualEdgeColumns(AbcSequence):
     def __len__(self) -> int:
         return len(self._cache)
 
-    def __getitem__(self, i):
+    def __getitem__(self, i: "int | slice") -> "VirtualEdge | list[VirtualEdge]":
         if isinstance(i, slice):
             return [self[j] for j in range(*i.indices(len(self)))]
         if i < 0:
@@ -102,7 +110,7 @@ def build_virtual_edges(
     links: Iterable[tuple[int, int, float]],
     origins: Sequence[Hashable] | None = None,
     backend: str = "reference",
-    tree_arrays=None,
+    tree_arrays: Any = None,
 ) -> Sequence[VirtualEdge]:
     """Split each link at its LCA into one or two vertical virtual edges.
 
@@ -140,7 +148,7 @@ def _build_virtual_edge_columns(
     tree: RootedTree,
     links: list[tuple[int, int, float]],
     origins: Sequence[Hashable] | None,
-    tree_arrays=None,
+    tree_arrays: Any = None,
 ) -> VirtualEdgeColumns:
     """Vectorized virtual-edge construction (the fast-backend branch).
 

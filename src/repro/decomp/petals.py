@@ -115,6 +115,7 @@ class PetalOracle:
         return val[1] if val != res.identity else -1
 
     def petals_of(self, t: int) -> tuple[int, ...]:
+        """Indices of ``t``'s distinct petals (higher first; empty if uncovered)."""
         hi = self.higher(t)
         lo = self.lower(t)
         out = []

@@ -51,6 +51,7 @@ class Segment:
 
     @property
     def is_degenerate(self) -> bool:
+        """Whether the highway collapsed to a single vertex (``r == d``)."""
         return self.r == self.d
 
 
@@ -123,6 +124,7 @@ class SegmentDecomposition:
                     mc[tree.parent[v]] += 1
 
         def is_terminal(v: int) -> bool:
+            """Chain endpoint: the root, or a vertex without exactly one marked child."""
             return v == tree.root or mc[v] != 1
 
         # Build maximal marked chains: from every non-root terminal walk up
@@ -224,9 +226,11 @@ class SegmentDecomposition:
 
     @property
     def num_segments(self) -> int:
+        """Number of segments in the decomposition."""
         return len(self.segments)
 
     def segment_of_edge(self, t: int) -> Segment:
+        """The :class:`Segment` owning tree edge ``t``."""
         return self.segments[self.seg_of_edge[t]]
 
     def segment_diameter(self, seg: Segment) -> int:
@@ -246,6 +250,7 @@ class SegmentDecomposition:
         return highway_len + 2 * best
 
     def stats(self) -> dict[str, float]:
+        """Summary metrics (segment count, max diameter, target size ``s``)."""
         diams = [self.segment_diameter(s) for s in self.segments]
         return {
             "num_segments": float(self.num_segments),

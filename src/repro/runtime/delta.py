@@ -42,6 +42,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Any, Iterable, Sequence
+
 from repro.runtime.handle import GraphHandle
 from repro.trees.rooted import RootedTree
 
@@ -92,7 +94,14 @@ class _CrossingIndex:
     re-extracted when the tree object changes.
     """
 
-    def __init__(self, handle, weights, tset, pair_index, use_numpy):
+    def __init__(
+        self,
+        handle: GraphHandle,
+        weights: "Sequence",
+        tset: "set[tuple[int, int]]",
+        pair_index: "dict[tuple[int, int], int]",
+        use_numpy: bool,
+    ) -> None:
         self.edges = handle.edges
         self.tset = tset  # live reference: maintain_mst mutates it on swap
         self.use_numpy = use_numpy
@@ -118,7 +127,7 @@ class _CrossingIndex:
             self.tin = _np.asarray(tree.tin, dtype=_np.int64)
             self.tout = _np.asarray(tree.tout, dtype=_np.int64)
 
-    def update_weight(self, j: int, w) -> None:
+    def update_weight(self, j: int, w: Any) -> None:
         """Patch edge ``j``'s weight after a processed change."""
         if self.use_numpy:
             self.w[j] = w
@@ -130,7 +139,7 @@ class _CrossingIndex:
             self.nontree[in_pos] = False
             self._pos = None  # candidate view is stale
 
-    def global_min(self, weights):
+    def global_min(self, weights: "Sequence") -> "tuple[Any, int] | None":
         """Lex-min ``(weight, position)`` over *all* non-tree edges.
 
         A lower bound on any crossing query — the cut rule uses it to
@@ -150,7 +159,9 @@ class _CrossingIndex:
                 best = cand
         return best
 
-    def min_crossing(self, tree: RootedTree, cut_child: int, weights):
+    def min_crossing(
+        self, tree: RootedTree, cut_child: int, weights: "Sequence"
+    ) -> "int | None":
         """Lex-min ``(weight, position)`` non-tree edge crossing the cut.
 
         The cut separates ``subtree(cut_child)`` from the rest.  Returns
@@ -183,7 +194,7 @@ class _CrossingIndex:
         return None if best is None else best[1]
 
 
-def _weights_float_exact(weights) -> bool:
+def _weights_float_exact(weights: "Iterable") -> bool:
     """Can every weight be compared exactly after a float64 cast?"""
     for w in weights:
         if isinstance(w, float):
@@ -228,7 +239,11 @@ def maintain_mst(
         # rule left to evaluate) never pay for an intermediate rooting.
         nonlocal cur_tree, tree_dirty
         if tree_dirty:
-            cur_tree = RootedTree.from_edges(n, tset, root=0)
+            # sorted(): from_edges assigns DFS/Euler labels in input
+            # order, and downstream tie-breaks compare those labels —
+            # feeding raw set order here made mid-replay trees (and thus
+            # swap choices on ties) vary run to run.
+            cur_tree = RootedTree.from_edges(n, sorted(tset), root=0)
             tree_dirty = False
         return cur_tree
 
@@ -239,7 +254,7 @@ def maintain_mst(
     # them and only recomputed-on-demand after swaps or max-edge updates.
     tree_max = None
 
-    def _tree_max():
+    def _tree_max() -> "tuple[Any, int]":
         nonlocal tree_max
         if tree_max is None:
             tree_max = max(

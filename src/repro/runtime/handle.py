@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import hashlib
 from functools import cached_property
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 import networkx as nx
 
@@ -48,7 +48,7 @@ except ImportError:  # pragma: no cover - the CI image bakes numpy in
 __all__ = ["GraphHandle"]
 
 
-def _canonical_weight(w):
+def _canonical_weight(w: Any) -> Any:
     """Collapse ``-0.0`` to ``0.0`` for fingerprinting (see weights_key).
 
     Only floats are touched: an integer ``0`` stays an integer because the
@@ -342,7 +342,7 @@ class GraphHandle:
         return g
 
     @cached_property
-    def csr(self):
+    def csr(self) -> tuple[Any, Any, Any]:
         """CSR adjacency ``(indptr, indices, weights)`` over normalized ids.
 
         numpy arrays when numpy is importable, plain lists otherwise —
@@ -375,7 +375,7 @@ class GraphHandle:
         return indptr, indices, wvals
 
     @cached_property
-    def _endpoint_arrays(self):
+    def _endpoint_arrays(self) -> tuple[Any, Any]:
         """``(a, b)`` int64 endpoint columns over handle edge order.
 
         Topology-only (shared across reweights via

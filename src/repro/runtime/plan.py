@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import time
 from functools import cached_property
+from typing import Any, Callable, Iterable
 
 import networkx as nx
 
@@ -70,7 +71,9 @@ def _links_from_handle(
 
 
 def _links_from_parent(
-    parent: "SolverPlan", handle: GraphHandle, swaps
+    parent: "SolverPlan",
+    handle: GraphHandle,
+    swaps: "Iterable[tuple[tuple[int, int], tuple[int, int]]]",
 ) -> list[tuple[int, int, float]]:
     """``parent.links`` patched to the child's weights and swapped edges.
 
@@ -144,7 +147,7 @@ class SolverPlan:
         self._k_rounds: dict[tuple, dict] = {}
         self._k_degree_bounds: dict[int, float] = {}
 
-    def _timed(self, phase: str, build):
+    def _timed(self, phase: str, build: Callable[[], Any]) -> Any:
         """Run ``build()`` and record its wall-clock under ``phase``."""
         t0 = time.perf_counter()
         value = build()
@@ -305,7 +308,7 @@ class SolverPlan:
         return [pair_index[(u, v)] for u, v, _ in self.links]
 
     @cached_property
-    def _link_weight_column(self):
+    def _link_weight_column(self) -> Any:
         """Per-link float64 weights (numpy; delta-derivation base column)."""
         from repro.fast import require_numpy
 

@@ -40,7 +40,7 @@ Resolution helpers:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from repro.fast import HAVE_NUMPY, require_numpy
 
@@ -184,7 +184,12 @@ def resolve_compute(name: str) -> str:
     return spec.name
 
 
-def _make_batched(graph, words_per_edge, scheduler=None, failures=None):
+def _make_batched(
+    graph: Any,
+    words_per_edge: int,
+    scheduler: Any = None,
+    failures: Any = None,
+) -> Any:
     """Factory for the ``batched`` network backend (CSR engine)."""
     from repro.sim.engine import BatchedNetwork
 
@@ -193,7 +198,12 @@ def _make_batched(graph, words_per_edge, scheduler=None, failures=None):
     )
 
 
-def _make_legacy(graph, words_per_edge, scheduler=None, failures=None):
+def _make_legacy(
+    graph: Any,
+    words_per_edge: int,
+    scheduler: Any = None,
+    failures: Any = None,
+) -> Any:
     """Factory for the ``legacy`` network backend (per-node oracle loop)."""
     from repro.model.network import Network
 

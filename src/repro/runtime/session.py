@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field, fields
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping, Sequence
 
 import networkx as nx
 
@@ -52,7 +52,7 @@ from repro.trees.rooted import RootedTree
 __all__ = ["SolveQuery", "SolverSession"]
 
 
-def _check_k(k) -> None:
+def _check_k(k: object) -> None:
     """Validate a query's ``k``: an int (not a bool) in ``2..MAX_K``."""
     if isinstance(k, bool) or not isinstance(k, int):
         raise ValueError(f"k must be an int, got {k!r}")
@@ -119,7 +119,7 @@ class SolverSession:
         backend: str = "reference",
         engine: str = "local",
         words_per_edge: int = 4,
-        scheduler=None,
+        scheduler: Any = None,
         max_plans: int = 8,
         delta_max_fraction: float = 0.05,
         delta_max_swaps: int | None = None,
@@ -150,7 +150,11 @@ class SolverSession:
     # plans
     # ------------------------------------------------------------------
 
-    def plan(self, weights=None, weights_delta=None) -> SolverPlan:
+    def plan(
+        self,
+        weights: "Sequence | Mapping | None" = None,
+        weights_delta: "Mapping | None" = None,
+    ) -> SolverPlan:
         """The cached plan for this topology under ``weights`` (LRU).
 
         ``weights=None`` means the handle's own weight column;
@@ -192,7 +196,7 @@ class SolverSession:
             self.plan(None)  # builds and pins
         return self._base_plan
 
-    def _delta_plan(self, changed) -> SolverPlan:
+    def _delta_plan(self, changed: "Mapping") -> SolverPlan:
         """Resolve, derive, and cache the plan for one sparse diff."""
         self._counters["delta_requests"] += 1
         handle = self.handle.reweight_delta(changed)
@@ -282,12 +286,12 @@ class SolverSession:
         validate: bool = True,
         backend: str | None = None,
         engine: str | None = None,
-        weights=None,
-        weights_delta=None,
-        failures=None,
+        weights: "Sequence | Mapping | None" = None,
+        weights_delta: "Mapping | None" = None,
+        failures: Any = None,
         simulate_mst: bool = False,
         k: int = 2,
-    ):
+    ) -> Any:
         """Solve one query against the cached plan.
 
         ``weights_delta`` is the sparse counterpart of ``weights``: a
@@ -360,9 +364,16 @@ class SolverSession:
         )
 
     def _solve_k(
-        self, plan, k, eps, variant, segmented, validate, flavor,
-        simulate_mst,
-    ):
+        self,
+        plan: SolverPlan,
+        k: int,
+        eps: float,
+        variant: str,
+        segmented: bool,
+        validate: bool,
+        flavor: str,
+        simulate_mst: bool,
+    ) -> Any:
         """The k > 2 path: round-2 base solve + memoized augmentation rounds.
 
         The base 2-ECSS runs through :meth:`_solve_local` (same plan
@@ -393,8 +404,15 @@ class SolverSession:
         )
 
     def _solve_local(
-        self, plan, eps, variant, segmented, validate, flavor, simulate_mst
-    ):
+        self,
+        plan: SolverPlan,
+        eps: float,
+        variant: str,
+        segmented: bool,
+        validate: bool,
+        flavor: str,
+        simulate_mst: bool,
+    ) -> Any:
         """The centralized solve path over a plan's shared instance."""
         mst_simulation = None
         tree, mst_edges, inst = plan.tree, plan.mst_edges, None

@@ -73,8 +73,16 @@ import hashlib
 import json
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # heavy imports stay lazy at runtime
+    import networkx as nx
+
+    from repro.core.result import KEcssResult, TapResult, TwoEcssResult
+    from repro.sim.failures import FailurePlan
 
 __all__ = [
+    "ERROR_CODES",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "SolveRequest",
@@ -147,6 +155,38 @@ def error_payload(code: str, message: str, field: str | None = None) -> dict:
     return {"protocol": PROTOCOL_VERSION, "error": error}
 
 
+#: The closed set of error codes this protocol version can put on the
+#: wire: ``code -> (typical HTTP status, meaning)``.  Clients dispatch on
+#: these strings, so the set is part of the protocol surface — every code
+#: raised anywhere in ``repro.serve`` must be declared here and in the
+#: error-code table of ``docs/ARCHITECTURE.md`` (the ``proto-error-code``
+#: lint rule enforces both directions).
+ERROR_CODES: "dict[str, tuple[int, str]]" = {
+    "bad-http": (400, "malformed HTTP request line, headers, or body framing"),
+    "bad-json": (400, "request body is not valid JSON"),
+    "bad-request": (400, "request body or parameter fails schema validation"),
+    "batch-too-large": (413, "batch exceeds the server's max_batch limit"),
+    "duplicate-edge": (400, "graph payload repeats an (u, v) edge"),
+    "internal-error": (500, "unexpected server-side failure (bug, not user error)"),
+    "invalid-failures": (400, "failure spec is malformed or references unknown edges"),
+    "invalid-field": (400, "a request field has the wrong type or value"),
+    "invalid-graph": (400, "graph payload is structurally malformed"),
+    "invalid-request": (400, "solver-side graph format rejection (GraphFormatError)"),
+    "invalid-weight": (400, "edge weight is missing, non-numeric, or non-finite"),
+    "method-not-allowed": (405, "route exists but not for this HTTP method"),
+    "not-connected": (422, "input graph is not connected"),
+    "not-found": (404, "no such route"),
+    "not-k-edge-connected": (422, "input graph has edge connectivity below k"),
+    "not-two-edge-connected": (422, "input graph has a bridge; no 2-ECSS exists"),
+    "solver-error": (500, "solver raised an unclassified exception"),
+    "unknown-backend": (400, "backend/engine name is not registered"),
+    "unknown-field": (400, "request carries a key the protocol does not define"),
+    "unknown-topology": (404, "topology fingerprint is not registered on this shard"),
+    "unsupported-k": (400, "k is out of the range this deployment solves"),
+    "unsupported-protocol": (400, "request's protocol version is not supported"),
+}
+
+
 @dataclass
 class SolveRequest:
     """One parsed, schema-validated solve request.
@@ -198,7 +238,9 @@ def fingerprint_graph(graph: dict) -> str:
     return hashlib.sha1(payload.encode()).hexdigest()
 
 
-def _check_label(label, index: int, end: str, field_name: str = "graph"):
+def _check_label(
+    label: object, index: int, end: str, field_name: str = "graph"
+) -> None:
     """Validate one node label (int or str, bools rejected)."""
     if isinstance(label, bool) or not isinstance(label, (int, str)):
         raise ProtocolError(
@@ -210,7 +252,7 @@ def _check_label(label, index: int, end: str, field_name: str = "graph"):
     return label
 
 
-def _check_weight(w, index: int, field_name: str):
+def _check_weight(w: object, index: int, field_name: str) -> None:
     """Validate one edge weight (finite number, ``>= 0``)."""
     if isinstance(w, bool) or not isinstance(w, (int, float)):
         raise ProtocolError(
@@ -228,7 +270,7 @@ def _check_weight(w, index: int, field_name: str):
     return w
 
 
-def parse_graph_payload(obj) -> dict:
+def parse_graph_payload(obj: object) -> dict:
     """Validate a graph payload; return its canonical dict form.
 
     Input is ``{"edges": [[u, v, w], ...]}`` with an optional ``"nodes"``
@@ -311,7 +353,7 @@ def parse_graph_payload(obj) -> dict:
     return {"nodes": nodes, "edges": edges}
 
 
-def graph_from_payload(payload: dict):
+def graph_from_payload(payload: dict) -> "nx.Graph":
     """Materialize an ``nx.Graph`` from a canonical graph payload.
 
     Node and edge insertion order match the payload, which downstream
@@ -327,7 +369,7 @@ def graph_from_payload(payload: dict):
     return g
 
 
-def graph_payload(graph) -> dict:
+def graph_payload(graph: "nx.Graph") -> dict:
     """Serialize an ``nx.Graph`` to the wire's canonical payload form.
 
     Emits the node order explicitly, so a server-side rebuild is
@@ -347,7 +389,7 @@ def graph_payload(graph) -> dict:
 # ---------------------------------------------------------------------------
 
 
-def validate_failure_spec(spec) -> dict:
+def validate_failure_spec(spec: object) -> dict:
     """Schema-check a failure-plan spec; return it unchanged.
 
     Two shapes are accepted (mirroring :mod:`repro.sim.failures`):
@@ -414,7 +456,9 @@ def validate_failure_spec(spec) -> dict:
     return spec
 
 
-def failure_plan_from_payload(spec: dict, graph):
+def failure_plan_from_payload(
+    spec: dict, graph: "nx.Graph"
+) -> "FailurePlan":
     """Build the :class:`~repro.sim.failures.FailurePlan` a spec describes.
 
     Deterministic: the same spec and graph always produce the same plan,
@@ -477,7 +521,7 @@ def _check_name(obj: dict, key: str, kind: str) -> str | None:
     return value
 
 
-def _check_envelope(obj, allowed: frozenset) -> None:
+def _check_envelope(obj: object, allowed: frozenset) -> None:
     """Shared request-envelope checks: shape, unknown keys, version."""
     if not isinstance(obj, dict):
         raise ProtocolError("bad-request", "request body must be a JSON object")
@@ -555,7 +599,7 @@ def _check_k_field(obj: dict) -> int:
     return k
 
 
-def parse_solve_request(obj) -> SolveRequest:
+def parse_solve_request(obj: object) -> SolveRequest:
     """Parse and schema-validate one ``/v1/solve`` body.
 
     Raises :class:`ProtocolError` with a stable ``code``/``field`` on any
@@ -607,7 +651,7 @@ def parse_solve_request(obj) -> SolveRequest:
     )
 
 
-def parse_delta_request(obj) -> SolveRequest:
+def parse_delta_request(obj: object) -> SolveRequest:
     """Parse and schema-validate one ``/v1/delta`` body.
 
     A delta request always references a known topology by fingerprint
@@ -691,7 +735,7 @@ def _canonical(payload: dict) -> dict:
     return json.loads(json.dumps(payload))
 
 
-def _tap_payload(tap) -> dict:
+def _tap_payload(tap: "TapResult") -> dict:
     """Serialize a :class:`~repro.core.result.TapResult`."""
     return {
         "links": [list(link) for link in tap.links],
@@ -711,7 +755,7 @@ def _tap_payload(tap) -> dict:
     }
 
 
-def _two_ecss_payload(res) -> dict:
+def _two_ecss_payload(res: "TwoEcssResult") -> dict:
     """Serialize a :class:`~repro.core.result.TwoEcssResult`."""
     sim = res.mst_simulation
     return {
@@ -736,7 +780,7 @@ def _two_ecss_payload(res) -> dict:
     }
 
 
-def _k_ecss_payload(res) -> dict:
+def _k_ecss_payload(res: "KEcssResult") -> dict:
     """Serialize a :class:`~repro.core.result.KEcssResult` (``k > 2``)."""
     return {
         "type": "k_ecss",
@@ -762,7 +806,7 @@ def _k_ecss_payload(res) -> dict:
     }
 
 
-def result_to_payload(result) -> dict:
+def result_to_payload(result: Any) -> dict:
     """Canonical JSON payload of a solve result.
 
     Accepts every result type the session can return — a

@@ -73,7 +73,8 @@ class HttpServer:
 
     async def serve_forever(self) -> None:
         """Block serving requests until cancelled."""
-        assert self._server is not None, "call start() first"
+        if self._server is None:
+            raise RuntimeError("call start() first")
         async with self._server:
             await self._server.serve_forever()
 

@@ -73,8 +73,15 @@ def configure_worker(settings: dict | None = None) -> None:
         _SETTINGS.update(settings)
 
 
-def error_item_from_exception(exc: Exception) -> dict:
-    """Map a solver/validation exception to a structured per-item error."""
+def _exception_codes() -> "dict[type, tuple[str, int]]":
+    """The declarative exception -> ``(code, status)`` mapping.
+
+    Order matters and is most-specific-first: ``UnknownBackendError`` and
+    ``GraphFormatError`` both subclass ``ValueError``, so the generic
+    ``ValueError`` row must come last.  The lint rule ``proto-error-code``
+    reads the codes out of this table, so every code here must appear in
+    :data:`repro.serve.protocol.ERROR_CODES`.
+    """
     from repro.exceptions import (
         GraphFormatError,
         NotConnectedError,
@@ -83,23 +90,29 @@ def error_item_from_exception(exc: Exception) -> dict:
     )
     from repro.runtime.registry import UnknownBackendError
 
+    _EXCEPTION_CODES = {
+        UnknownBackendError: ("unknown-backend", 400),
+        NotConnectedError: ("not-connected", 422),
+        NotKEdgeConnectedError: ("not-k-edge-connected", 422),
+        NotTwoEdgeConnectedError: ("not-two-edge-connected", 422),
+        GraphFormatError: ("invalid-request", 400),
+        ValueError: ("bad-request", 400),
+        Exception: ("solver-error", 500),
+    }
+    return _EXCEPTION_CODES
+
+
+def error_item_from_exception(exc: Exception) -> dict:
+    """Map a solver/validation exception to a structured per-item error."""
     field = None
     if isinstance(exc, ProtocolError):
         code, status, field = exc.code, exc.status, exc.field
-    elif isinstance(exc, UnknownBackendError):
-        code, status = "unknown-backend", 400
-    elif isinstance(exc, NotConnectedError):
-        code, status = "not-connected", 422
-    elif isinstance(exc, NotKEdgeConnectedError):
-        code, status = "not-k-edge-connected", 422
-    elif isinstance(exc, NotTwoEdgeConnectedError):
-        code, status = "not-two-edge-connected", 422
-    elif isinstance(exc, GraphFormatError):
-        code, status = "invalid-request", 400
-    elif isinstance(exc, ValueError):
-        code, status = "bad-request", 400
     else:
         code, status = "solver-error", 500
+        for exc_type, (exc_code, exc_status) in _exception_codes().items():
+            if isinstance(exc, exc_type):
+                code, status = exc_code, exc_status
+                break
     error: dict = {"code": code, "message": str(exc)}
     if field is not None:
         error["field"] = field

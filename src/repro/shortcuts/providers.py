@@ -154,7 +154,8 @@ class BestOfShortcuts:
             cand = provider.assign(graph, partition)
             if best is None or cand.quality < best.quality:
                 best = cand
-        assert best is not None
+        if best is None:
+            raise RuntimeError("no shortcut providers configured")
         return best
 
 

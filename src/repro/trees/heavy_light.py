@@ -106,6 +106,7 @@ class HeavyLightDecomposition:
         return out
 
     def num_light_on_root_path(self, v: int) -> int:
+        """Number of light edges on the root-to-``v`` path (``O(log n)``)."""
         return len(self.light_edges_on_root_path(v))
 
     def heavy_paths(self) -> Iterator[list[int]]:

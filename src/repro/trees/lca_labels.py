@@ -62,6 +62,7 @@ class LcaLabeling:
         self._labels = labels
 
     def label(self, v: int) -> LcaLabel:
+        """The precomputed :class:`LcaLabel` of vertex ``v``."""
         return self._labels[v]
 
     def label_bits(self, v: int) -> int:
@@ -71,6 +72,7 @@ class LcaLabeling:
         return word * (2 + 3 * len(lab.light))
 
     def max_label_bits(self) -> int:
+        """Largest label size over all vertices (the scheme's bit bound)."""
         return max(self.label_bits(v) for v in range(self.tree.n))
 
     # ------------------------------------------------------------------

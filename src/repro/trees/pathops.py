@@ -46,6 +46,7 @@ class ChminResult:
         return self._st.query(self._pos[v])
 
     def covered(self, v: int) -> bool:
+        """Whether some update covers ``v`` (its value is not the identity)."""
         return self.get(v) != self.identity
 
 
@@ -138,6 +139,7 @@ class TreePathOps:
     # ------------------------------------------------------------------
 
     def make_coverage_counter(self) -> "CoverageCounter":
+        """A fresh :class:`CoverageCounter` bound to this tree's HLD."""
         return CoverageCounter(self)
 
 
@@ -155,14 +157,18 @@ class CoverageCounter:
         self._bit = RangeAddPoint(ops.tree.n)
 
     def add_path(self, dec: int, anc: int, delta: int = 1) -> None:
+        """Add ``delta`` to every tree edge on the vertical path ``dec -> anc``."""
         for lo, hi in self._ops.hld.vertical_ranges(dec, anc):
             self._bit.add(lo, hi, float(delta))
 
     def remove_path(self, dec: int, anc: int) -> None:
+        """Remove one previously added ``dec -> anc`` path."""
         self.add_path(dec, anc, -1)
 
     def count(self, v: int) -> int:
+        """Number of live paths covering the tree edge above ``v``."""
         return int(round(self._bit.query(self._ops.hld.pos[v])))
 
     def is_covered(self, v: int) -> bool:
+        """Whether at least one live path covers the tree edge above ``v``."""
         return self.count(v) > 0

@@ -1,0 +1,8 @@
+"""Fixture: time.sleep inside async def (must be caught)."""
+# lint: module=repro.serve.fixture_async_bad
+import time
+
+
+async def handler() -> None:
+    """Blocks the event loop."""
+    time.sleep(0.1)

@@ -1,0 +1,8 @@
+"""Fixture: asyncio.sleep inside async def - loop stays responsive."""
+# lint: module=repro.serve.fixture_async_good
+import asyncio
+
+
+async def handler() -> None:
+    """Yields to the event loop while waiting."""
+    await asyncio.sleep(0.1)

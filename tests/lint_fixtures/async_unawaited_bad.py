@@ -1,0 +1,11 @@
+"""Fixture: fire-and-forget coroutine call (must be caught)."""
+# lint: module=repro.serve.fixture_unawaited_bad
+
+
+async def step() -> None:
+    """One async step."""
+
+
+async def driver() -> None:
+    """Calls the coroutine without awaiting it - it never runs."""
+    step()

@@ -1,0 +1,11 @@
+"""Fixture: coroutine properly awaited."""
+# lint: module=repro.serve.fixture_unawaited_good
+
+
+async def step() -> None:
+    """One async step."""
+
+
+async def driver() -> None:
+    """Awaits the coroutine."""
+    await step()

@@ -1,0 +1,16 @@
+"""Fixture CLI module with usage drift.
+
+Usage::
+
+    python -m repro demo
+    python -m repro vanished
+"""
+# lint: module=repro.__main__
+
+
+def _demo() -> int:
+    """The demo subcommand."""
+    return 0
+
+
+COMMANDS = {"demo": _demo}

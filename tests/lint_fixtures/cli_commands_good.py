@@ -1,0 +1,15 @@
+"""Fixture CLI module whose usage block matches COMMANDS.
+
+Usage::
+
+    python -m repro demo
+"""
+# lint: module=repro.__main__
+
+
+def _demo() -> int:
+    """The demo subcommand."""
+    return 0
+
+
+COMMANDS = {"demo": _demo}

@@ -1,0 +1,11 @@
+"""Fixture: unsorted edge-set iteration on a solver path (must be caught)."""
+# lint: module=repro.core.fixture_det_set_iter_bad
+
+
+def total_weight(weights: dict) -> float:
+    """Iterate an edge set without sorting - nondeterministic order."""
+    edge_set = {(0, 1), (1, 2), (2, 0)}
+    out = 0.0
+    for u, v in edge_set:
+        out = out * 2.0 + weights[(u, v)]
+    return out

@@ -1,0 +1,11 @@
+"""Fixture: edge-set iteration through sorted() - deterministic."""
+# lint: module=repro.core.fixture_det_set_iter_good
+
+
+def total_weight(weights: dict) -> float:
+    """Iterate the edge set in sorted order."""
+    edge_set = {(0, 1), (1, 2), (2, 0)}
+    out = 0.0
+    for u, v in sorted(edge_set):
+        out = out * 2.0 + weights[(u, v)]
+    return out

@@ -1,0 +1,8 @@
+"""Fixture: process-global RNG in solver code (must be caught)."""
+# lint: module=repro.core.fixture_rng_bad
+import random
+
+
+def jitter() -> float:
+    """Draw from the unseeded module-level RNG."""
+    return random.random()

@@ -1,0 +1,9 @@
+"""Fixture: explicitly seeded RNG threaded through - deterministic."""
+# lint: module=repro.core.fixture_rng_good
+import random
+
+
+def jitter(seed: int) -> float:
+    """Draw from an explicitly seeded generator."""
+    rng = random.Random(seed)
+    return rng.random()

@@ -1,0 +1,8 @@
+"""Fixture: argsort without kind="stable" on a weight column."""
+# lint: module=repro.core.fixture_sort_bad
+import numpy as np
+
+
+def order(weights: "np.ndarray") -> "np.ndarray":
+    """Sort edge indices by weight with the unstable default introsort."""
+    return np.argsort(weights)

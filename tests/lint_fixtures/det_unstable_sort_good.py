@@ -1,0 +1,8 @@
+"""Fixture: stable argsort - ties break by position, reproducibly."""
+# lint: module=repro.core.fixture_sort_good
+import numpy as np
+
+
+def order(weights: "np.ndarray") -> "np.ndarray":
+    """Sort edge indices by weight, stably."""
+    return np.argsort(weights, kind="stable")

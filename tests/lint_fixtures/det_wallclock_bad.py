@@ -1,0 +1,8 @@
+"""Fixture: wall-clock read on a solver path (must be caught)."""
+# lint: module=repro.core.fixture_clock_bad
+import time
+
+
+def stamp() -> float:
+    """Wall-clock leaks into a result."""
+    return time.time()

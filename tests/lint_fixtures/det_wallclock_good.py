@@ -1,0 +1,8 @@
+"""Fixture: monotonic duration measurement - no wall-clock in results."""
+# lint: module=repro.core.fixture_clock_good
+import time
+
+
+def elapsed(t0: float) -> float:
+    """Duration via the monotonic clock."""
+    return time.monotonic() - t0

@@ -1,0 +1,8 @@
+"""Fixture: load-bearing assert in non-test source (must be caught)."""
+# lint: module=repro.runtime.fixture_assert_bad
+
+
+def checked(x: int) -> int:
+    """Disappears under python -O."""
+    assert x >= 0, "x must be non-negative"
+    return x

@@ -1,0 +1,9 @@
+"""Fixture: explicit raise survives python -O."""
+# lint: module=repro.runtime.fixture_assert_good
+
+
+def checked(x: int) -> int:
+    """Validates with a real exception."""
+    if x < 0:
+        raise ValueError("x must be non-negative")
+    return x

@@ -1,0 +1,8 @@
+"""Fixture: mutable default argument (must be caught)."""
+# lint: module=repro.runtime.fixture_mutable_bad
+
+
+def collect(item: int, acc: list = []) -> list:
+    """The shared-default-list classic."""
+    acc.append(item)
+    return acc

@@ -1,0 +1,9 @@
+"""Fixture: None default with inner materialization."""
+# lint: module=repro.runtime.fixture_mutable_good
+
+
+def collect(item: int, acc: "list | None" = None) -> list:
+    """Fresh list per call unless one is passed."""
+    out = [] if acc is None else acc
+    out.append(item)
+    return out

@@ -1,0 +1,20 @@
+"""Fixture: producing an error code missing from ERROR_CODES."""
+# lint: module=repro.serve.fixture_proto_bad
+
+
+class ProtocolError(Exception):
+    """Stand-in structured error (the rule matches by call name)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+ERROR_CODES = {
+    "bad-request": (400, "request body fails schema validation"),
+}
+
+
+def reject() -> None:
+    """Raises a code the table does not declare."""
+    raise ProtocolError("no-such-code", "mystery failure")

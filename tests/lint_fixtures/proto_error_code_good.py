@@ -1,0 +1,20 @@
+"""Fixture: every produced error code is declared (and documented)."""
+# lint: module=repro.serve.fixture_proto_good
+
+
+class ProtocolError(Exception):
+    """Stand-in structured error (the rule matches by call name)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+ERROR_CODES = {
+    "bad-request": (400, "request body fails schema validation"),
+}
+
+
+def reject() -> None:
+    """Raises a declared, documented code."""
+    raise ProtocolError("bad-request", "body must be a JSON object")

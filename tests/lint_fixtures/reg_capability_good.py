@@ -1,0 +1,22 @@
+"""Fixture: capability queries limited to declared strings."""
+# lint: module=repro.runtime.fixture_cap_good
+
+
+class BackendSpec:
+    """Stand-in declaration site (the rule matches by call name)."""
+
+    def __init__(self, name: str, capabilities: frozenset) -> None:
+        self.name = name
+        self.capabilities = capabilities
+
+    def has(self, cap: str) -> bool:
+        """Capability membership query."""
+        return cap in self.capabilities
+
+
+SPEC = BackendSpec("reference", capabilities=frozenset({"portable"}))
+
+
+def wants_portable() -> bool:
+    """Queries a declared capability."""
+    return SPEC.has("portable")

@@ -1,0 +1,9 @@
+"""Fixture: serve handler raising an unstructured exception."""
+# lint: module=repro.serve.workers
+
+
+def handle(obj: object) -> dict:
+    """Raises ValueError where the wire needs a ProtocolError."""
+    if not isinstance(obj, dict):
+        raise ValueError("request body must be a JSON object")
+    return obj

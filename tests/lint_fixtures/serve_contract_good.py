@@ -1,0 +1,17 @@
+"""Fixture: serve handler raising only structured protocol errors."""
+# lint: module=repro.serve.workers
+
+
+class ProtocolError(Exception):
+    """Stand-in structured error (allowed by the contract rule)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def handle(obj: object) -> dict:
+    """Raises the structured error the wire contract requires."""
+    if not isinstance(obj, dict):
+        raise ProtocolError("bad-request", "request body must be a JSON object")
+    return obj

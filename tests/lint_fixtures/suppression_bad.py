@@ -1,0 +1,9 @@
+"""Fixture: malformed and unknown-rule suppressions (must be caught)."""
+# lint: module=repro.runtime.fixture_suppression_bad
+
+
+def quiet() -> int:
+    """Carries broken lint directives."""
+    x = 1  # lint: disable=no-such-rule -- the rule name is wrong
+    y = 2  # lint: disable=hyg-assert
+    return x + y

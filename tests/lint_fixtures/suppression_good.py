@@ -1,0 +1,11 @@
+"""Fixture: a well-formed suppression with a reason silences a finding."""
+# lint: module=repro.core.fixture_suppression_good
+
+
+def masked(weights: dict) -> list:
+    """Iterates a set order-insensitively, documented via suppression."""
+    keys = {(0, 1), (1, 2)}
+    mask = [False] * 4
+    for u, v in keys:  # lint: disable=det-set-iter -- element-wise writes to distinct indices
+        mask[u + v] = True
+    return mask

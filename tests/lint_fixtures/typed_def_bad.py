@@ -1,0 +1,7 @@
+"""Fixture: unannotated function in the typed core (must be caught)."""
+# lint: module=repro.core.fixture_typed_bad
+
+
+def weigh(edges, weights):
+    """No annotations at all."""
+    return sum(weights[e] for e in edges)

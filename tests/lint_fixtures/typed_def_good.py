@@ -1,0 +1,7 @@
+"""Fixture: fully annotated function in the typed core."""
+# lint: module=repro.core.fixture_typed_good
+
+
+def weigh(edges: list, weights: dict) -> float:
+    """Every parameter and the return are annotated."""
+    return float(sum(weights[e] for e in edges))

@@ -1,0 +1,2 @@
+"""Repo tooling: the docs gate (:mod:`tools.check_docs`) and the
+invariant-aware static-analysis suite (:mod:`tools.lint`)."""

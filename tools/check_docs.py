@@ -31,6 +31,10 @@ DOCSTRING_TREES = (
     "src/repro/dist",
     "src/repro/runtime",
     "src/repro/serve",
+    "src/repro/graphs",
+    "src/repro/baselines",
+    "src/repro/decomp",
+    "src/repro/trees",
 )
 
 #: Markdown files whose links must resolve.

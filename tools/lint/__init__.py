@@ -1,0 +1,43 @@
+"""repro.lint — invariant-aware static analysis for this repository.
+
+A small AST-based framework (no third-party dependencies) enforcing the
+invariants the differential test suites can only check *after the fact*:
+
+* **determinism** — no unordered ``set`` iteration on solver paths, no
+  unseeded RNG, stable sorts on tie-prone keys, no wall-clock reads in
+  solver code;
+* **asyncio-safety** — no blocking calls inside ``async def``, no
+  fire-and-forget coroutine calls;
+* **registry/protocol consistency** — capability strings, serve error
+  codes, and CLI subcommands each match their single source of truth;
+* **exception contract** — serve request handlers surface structured
+  :class:`~repro.serve.protocol.ProtocolError`\\ s only;
+* **hygiene** — mutable default arguments, ``assert`` as runtime
+  validation;
+* **typing** — the typed core (``repro.core``, ``repro.runtime``,
+  ``repro.serve.protocol``) carries full signature annotations (the
+  dependency-free shadow of the CI ``mypy`` gate).
+
+Run it as ``python -m tools.lint`` (or ``make lint``).  Findings are
+suppressed per line with ``# lint: disable=<rule> -- <reason>`` (the
+reason is mandatory), per file with ``# lint: disable-file=<rule> --
+<reason>``, or grandfathered in ``tools/lint/baseline.json``
+(regenerated verbatim by ``--update-baseline``; the committed file must
+always equal a clean run's output — ``tests/test_lint_rules.py`` holds
+that).  See ``docs/ARCHITECTURE.md`` ("Static analysis layer") for the
+rule catalogue and how to add a rule.
+"""
+
+from tools.lint.engine import LintResult, lint_paths, load_project
+from tools.lint.findings import Finding
+from tools.lint.registry import RULES, Rule, register_rule
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "lint_paths",
+    "load_project",
+    "register_rule",
+]

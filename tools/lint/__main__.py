@@ -1,0 +1,8 @@
+"""``python -m tools.lint`` — run the static-analysis gate."""
+
+import sys
+
+from tools.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,118 @@
+"""Shared AST helpers for the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "alias_map",
+    "call_name",
+    "canonical_name",
+    "dotted",
+    "enclosing_function",
+    "first_str_arg",
+    "is_str",
+    "str_value",
+    "walk_scope",
+]
+
+
+def dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The dotted callee name of a call, else ``None``."""
+    return dotted(node.func)
+
+
+def is_str(node: ast.AST) -> bool:
+    """Whether the node is a string literal."""
+    return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+
+def str_value(node: ast.AST) -> str | None:
+    """The literal string value, else ``None``."""
+    if is_str(node):
+        return node.value  # type: ignore[union-attr]
+    return None
+
+
+def first_str_arg(call: ast.Call) -> str | None:
+    """The first positional argument when it is a string literal."""
+    if call.args:
+        return str_value(call.args[0])
+    return None
+
+
+def alias_map(tree: ast.Module) -> dict[str, str]:
+    """Local name -> canonical dotted import path for a module's imports.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy import
+    random as r`` maps ``r -> numpy.random``; ``import numpy.random``
+    maps ``numpy -> numpy`` (the chain is already canonical).  Feed the
+    result to :func:`canonical_name` to normalize attribute chains.
+    """
+    out: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    out[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".")[0]
+                    out[top] = top
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                out[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return out
+
+
+def canonical_name(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """The import-resolved dotted name of a Name/Attribute chain.
+
+    ``np.random.shuffle`` with ``np -> numpy`` becomes
+    ``numpy.random.shuffle``; unresolvable heads pass through verbatim so
+    plain local chains still compare usefully.
+    """
+    chain = dotted(node)
+    if chain is None:
+        return None
+    head, _, rest = chain.partition(".")
+    resolved = aliases.get(head, head)
+    return f"{resolved}.{rest}" if rest else resolved
+
+
+def enclosing_function(
+    module, node: ast.AST
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    """The nearest function definition containing ``node`` (if any)."""
+    for anc in module.ancestors(node):
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return anc
+    return None
+
+
+def walk_scope(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs/lambdas."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

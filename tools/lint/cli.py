@@ -1,0 +1,88 @@
+"""Command-line entry point: ``python -m tools.lint [paths...]``.
+
+Exit status 0 when the gate passes (zero unsuppressed, unbaselined
+findings and no stale baseline entries), 1 otherwise, 2 on usage errors
+— the same convention as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from tools.lint.engine import (
+    BASELINE_PATH,
+    lint_paths,
+    repo_root,
+    write_baseline,
+)
+from tools.lint.reporters import json_report, rules_report, text_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI surface (kept tiny: paths, format, baseline controls)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lint",
+        description=(
+            "invariant-aware static analysis for this repository "
+            "(determinism, asyncio-safety, registry/protocol "
+            "consistency, exception contract, hygiene, typed core)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/repro and tools)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also list suppressed and baselined findings",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore tools/lint/baseline.json (show the full finding set)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite tools/lint/baseline.json from this run and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the lint gate; see module docstring for exit codes."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        import tools.lint.rules  # noqa: F401  (registers the rule set)
+
+        print(rules_report())
+        return 0
+    try:
+        result = lint_paths(
+            paths=args.paths or None,
+            use_baseline=not args.no_baseline,
+        )
+    except (FileNotFoundError, SyntaxError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        target = os.path.join(repo_root(), BASELINE_PATH)
+        write_baseline(target, result.all_raw())
+        print(
+            f"lint: baseline updated ({len(result.all_raw())} entr(ies) "
+            f"-> {BASELINE_PATH})"
+        )
+        return 0
+    if args.format == "json":
+        print(json_report(result))
+    else:
+        print(text_report(result, verbose=args.verbose))
+    return 0 if result.ok else 1

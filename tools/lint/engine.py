@@ -1,0 +1,391 @@
+"""The lint engine: file collection, suppressions, baseline, rule driving.
+
+The engine parses every file once into a :class:`ModuleInfo` (AST with
+parent links, comment directives) and bundles them into a
+:class:`Project` so cross-file rules (capability strings vs the registry,
+error codes vs the protocol table, CLI commands vs the docs) see the
+whole repository while per-file rules stay simple.  Suppression comments
+and the checked-in baseline are applied *after* rules run, so a clean run
+always knows the complete finding set — that is what makes
+``--update-baseline`` reproducible byte for byte.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from tools.lint.findings import Finding
+from tools.lint.registry import RULES
+
+__all__ = [
+    "LintResult",
+    "ModuleInfo",
+    "Project",
+    "SuppressionComment",
+    "lint_paths",
+    "load_baseline",
+    "load_project",
+    "repo_root",
+    "write_baseline",
+]
+
+#: Directories never collected when walking a lint root.
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", "build", "dist"}
+
+#: Directive comment shape (anchored at the comment start, so prose
+#: *mentioning* the syntax mid-comment is not parsed as a directive).
+_DIRECTIVE = re.compile(r"^#\s*lint:\s*(?P<body>.*)$")
+_DISABLE = re.compile(
+    r"^(?P<kind>disable(?:-file)?)\s*=\s*(?P<rules>[A-Za-z0-9_,\- ]+?)"
+    r"\s*(?:--\s*(?P<reason>.*))?$"
+)
+_MODULE = re.compile(r"^module\s*=\s*(?P<dotted>[A-Za-z0-9_.]+)$")
+
+
+@dataclass(frozen=True)
+class SuppressionComment:
+    """One parsed ``# lint: disable[-file]=...`` comment."""
+
+    line: int
+    file_level: bool
+    rules: tuple[str, ...]
+    reason: str | None
+
+
+class ModuleInfo:
+    """One parsed source file: AST, parent links, comment directives."""
+
+    def __init__(self, abs_path: str, rel_path: str, source: str) -> None:
+        self.abs_path = abs_path
+        self.rel_path = rel_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=rel_path)
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        self.suppressions: list[SuppressionComment] = []
+        self._dotted_override: str | None = None
+        self._parse_directives()
+        self.dotted = self._dotted_override or _dotted_name(rel_path)
+
+    # ------------------------------------------------------------------
+
+    def _parse_directives(self) -> None:
+        """Extract ``# lint:`` comments via tokenize (never from strings)."""
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            comments = [
+                (tok.start[0], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        except tokenize.TokenError:  # pragma: no cover - ast.parse caught worse
+            comments = []
+        for line, text in comments:
+            match = _DIRECTIVE.match(text)
+            if not match:
+                continue
+            body = match.group("body").strip()
+            mod = _MODULE.match(body)
+            if mod:
+                self._dotted_override = mod.group("dotted")
+                continue
+            dis = _DISABLE.match(body)
+            if dis:
+                names = tuple(
+                    r.strip() for r in dis.group("rules").split(",") if r.strip()
+                )
+                self.suppressions.append(SuppressionComment(
+                    line=line,
+                    file_level=dis.group("kind") == "disable-file",
+                    rules=names,
+                    reason=dis.group("reason"),
+                ))
+            else:
+                # Malformed directive: surface it as an (unsuppressible
+                # by itself) parse marker the lint-suppression rule flags.
+                self.suppressions.append(SuppressionComment(
+                    line=line, file_level=False, rules=(), reason=None,
+                ))
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The AST parent of ``node`` (``None`` for the module root)."""
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module root."""
+        cur = self.parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self.parents.get(cur)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether a suppression comment covers this finding."""
+        for sup in self.suppressions:
+            if finding.rule not in sup.rules:
+                continue
+            if sup.file_level or sup.line == finding.line:
+                return True
+        return False
+
+
+def _dotted_name(rel_path: str) -> str:
+    """Repo-relative path -> dotted module name (``src/`` stripped)."""
+    path = rel_path.replace(os.sep, "/")
+    if path.startswith("src/"):
+        path = path[len("src/"):]
+    if path.endswith(".py"):
+        path = path[: -len(".py")]
+    if path.endswith("/__init__"):
+        path = path[: -len("/__init__")]
+    return path.replace("/", ".")
+
+
+class Project:
+    """Every parsed module plus the docs text cross-file rules consult."""
+
+    def __init__(
+        self, modules: list[ModuleInfo], docs: dict[str, str] | None = None
+    ) -> None:
+        self.modules = modules
+        self.by_dotted = {m.dotted: m for m in modules}
+        #: doc-file rel_path -> text (README + docs/*.md by default).
+        self.docs = docs or {}
+        self._caches: dict[str, object] = {}
+
+    def cached(self, key: str, build):
+        """Memoize one cross-file fact for the run (rules share scans)."""
+        if key not in self._caches:
+            self._caches[key] = build()
+        return self._caches[key]
+
+    def docs_text(self) -> str:
+        """All doc file contents concatenated (presence checks)."""
+        return "\n".join(self.docs[k] for k in sorted(self.docs))
+
+
+# ---------------------------------------------------------------------------
+# collection
+# ---------------------------------------------------------------------------
+
+
+def repo_root() -> str:
+    """The repository root (two levels above this file)."""
+    return os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)
+    )))
+
+
+#: Default lint roots, repo-relative.  ``tests``/``benchmarks`` are out of
+#: scope (seeded randomness and asserts are the point there); fixture
+#: snippets are linted explicitly by the test suite instead.
+DEFAULT_ROOTS = ("src/repro", "tools")
+
+#: Default documentation set consulted by consistency rules.
+DEFAULT_DOCS = ("README.md", "docs/ARCHITECTURE.md")
+
+#: The committed baseline location.
+BASELINE_PATH = os.path.join("tools", "lint", "baseline.json")
+
+
+def _collect_files(root: str, paths: Iterable[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[str] = []
+    for entry in paths:
+        target = entry if os.path.isabs(entry) else os.path.join(root, entry)
+        if os.path.isdir(target):
+            for dirpath, dirnames, filenames in os.walk(target):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in _SKIP_DIRS
+                )
+                out.extend(
+                    os.path.join(dirpath, f)
+                    for f in sorted(filenames)
+                    if f.endswith(".py")
+                )
+        elif os.path.exists(target):
+            out.append(target)
+        else:
+            raise FileNotFoundError(f"lint path does not exist: {entry}")
+    return sorted(dict.fromkeys(out))
+
+
+def load_project(
+    paths: Iterable[str] | None = None,
+    root: str | None = None,
+    docs: Iterable[str] | None = None,
+) -> Project:
+    """Parse the lint targets (and docs) into a :class:`Project`."""
+    root = root or repo_root()
+    files = _collect_files(root, paths or DEFAULT_ROOTS)
+    modules = []
+    for abs_path in files:
+        rel = os.path.relpath(abs_path, root).replace(os.sep, "/")
+        with open(abs_path, encoding="utf-8") as fh:
+            modules.append(ModuleInfo(abs_path, rel, fh.read()))
+    doc_map: dict[str, str] = {}
+    for entry in (DEFAULT_DOCS if docs is None else docs):
+        target = entry if os.path.isabs(entry) else os.path.join(root, entry)
+        if os.path.exists(target):
+            rel = os.path.relpath(target, root).replace(os.sep, "/")
+            with open(target, encoding="utf-8") as fh:
+                doc_map[rel] = fh.read()
+    return Project(modules, doc_map)
+
+
+# ---------------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------------
+
+
+def load_baseline(path: str) -> list[Finding]:
+    """Read the committed baseline file (missing file = empty baseline)."""
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    return [
+        Finding(
+            path=item["path"],
+            line=item["line"],
+            col=item.get("col", 1),
+            rule=item["rule"],
+            message=item["message"],
+        )
+        for item in payload.get("findings", [])
+    ]
+
+
+def render_baseline(findings: Iterable[Finding]) -> str:
+    """The canonical baseline file content for a finding set."""
+    payload = {
+        "comment": (
+            "Grandfathered lint findings. Regenerate with "
+            "`python -m tools.lint --update-baseline`; the committed file "
+            "must equal a clean run's output (tests/test_lint_rules.py)."
+        ),
+        "version": 1,
+        "findings": [f.payload() for f in sorted(findings)],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> None:
+    """Write the canonical baseline file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_baseline(findings))
+
+
+# ---------------------------------------------------------------------------
+# the run
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LintResult:
+    """The outcome of one lint run (reporters consume this)."""
+
+    #: Unsuppressed, unbaselined findings — the ones that fail the gate.
+    findings: list[Finding]
+    #: Findings silenced by suppression comments.
+    suppressed: list[Finding]
+    #: Findings matched (and absorbed) by the baseline.
+    baselined: list[Finding]
+    #: Baseline entries no clean run produces any more (fix the file).
+    stale_baseline: list[Finding]
+    #: Modules examined.
+    checked_modules: int = 0
+    #: Per-rule counts over *all* raw findings (observability).
+    rule_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """The gate: no live findings and no stale baseline entries."""
+        return not self.findings and not self.stale_baseline
+
+    def all_raw(self) -> list[Finding]:
+        """Every finding before suppression/baseline (baseline updates)."""
+        return sorted(self.findings + self.baselined)
+
+
+def run_rules(project: Project) -> list[Finding]:
+    """Run every registered rule over every module; sorted raw findings."""
+    findings: list[Finding] = []
+    for module in project.modules:
+        for name in sorted(RULES):
+            rule = RULES[name]
+            if rule.applies_to(module):
+                findings.extend(rule.check(module, project))
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Iterable[str] | None = None,
+    root: str | None = None,
+    docs: Iterable[str] | None = None,
+    baseline_path: str | None = None,
+    use_baseline: bool = True,
+) -> LintResult:
+    """Collect, parse, run rules, then apply suppressions and baseline.
+
+    ``baseline_path`` defaults to the committed
+    ``tools/lint/baseline.json`` under ``root``; pass
+    ``use_baseline=False`` to see the full finding set.
+    """
+    # Importing the rule set here (not at module import) keeps the engine
+    # importable by rule modules without a cycle.
+    import tools.lint.rules  # noqa: F401  (registers the in-tree rules)
+
+    root = root or repo_root()
+    project = load_project(paths, root=root, docs=docs)
+    raw = run_rules(project)
+
+    suppressed: list[Finding] = []
+    live: list[Finding] = []
+    by_path = {m.rel_path: m for m in project.modules}
+    for finding in raw:
+        module = by_path.get(finding.path)
+        if module is not None and module.is_suppressed(finding):
+            suppressed.append(finding)
+        else:
+            live.append(finding)
+
+    baselined: list[Finding] = []
+    stale: list[Finding] = []
+    if use_baseline:
+        if baseline_path is None:
+            baseline_path = os.path.join(root, BASELINE_PATH)
+        entries = {f.key() for f in load_baseline(baseline_path)}
+        matched: set = set()
+        remaining = []
+        for finding in live:
+            if finding.key() in entries:
+                matched.add(finding.key())
+                baselined.append(finding)
+            else:
+                remaining.append(finding)
+        live = remaining
+        stale = [
+            f for f in load_baseline(baseline_path) if f.key() not in matched
+        ]
+
+    counts: dict[str, int] = {}
+    for finding in raw:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return LintResult(
+        findings=live,
+        suppressed=suppressed,
+        baselined=baselined,
+        stale_baseline=stale,
+        checked_modules=len(project.modules),
+        rule_counts=counts,
+    )

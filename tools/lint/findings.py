@@ -1,0 +1,40 @@
+"""The :class:`Finding` record every rule emits and the baseline stores."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is repo-relative with forward slashes, so findings (and the
+    baseline built from them) are stable across machines.  The ordering is
+    the report/baseline ordering: by path, then line/column, then rule.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def key(self) -> tuple[str, str, int, str]:
+        """The identity used for baseline matching (column excluded, so a
+        purely cosmetic reformat of one line does not un-baseline it)."""
+        return (self.path, self.rule, self.line, self.message)
+
+    def payload(self) -> dict:
+        """JSON-safe dict form (the JSON reporter and the baseline file)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One text-report line: ``path:line:col: [rule] message``."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"

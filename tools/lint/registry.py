@@ -1,0 +1,89 @@
+"""The rule-plugin registry: how checks are declared and discovered.
+
+A rule is a subclass of :class:`Rule` decorated with
+:func:`register_rule`.  Importing :mod:`tools.lint.rules` registers the
+in-tree rule set; external plugins would do the same from their own
+modules.  Rules are keyed by ``name`` (the identifier suppression
+comments and the baseline use) and grouped by ``family`` for reporting.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Type
+
+from tools.lint.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from tools.lint.engine import ModuleInfo, Project
+
+
+class Rule:
+    """Base class for one lint check.
+
+    Subclasses set ``name`` (kebab-case identifier), ``family`` (one of
+    the rule families reported together), ``description`` (one line for
+    ``--list-rules`` and the docs), and optionally ``packages`` — dotted
+    module-name prefixes the rule is scoped to (``None`` applies it to
+    every linted module).  ``check`` yields :class:`Finding` objects; the
+    engine handles suppression and baseline filtering.
+    """
+
+    name: str = ""
+    family: str = ""
+    description: str = ""
+    packages: tuple[str, ...] | None = None
+
+    def applies_to(self, module: "ModuleInfo") -> bool:
+        """Whether this rule runs on the given module (prefix scoping)."""
+        if self.packages is None:
+            return True
+        dotted = module.dotted
+        return any(
+            dotted == p or dotted.startswith(p + ".") for p in self.packages
+        )
+
+    def check(
+        self, module: "ModuleInfo", project: "Project"
+    ) -> Iterator[Finding]:
+        """Yield the rule's findings for one module."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+
+    def finding(
+        self, module: "ModuleInfo", node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at an AST node of ``module``."""
+        return Finding(
+            path=module.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.name,
+            message=message,
+        )
+
+
+#: name -> rule instance; populated by :func:`register_rule` at import.
+RULES: dict[str, Rule] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one rule to :data:`RULES` (duplicate = bug)."""
+    rule = cls()
+    if not rule.name or not rule.family:
+        raise ValueError(f"rule {cls.__name__} must set name and family")
+    if rule.name in RULES:
+        raise ValueError(f"duplicate lint rule name {rule.name!r}")
+    RULES[rule.name] = rule
+    return cls
+
+
+def rule_families() -> dict[str, list[Rule]]:
+    """Rules grouped by family, names sorted (reporting and docs order)."""
+    families: dict[str, list[Rule]] = {}
+    for name in sorted(RULES):
+        families.setdefault(RULES[name].family, []).append(RULES[name])
+    return families

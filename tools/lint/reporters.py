@@ -1,0 +1,70 @@
+"""Text and JSON reporters for a :class:`~tools.lint.engine.LintResult`."""
+
+from __future__ import annotations
+
+import json
+
+from tools.lint.engine import LintResult
+from tools.lint.registry import RULES, rule_families
+
+
+def text_report(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report: findings, then a one-line summary."""
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+    for finding in result.stale_baseline:
+        lines.append(
+            f"{finding.path}:{finding.line}: [baseline] stale baseline "
+            f"entry for [{finding.rule}] {finding.message!r} — no clean "
+            "run produces it; run `python -m tools.lint --update-baseline`"
+        )
+    if verbose and result.suppressed:
+        lines.append("")
+        lines.append("suppressed (inline `# lint: disable=...`):")
+        lines.extend(f"  {f.render()}" for f in result.suppressed)
+    if verbose and result.baselined:
+        lines.append("")
+        lines.append("baselined (tools/lint/baseline.json):")
+        lines.extend(f"  {f.render()}" for f in result.baselined)
+    lines.append("")
+    verdict = "OK" if result.ok else "FAIL"
+    lines.append(
+        f"lint: {verdict} — {result.checked_modules} modules, "
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.stale_baseline)} stale baseline entr(ies)"
+    )
+    return "\n".join(lines)
+
+
+def json_report(result: LintResult) -> str:
+    """Machine-readable report (stable key order, one JSON object)."""
+    payload = {
+        "ok": result.ok,
+        "checked_modules": result.checked_modules,
+        "findings": [f.payload() for f in result.findings],
+        "suppressed": [f.payload() for f in result.suppressed],
+        "baselined": [f.payload() for f in result.baselined],
+        "stale_baseline": [f.payload() for f in result.stale_baseline],
+        "rule_counts": dict(sorted(result.rule_counts.items())),
+    }
+    return json.dumps(payload, indent=2)
+
+
+def rules_report() -> str:
+    """The rule catalogue (``--list-rules``), grouped by family."""
+    lines: list[str] = []
+    for family, rules in sorted(rule_families().items()):
+        lines.append(f"{family}:")
+        for rule in rules:
+            scope = (
+                "all linted modules" if rule.packages is None
+                else ", ".join(rule.packages)
+            )
+            lines.append(f"  {rule.name}  [{scope}]")
+            lines.append(f"      {rule.description}")
+    lines.append("")
+    lines.append(f"{len(RULES)} rules registered")
+    return "\n".join(lines)

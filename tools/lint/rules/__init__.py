@@ -1,0 +1,10 @@
+"""The in-tree rule set; importing this package registers every rule."""
+
+from tools.lint.rules import (  # noqa: F401  (registration side effects)
+    asyncio_safety,
+    consistency,
+    determinism,
+    exception_contract,
+    hygiene,
+    typing_core,
+)

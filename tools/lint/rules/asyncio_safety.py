@@ -1,0 +1,141 @@
+"""Asyncio-safety rules for the serving layer (and any future async code).
+
+The serve event loop multiplexes every client over one thread: a single
+blocking call stalls all in-flight requests, and a coroutine called
+without ``await`` silently does nothing (the classic fire-and-forget
+bug).  Both are invisible to the differential tests — they only show up
+under latency load — so they are lint rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.astutil import alias_map, canonical_name, walk_scope
+from tools.lint.findings import Finding
+from tools.lint.registry import Rule, register_rule
+
+#: Canonical dotted names of calls that block the event loop.
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "os.system", "os.popen", "os.waitpid",
+    "socket.create_connection", "socket.getaddrinfo",
+    "urllib.request.urlopen",
+    "requests.get", "requests.post", "requests.put", "requests.delete",
+    "requests.request",
+})
+
+#: Bare builtins that block (file I/O must go through a thread executor).
+BLOCKING_BUILTINS = frozenset({"open", "input"})
+
+
+@register_rule
+class BlockingCallRule(Rule):
+    """Synchronous blocking calls inside ``async def``."""
+
+    name = "async-blocking-call"
+    family = "asyncio-safety"
+    description = (
+        "time.sleep / subprocess / sync socket or file I/O inside an "
+        "async def stalls every request on the event loop"
+    )
+
+    def check(self, module, project) -> Iterator[Finding]:
+        aliases = project.cached(
+            f"aliases:{module.rel_path}", lambda: alias_map(module.tree)
+        )
+        for func in ast.walk(module.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in walk_scope(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = canonical_name(node.func, aliases)
+                if name in BLOCKING_CALLS:
+                    fix = (
+                        "await asyncio.sleep(...)" if name == "time.sleep"
+                        else "an executor (asyncio.to_thread / "
+                        "run_in_executor) or an async equivalent"
+                    )
+                    yield self.finding(
+                        module, node,
+                        f"blocking call {name}() inside async def "
+                        f"{func.name}(); use {fix}",
+                    )
+                elif name in BLOCKING_BUILTINS:
+                    yield self.finding(
+                        module, node,
+                        f"blocking builtin {name}() inside async def "
+                        f"{func.name}(); move the I/O to a thread "
+                        "executor (asyncio.to_thread)",
+                    )
+
+
+def _async_defs(tree: ast.Module) -> tuple[set[str], dict[str, set[str]]]:
+    """Top-level async function names and per-class async method names."""
+    top: set[str] = set()
+    methods: dict[str, set[str]] = {}
+    for node in tree.body:
+        if isinstance(node, ast.AsyncFunctionDef):
+            top.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            methods[node.name] = {
+                m.name
+                for m in node.body
+                if isinstance(m, ast.AsyncFunctionDef)
+            }
+    return top, methods
+
+
+@register_rule
+class UnawaitedCoroutineRule(Rule):
+    """A same-module coroutine called as a bare statement (never awaited)."""
+
+    name = "async-unawaited-coroutine"
+    family = "asyncio-safety"
+    description = (
+        "calling an async def as a bare statement creates a coroutine "
+        "and drops it; await it or wrap it in asyncio.create_task"
+    )
+
+    def check(self, module, project) -> Iterator[Finding]:
+        top, methods = project.cached(
+            f"asyncdefs:{module.rel_path}", lambda: _async_defs(module.tree)
+        )
+        if not top and not any(methods.values()):
+            return
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Expr) and isinstance(node.value, ast.Call)
+            ):
+                continue
+            call = node.value
+            target: str | None = None
+            if isinstance(call.func, ast.Name) and call.func.id in top:
+                target = call.func.id
+            elif (
+                isinstance(call.func, ast.Attribute)
+                and isinstance(call.func.value, ast.Name)
+                and call.func.value.id == "self"
+            ):
+                cls = self._enclosing_class(module, node)
+                if cls is not None and call.func.attr in methods.get(
+                    cls.name, ()
+                ):
+                    target = f"self.{call.func.attr}"
+            if target is not None:
+                yield self.finding(
+                    module, call,
+                    f"coroutine {target}(...) is never awaited: the call "
+                    "builds a coroutine object and discards it; await it "
+                    "or schedule it with asyncio.create_task(...)",
+                )
+
+    def _enclosing_class(self, module, node) -> ast.ClassDef | None:
+        for anc in module.ancestors(node):
+            if isinstance(anc, ast.ClassDef):
+                return anc
+        return None

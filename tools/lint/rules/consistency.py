@@ -1,0 +1,254 @@
+"""Registry/protocol consistency rules: one source of truth per namespace.
+
+Three string namespaces hold this system together: backend *capability*
+flags (declared by :class:`repro.runtime.registry.BackendSpec`), serve
+*error codes* (declared in :data:`repro.serve.protocol.ERROR_CODES`), and
+CLI *subcommands* (declared in ``repro.__main__.COMMANDS``).  A typo'd
+query or an undeclared code fails silently at runtime — these rules make
+every use site check against its declaration table at lint time, and the
+declaration tables check against the documentation.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from tools.lint.astutil import call_name, first_str_arg, str_value
+from tools.lint.findings import Finding
+from tools.lint.registry import Rule, register_rule
+
+
+def _strings_in(node: ast.AST) -> list[str]:
+    """Every string literal inside an expression (set/tuple/list literals)."""
+    return [
+        sub.value
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str)
+    ]
+
+
+def _assigns_name(node: ast.AST, name: str) -> bool:
+    """Whether ``node`` is a (possibly annotated) assignment to ``name``."""
+    if isinstance(node, ast.Assign):
+        return any(
+            isinstance(t, ast.Name) and t.id == name for t in node.targets
+        )
+    if isinstance(node, ast.AnnAssign):
+        return isinstance(node.target, ast.Name) and node.target.id == name
+    return False
+
+
+def _declared_capabilities(project) -> set[str]:
+    """Capability strings declared by any ``BackendSpec(...)`` call."""
+    def build() -> set[str]:
+        declared: set[str] = set()
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node) or ""
+                if name.rsplit(".", 1)[-1] != "BackendSpec":
+                    continue
+                for kw in node.keywords:
+                    if kw.arg == "capabilities":
+                        declared.update(_strings_in(kw.value))
+        return declared
+    return project.cached("capabilities", build)
+
+
+@register_rule
+class CapabilityQueryRule(Rule):
+    """Every queried capability string must be declared by a BackendSpec."""
+
+    name = "reg-capability"
+    family = "consistency"
+    description = (
+        "a capability string queried via spec.has(...) or `... in "
+        "spec.capabilities` is not declared by any registered BackendSpec"
+    )
+
+    def check(self, module, project) -> Iterator[Finding]:
+        declared = _declared_capabilities(project)
+        if not declared:
+            return
+        for node in ast.walk(module.tree):
+            queried: str | None = None
+            if isinstance(node, ast.Call):
+                name = call_name(node) or ""
+                if name.rsplit(".", 1)[-1] == "has" and "." in name:
+                    queried = first_str_arg(node)
+            elif isinstance(node, ast.Compare) and len(node.ops) == 1:
+                comparator = node.comparators[0]
+                if (
+                    isinstance(node.ops[0], (ast.In, ast.NotIn))
+                    and isinstance(comparator, ast.Attribute)
+                    and comparator.attr == "capabilities"
+                ):
+                    queried = str_value(node.left)
+            if queried is not None and queried not in declared:
+                yield self.finding(
+                    module, node,
+                    f"capability {queried!r} is queried but no "
+                    "BackendSpec declares it; declare it in "
+                    "repro.runtime.registry (or fix the typo — declared: "
+                    f"{', '.join(sorted(declared))})",
+                )
+
+
+def _error_code_table(project) -> tuple[dict[str, tuple], str | None]:
+    """``ERROR_CODES`` dict literal: code -> (module, key node)."""
+    def build():
+        table: dict[str, tuple] = {}
+        where: str | None = None
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not _assigns_name(node, "ERROR_CODES"):
+                    continue
+                if isinstance(node.value, ast.Dict):
+                    where = module.rel_path
+                    for key in node.value.keys:
+                        code = str_value(key) if key is not None else None
+                        if code is not None:
+                            table[code] = (module, key)
+        return table, where
+    return project.cached("error_codes", build)
+
+
+def _raised_codes(project) -> dict[str, list[tuple]]:
+    """Every error code produced anywhere: code -> [(module, node), ...].
+
+    Collected from ``ProtocolError("<code>", ...)`` constructions,
+    ``error_payload("<code>", ...)`` calls, and the declarative
+    exception-mapping tables (dict literals named ``_EXCEPTION_CODES``
+    whose values are ``("<code>", status)`` tuples).
+    """
+    def build():
+        raised: dict[str, list[tuple]] = {}
+        def add(code, module, node):
+            raised.setdefault(code, []).append((module, node))
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call):
+                    name = (call_name(node) or "").rsplit(".", 1)[-1]
+                    if name in ("ProtocolError", "error_payload"):
+                        code = first_str_arg(node)
+                        if code is not None:
+                            add(code, module, node)
+                elif _assigns_name(node, "_EXCEPTION_CODES"):
+                    if isinstance(node.value, ast.Dict):
+                        for value in node.value.values:
+                            if isinstance(value, ast.Tuple) and value.elts:
+                                code = str_value(value.elts[0])
+                                if code is not None:
+                                    add(code, module, value.elts[0])
+        return raised
+    return project.cached("raised_codes", build)
+
+
+@register_rule
+class ErrorCodeRule(Rule):
+    """Serve error codes: raised ⊆ declared table ⊆ documented."""
+
+    name = "proto-error-code"
+    family = "consistency"
+    description = (
+        "every error code produced by the serve layer must appear in "
+        "protocol.py's ERROR_CODES table, and every table entry must be "
+        "documented and actually used"
+    )
+    packages = ("repro.serve",)
+
+    def check(self, module, project) -> Iterator[Finding]:
+        table, table_module = _error_code_table(project)
+        if table_module is None:
+            return  # no table in scope (e.g. a fixture set without one)
+        raised = _raised_codes(project)
+        # 1. codes produced in this module but missing from the table.
+        for code, sites in raised.items():
+            for site_module, node in sites:
+                if site_module is not module:
+                    continue
+                if code not in table:
+                    yield self.finding(
+                        module, node,
+                        f"error code {code!r} is not declared in the "
+                        f"ERROR_CODES table ({table_module}); add it "
+                        "there (and to the docs) or fix the typo",
+                    )
+        # 2. table entries: documented, and actually produced somewhere.
+        if module.rel_path == table_module:
+            docs = project.docs_text()
+            for code, (_, key_node) in table.items():
+                if f"`{code}`" not in docs and code not in docs:
+                    yield self.finding(
+                        module, key_node,
+                        f"error code {code!r} is declared but not "
+                        "documented; add it to the error-code table in "
+                        "docs/ARCHITECTURE.md",
+                    )
+                if code not in raised:
+                    yield self.finding(
+                        module, key_node,
+                        f"error code {code!r} is declared in ERROR_CODES "
+                        "but never produced by any serve path; remove "
+                        "the stale entry or wire it up",
+                    )
+
+
+_CLI_MENTION = re.compile(r"python -m repro ([a-z][a-z0-9_-]*)")
+
+
+@register_rule
+class CliCommandsRule(Rule):
+    """CLI subcommands: COMMANDS table == documented surface."""
+
+    name = "cli-commands"
+    family = "consistency"
+    description = (
+        "subcommands documented as `python -m repro <cmd>` (module "
+        "docstring, README, docs) must match the COMMANDS dispatch table"
+    )
+    packages = ("repro.__main__",)
+
+    def check(self, module, project) -> Iterator[Finding]:
+        commands_node = None
+        keys: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "COMMANDS"
+                for t in node.targets
+            ):
+                commands_node = node
+                if isinstance(node.value, ast.Dict):
+                    keys = {
+                        code for code in (
+                            str_value(k) for k in node.value.keys
+                            if k is not None
+                        ) if code is not None
+                    }
+        if commands_node is None:
+            return
+        docstring = ast.get_docstring(module.tree) or ""
+        doc_mentions = set(_CLI_MENTION.findall(docstring))
+        for cmd in sorted(doc_mentions - keys):
+            yield self.finding(
+                module, module.tree.body[0],
+                f"module docstring documents `python -m repro {cmd}` but "
+                "COMMANDS has no such subcommand",
+            )
+        for cmd in sorted(keys - doc_mentions):
+            yield self.finding(
+                module, commands_node,
+                f"subcommand {cmd!r} is dispatched by COMMANDS but not "
+                "documented in the module docstring usage block",
+            )
+        for doc_path in sorted(project.docs):
+            external = set(_CLI_MENTION.findall(project.docs[doc_path]))
+            for cmd in sorted(external - keys):
+                yield self.finding(
+                    module, commands_node,
+                    f"{doc_path} documents `python -m repro {cmd}` but "
+                    "COMMANDS has no such subcommand",
+                )

@@ -1,0 +1,77 @@
+"""The serve exception contract: handlers surface structured errors only.
+
+``docs/ARCHITECTURE.md`` promises that everything crossing the HTTP
+boundary is structured JSON — never a traceback.  The request-handling
+modules therefore may only *raise* :class:`~repro.serve.protocol
+.ProtocolError` (re-raising and construction-time config errors aside);
+anything else would reach clients as an opaque ``internal-error`` and
+lose the machine-readable ``code``/``field`` contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.astutil import call_name, enclosing_function
+from tools.lint.findings import Finding
+from tools.lint.registry import Rule, register_rule
+
+#: Exception names handlers may raise: the structured protocol error.
+ALLOWED_RAISES = frozenset({"ProtocolError"})
+
+#: Flow-control exceptions asyncio code legitimately re-raises.
+ALLOWED_FLOW = frozenset({"CancelledError", "StopAsyncIteration", "KeyError"})
+
+
+@register_rule
+class ServeExceptionContractRule(Rule):
+    """Request handlers raise ProtocolError, never bare exceptions."""
+
+    name = "serve-exception-contract"
+    family = "exception-contract"
+    description = (
+        "request-handler code in repro.serve.app / repro.serve.workers "
+        "may only raise ProtocolError (construction-time __init__ "
+        "validation excepted)"
+    )
+    packages = ("repro.serve.app", "repro.serve.workers")
+
+    def check(self, module, project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            if node.exc is None:
+                continue  # bare re-raise keeps the original context
+            func = enclosing_function(module, node)
+            if func is not None and func.name.startswith("__"):
+                continue  # constructor/config validation is pre-request
+            name = self._raised_name(node.exc)
+            if name is None:
+                continue  # raising a bound variable: re-raise pattern
+            if name in ALLOWED_RAISES or name in ALLOWED_FLOW:
+                continue
+            where = f" in {func.name}()" if func is not None else ""
+            yield self.finding(
+                module, node,
+                f"raise {name}{where}: serve request handlers must "
+                "surface structured ProtocolError(code=..., status=...) "
+                "so clients never see an unstructured 500",
+            )
+
+    def _raised_name(self, exc: ast.AST) -> str | None:
+        """The exception class name of a ``raise X(...)`` / ``raise X``."""
+        if isinstance(exc, ast.Call):
+            name = call_name(exc)
+            return name.rsplit(".", 1)[-1] if name else None
+        if isinstance(exc, (ast.Name, ast.Attribute)):
+            # ``raise exc`` re-raising a caught variable is allowed; only
+            # a class reference (CamelCase) counts as raising a new one.
+            from tools.lint.astutil import dotted
+
+            name = dotted(exc)
+            if name is None:
+                return None
+            leaf = name.rsplit(".", 1)[-1]
+            return leaf if leaf[:1].isupper() else None
+        return None

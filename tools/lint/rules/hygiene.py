@@ -1,0 +1,115 @@
+"""Hygiene rules: mutable defaults, runtime ``assert``, suppression syntax."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.astutil import call_name
+from tools.lint.findings import Finding
+from tools.lint.registry import RULES, Rule, register_rule
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    """Mutable default argument values (shared across calls)."""
+
+    name = "hyg-mutable-default"
+    family = "hygiene"
+    description = (
+        "list/dict/set literals (or constructor calls) as parameter "
+        "defaults are evaluated once and shared across every call"
+    )
+
+    def check(self, module, project) -> Iterator[Finding]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(func.args.defaults) + [
+                d for d in func.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._mutable(default):
+                    yield self.finding(
+                        module, default,
+                        f"mutable default argument in {func.name}(); use "
+                        "None and construct inside the function (or a "
+                        "dataclasses.field factory)",
+                    )
+
+    def _mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return (call_name(node) or "") in (
+                "list", "dict", "set", "defaultdict", "OrderedDict",
+                "collections.defaultdict", "collections.OrderedDict",
+            )
+        return False
+
+
+@register_rule
+class RuntimeAssertRule(Rule):
+    """``assert`` used for runtime validation in non-test source code."""
+
+    name = "hyg-assert"
+    family = "hygiene"
+    description = (
+        "assert statements vanish under `python -O`; raise an explicit "
+        "exception for runtime validation in src/ code"
+    )
+
+    def check(self, module, project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    module, node,
+                    "assert is stripped under -O; raise ValueError/"
+                    "RuntimeError (or the package's structured exception) "
+                    "for checks that must hold in production",
+                )
+
+
+@register_rule
+class SuppressionSyntaxRule(Rule):
+    """Lint-suppression comments must name real rules and give a reason."""
+
+    name = "lint-suppression"
+    family = "lint"
+    description = (
+        "`# lint: disable=<rule> -- reason` comments must reference "
+        "registered rules and carry a non-empty reason"
+    )
+
+    def check(self, module, project) -> Iterator[Finding]:
+        for sup in module.suppressions:
+            anchor = _LineAnchor(sup.line)
+            if not sup.rules:
+                yield self.finding(
+                    module, anchor,
+                    "malformed lint directive; expected "
+                    "`# lint: disable=<rule>[,<rule>] -- <reason>`",
+                )
+                continue
+            for rule_name in sup.rules:
+                if rule_name not in RULES:
+                    yield self.finding(
+                        module, anchor,
+                        f"suppression names unknown rule {rule_name!r} "
+                        f"(known: {', '.join(sorted(RULES))})",
+                    )
+            if not (sup.reason or "").strip():
+                yield self.finding(
+                    module, anchor,
+                    "suppression without a reason; append `-- <why this "
+                    "is safe>` so the next reader does not have to guess",
+                )
+
+
+class _LineAnchor:
+    """A minimal node-alike carrying just a location."""
+
+    def __init__(self, line: int) -> None:
+        self.lineno = line
+        self.col_offset = 0

@@ -1,0 +1,60 @@
+"""Typed-core rule: the dependency-free shadow of the CI ``mypy`` gate.
+
+``repro.core``, ``repro.runtime`` and ``repro.serve.protocol`` are the
+typed core (they ship a ``py.typed`` marker and are checked by ``mypy``
+with ``disallow_untyped_defs`` in CI — see ``mypy.ini``).  mypy is not
+part of the runtime image, so this rule keeps the *presence* half of the
+gate — every signature fully annotated — enforceable everywhere
+``make lint`` runs; CI then type-checks the bodies for real.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.findings import Finding
+from tools.lint.registry import Rule, register_rule
+
+#: The packages/modules covered by mypy.ini's strict section.
+TYPED_CORE = ("repro.core", "repro.runtime", "repro.serve.protocol")
+
+
+@register_rule
+class TypedDefRule(Rule):
+    """Every def in the typed core carries full signature annotations."""
+
+    name = "typed-def"
+    family = "typing"
+    description = (
+        "functions in the typed core (repro.core, repro.runtime, "
+        "repro.serve.protocol) must annotate every parameter and the "
+        "return type (mirrors mypy disallow_untyped_defs)"
+    )
+    packages = TYPED_CORE
+
+    def check(self, module, project) -> Iterator[Finding]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = func.args
+            missing = [
+                a.arg
+                for a in args.posonlyargs + args.args + args.kwonlyargs
+                if a.annotation is None and a.arg not in ("self", "cls")
+            ]
+            if args.vararg is not None and args.vararg.annotation is None:
+                missing.append("*" + args.vararg.arg)
+            if args.kwarg is not None and args.kwarg.annotation is None:
+                missing.append("**" + args.kwarg.arg)
+            if missing:
+                yield self.finding(
+                    module, func,
+                    f"{func.name}() leaves parameter(s) "
+                    f"{', '.join(missing)} unannotated (typed core)",
+                )
+            if func.returns is None:
+                yield self.finding(
+                    module, func,
+                    f"{func.name}() has no return annotation (typed core)",
+                )

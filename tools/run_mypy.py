@@ -1,0 +1,40 @@
+"""Run the typed-core mypy gate, skipping gracefully where mypy is absent.
+
+The container images used for local development do not all ship mypy, and
+the repo's no-new-dependencies rule forbids installing it ad hoc — so this
+wrapper exits 0 with a skip notice when the import fails.  CI installs
+mypy explicitly and runs this same entry point, so the gate is enforced
+where it matters; locally the dependency-free ``typed-def`` lint rule
+(`python -m tools.lint`) shadows the annotation-presence requirement.
+
+    python tools/run_mypy.py          # uses mypy.ini at the repo root
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+
+def main() -> int:
+    """Invoke ``mypy --config-file mypy.ini``; 0 on pass or on skip."""
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        print(
+            "run_mypy: mypy is not installed here - skipping the typed-core "
+            "gate (CI enforces it; `python -m tools.lint` covers the "
+            "annotation-presence subset locally)"
+        )
+        return 0
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "mypy.ini"],
+        cwd=root,
+    )
+    return proc.returncode
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
