@@ -48,6 +48,8 @@ import platform
 import random
 import time
 
+from history import append_history
+
 from repro.graphs.families import make_family_instance
 from repro.runtime import SolverSession
 from repro.runtime.registry import resolve_compute
@@ -188,6 +190,7 @@ def run_delta_resolve_benchmark() -> dict:
     with open(BENCH_PATH, "w") as fh:
         json.dump(record, fh, indent=2)
         fh.write("\n")
+    append_history("delta_resolve", record)
     # Enforce the gates here so both entry points (pytest and the CI
     # job's direct `python benchmarks/bench_delta_resolve.py`) fail
     # loudly.

@@ -18,6 +18,8 @@ import json
 import os
 import platform
 
+from history import append_history
+
 from repro.analysis.tables import rounds_vs_model_table, write_report
 from repro.core.tecss import approximate_two_ecss
 from repro.dist import RATIO_BOUND, distributed_two_ecss
@@ -86,6 +88,7 @@ def run_dist_rounds_benchmark() -> dict:
     with open(BENCH_PATH, "w") as fh:
         json.dump(record, fh, indent=2)
         fh.write("\n")
+    append_history("dist_rounds", record)
     # Human-readable twin of the JSON artifact, under benchmarks/out/.
     write_report("dist_rounds", rounds_vs_model_table(runs, title="dist_rounds"))
     return record

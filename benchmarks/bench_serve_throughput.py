@@ -35,6 +35,8 @@ import platform
 import random
 import time
 
+from history import append_history
+
 N = 2000
 SEEDS = (1, 2)
 EPS = 0.5
@@ -242,6 +244,7 @@ def run_serve_throughput_benchmark() -> dict:
     with open(BENCH_PATH, "w") as fh:
         json.dump(record, fh, indent=2)
         fh.write("\n")
+    append_history("serve_throughput", record)
     # Enforce the gate here so both entry points (pytest and the CI job's
     # direct invocation) fail loudly.
     assert speedup >= MIN_SPEEDUP, (

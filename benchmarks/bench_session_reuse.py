@@ -28,6 +28,8 @@ import os
 import platform
 import time
 
+from history import append_history
+
 from repro.core.tecss import approximate_two_ecss
 from repro.graphs.families import make_family_instance
 from repro.runtime import SolveQuery, SolverSession
@@ -90,6 +92,7 @@ def run_session_reuse_benchmark() -> dict:
     with open(BENCH_PATH, "w") as fh:
         json.dump(record, fh, indent=2)
         fh.write("\n")
+    append_history("session_reuse", record)
     # Enforce the gate here so both entry points (pytest and the CI job's
     # direct `python benchmarks/bench_session_reuse.py`) fail loudly.
     assert speedup >= MIN_SPEEDUP, (

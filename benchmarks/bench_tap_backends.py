@@ -19,6 +19,8 @@ import os
 import platform
 import time
 
+from history import append_history
+
 from repro.analysis.experiments import _links_of
 from repro.core.tap import approximate_tap
 from repro.graphs.families import make_family_instance
@@ -80,6 +82,7 @@ def run_backend_benchmark() -> dict:
     with open(BENCH_PATH, "w") as fh:
         json.dump(record, fh, indent=2)
         fh.write("\n")
+    append_history("tap_backends", record)
     # Enforce the gate here so both entry points (pytest and the CI docs
     # job's direct `python benchmarks/bench_tap_backends.py`) fail loudly
     # on a performance regression.

@@ -1,0 +1,49 @@
+"""Append-only benchmark history: one timestamped JSONL line per run.
+
+The ``BENCH_*.json`` files at the repo root are *snapshots* — each run
+overwrites the last, so a slow drift that stays above a gate is
+invisible.  Every benchmark runner therefore also appends its record to
+``bench_history/<name>.jsonl`` through :func:`append_history`: an
+append-only log of ``{"at": <UTC ISO>, "benchmark": <name>, ...record}``
+lines that trend tooling (ROADMAP item 5's ``bench report``) can read
+without re-running anything.  History files are per-machine working data
+(the directory is gitignored); CI uploads them next to the snapshots.
+
+Import note: the benchmarks are run both as scripts
+(``python benchmarks/bench_X.py``) and under pytest — in both cases this
+directory is on ``sys.path`` (script dir / pytest rootdir insertion), so
+a plain ``import history`` works without packaging.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+__all__ = ["HISTORY_DIR", "append_history"]
+
+HISTORY_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "bench_history",
+)
+
+
+def append_history(name: str, record: dict) -> str:
+    """Append one benchmark record to ``bench_history/<name>.jsonl``.
+
+    Stamps the record with the current UTC time (``at``) and the
+    benchmark name, creates the directory on first use, and returns the
+    history file's path.  Records are written as one compact JSON line
+    each, so the file is greppable and loads line by line.
+    """
+    os.makedirs(HISTORY_DIR, exist_ok=True)
+    entry = {
+        "at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "benchmark": name,
+        **record,
+    }
+    path = os.path.join(HISTORY_DIR, f"{name}.jsonl")
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+    return path

@@ -386,9 +386,12 @@ def run_loadgen_cli(argv: list[str]) -> int:
         help="stop after this many requests (default: duration only)",
     )
     parser.add_argument(
-        "--mode", default=defaults.mode, choices=("closed", "open", "drift"),
-        help="closed loop (fixed concurrency), open loop (fixed rate), or "
-        "drift (closed loop sending sparse /v1/delta reweights)",
+        "--mode", default=defaults.mode,
+        choices=("closed", "open", "drift", "montecarlo"),
+        help="closed loop (fixed concurrency), open loop (fixed rate), "
+        "drift (closed loop sending sparse /v1/delta reweights), or "
+        "montecarlo (closed loop batching weight perturbations of one "
+        "topology through /v1/solve_batch)",
     )
     parser.add_argument(
         "--concurrency", type=int, default=defaults.concurrency,
@@ -423,6 +426,15 @@ def run_loadgen_cli(argv: list[str]) -> int:
         "--drift-edges", type=float, default=defaults.drift_edges,
         help="fraction of edges per --mode drift delta "
         "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=defaults.batch,
+        help="scenarios per --mode montecarlo request (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--binary", action="store_true",
+        help="send --mode montecarlo weight columns as binary frames "
+        "and request framed responses",
     )
     parser.add_argument("--seed", type=int, default=defaults.seed)
     parser.add_argument("--eps", type=float, default=defaults.eps)
@@ -466,6 +478,8 @@ def run_loadgen_cli(argv: list[str]) -> int:
         zipf_s=args.zipf,
         scenarios=args.scenarios,
         drift_edges=args.drift_edges,
+        batch=args.batch,
+        binary=args.binary,
         seed=args.seed,
         eps=args.eps,
         backend=args.backend,
@@ -506,6 +520,17 @@ def run_loadgen_cli(argv: list[str]) -> int:
             f"{summary['batch_size']['mean']} max "
             f"{summary['batch_size']['max']}"
         )
+        solver = summary.get("solver") or {}
+        frames = (
+            f", binary frames {summary['frames']}"
+            if summary.get("frames") else ""
+        )
+        if solver:
+            print(
+                "solver: vectorized batches "
+                f"{solver.get('vectorized_batches', 0)}, scalar fallback "
+                f"{solver.get('scalar_fallback', 0)}{frames}"
+            )
     failures = summary["protocol_errors"] + summary["transport_errors"]
     if args.check and failures:
         print(f"loadgen: {failures} failed request(s)", file=sys.stderr)

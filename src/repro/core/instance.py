@@ -160,8 +160,17 @@ class TAPInstance:
     # ------------------------------------------------------------------
 
     def weight_of(self, eids: Iterable[int]) -> float:
-        """Total weight of the given virtual edges."""
-        return sum(self.edges[e].weight for e in eids)
+        """Total weight of the given virtual edges.
+
+        Column-oriented edge stores are summed straight off the weight
+        column — same ``float()`` casts in the same order as the
+        object-level path, so the result is bit-identical.
+        """
+        edges = self.edges
+        if isinstance(edges, VirtualEdgeColumns):
+            w = edges.weight
+            return sum(float(w[e]) for e in eids)
+        return sum(edges[e].weight for e in eids)
 
     def covers(self, eid: int, t: int) -> bool:
         """Does virtual edge ``eid`` cover tree edge ``t``?"""

@@ -46,7 +46,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class Anchor:
     """One anchor chosen during the reverse-delete phase (instrumentation)."""
 
@@ -144,6 +144,17 @@ class EpochContext:
         """Does the current cover ``Y`` cover tree edge ``t``?"""
         return self.counter.is_covered(t)
 
+    # -- edge endpoint access (overridden by the fast backend) --------------
+
+    def edge_anc(self, eid: int) -> int:
+        """The anchor (top) endpoint of instance edge ``eid``."""
+        return self.inst.edges[eid].anc
+
+    def edge_path(self, eid: int) -> tuple[int, int]:
+        """Instance edge ``eid`` as its ``(dec, anc)`` vertical path."""
+        e = self.inst.edges[eid]
+        return e.dec, e.anc
+
     def x_covers(self, t: int) -> bool:
         """Does the epoch's edge set ``X`` cover tree edge ``t``?"""
         return self.x_cov[t] > 0
@@ -165,8 +176,8 @@ class EpochContext:
         hi = self.higher_petal(deeper)
         if hi == -1:
             return False
-        e = self.inst.edges[hi]
-        return tree.covers_vertical(e.dec, e.anc, higher)
+        dec, anc = self.edge_path(hi)
+        return tree.covers_vertical(dec, anc, higher)
 
 
 def build_segment_layer_highway(inst: TAPInstance) -> dict[tuple[int, int], list[int]]:
@@ -242,18 +253,20 @@ def local_groups(
     idealized sequential scan used by the ``simple`` mode).
     """
     inst = ctx.inst
-    lay = inst.layering
     depth = inst.tree.depth
+    pid = inst.layering.path_id
     groups: dict[tuple, list[int]] = {}
-    for t in candidates:
-        if segmented:
-            key = (inst.segments.seg_of_edge[t], lay.path_id[t])
-        else:
-            key = (lay.path_id[t],)
-        groups.setdefault(key, []).append(t)
+    if segmented:
+        seg_of = inst.segments.seg_of_edge
+        for t in candidates:
+            groups.setdefault((seg_of[t], pid[t]), []).append(t)
+    else:
+        for t in candidates:
+            groups.setdefault((pid[t],), []).append(t)
     out = []
     for key in sorted(groups):
-        chain = sorted(groups[key], key=lambda t: -depth[t])  # bottom-up
+        # bottom-up; reverse=True keeps sorted() stable, same as -depth
+        chain = sorted(groups[key], key=depth.__getitem__, reverse=True)
         out.append(chain)
     return out
 
@@ -274,15 +287,16 @@ def scan_chain(
     """
     from repro.exceptions import InvariantViolation
 
-    tree = ctx.inst.tree
-    depth = tree.depth
+    depth = ctx.inst.tree.depth
+    y_covers = ctx.y_covers
+    higher_petal = ctx.higher_petal
     anchors: list[Anchor] = []
     pending: list[int] = []
     carried_depth = float("inf")  # depth of the highest ancestor covered from below
     for t in chain:
-        if ctx.y_covers(t) or carried_depth < depth[t]:
+        if y_covers(t) or carried_depth < depth[t]:
             continue
-        hi = ctx.higher_petal(t)
+        hi = higher_petal(t)
         if hi == -1:  # pragma: no cover - H~_i edges are always X-covered
             raise InvariantViolation(f"local candidate {t} not covered by X")
         lo = ctx.lower_petal(t) if add_lower else -1
@@ -291,7 +305,7 @@ def scan_chain(
                    hi=hi, lo=lo, in_f=True)
         )
         pending.append(hi)
-        carried_depth = min(carried_depth, depth[ctx.inst.edges[hi].anc])
+        carried_depth = min(carried_depth, depth[ctx.edge_anc(hi)])
         if add_lower and lo != -1 and lo != hi:
             pending.append(lo)
     return anchors, pending

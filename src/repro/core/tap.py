@@ -24,7 +24,7 @@ from repro.core.instance import TAPInstance
 from repro.core.result import TapResult
 from repro.core.reverse import COVER_BOUND, reverse_delete
 from repro.core.rounds import PrimitiveLog
-from repro.core.virtual_graph import map_back
+from repro.core.virtual_graph import VirtualEdgeColumns, map_back
 from repro.fast import resolve_backend
 from repro.trees.rooted import RootedTree
 
@@ -162,12 +162,21 @@ def assemble_tap_result(
     eps_prime = eps / c
 
     chosen = sorted(rev.b)
-    links_back = map_back(inst.edges, chosen)
     # Weight of the mapped-back solution: each origin counted once.
     weight_by_origin: dict[Hashable, float] = {}
-    for eid in chosen:
-        e = inst.edges[eid]
-        weight_by_origin[e.origin] = e.weight
+    if isinstance(inst.edges, VirtualEdgeColumns):
+        # Column gather: same origins, same float() weights, no VirtualEdge
+        # materialization (same first-occurrence dedup as map_back).
+        links_back = []
+        for origin, w in inst.edges.origin_weight_pairs(chosen):
+            if origin not in weight_by_origin:
+                links_back.append(origin)
+            weight_by_origin[origin] = w
+    else:
+        links_back = map_back(inst.edges, chosen)
+        for eid in chosen:
+            e = inst.edges[eid]
+            weight_by_origin[e.origin] = e.weight
     weight = sum(weight_by_origin.values())
 
     log = PrimitiveLog()

@@ -70,6 +70,7 @@ def assemble_two_ecss(
     diameter: int | None = None,
     mst_weight: float | None = None,
     n: int | None = None,
+    mst_edges_out: list | None = None,
 ) -> TwoEcssResult:
     """Combine MST + TAP augmentation into a validated :class:`TwoEcssResult`.
 
@@ -89,7 +90,11 @@ def assemble_two_ecss(
     delta re-solve path skips materializing the nx.Graph entirely).  A
     supplied ``mst_weight`` must equal the in-order sum over
     ``mst_edges`` — the session computes it from the same weight objects
-    in the same order, keeping results bit-identical.
+    in the same order, keeping results bit-identical.  ``mst_edges_out``
+    optionally supplies the label-mapped MST edge list
+    (``[(nodes[u], nodes[v]) for u, v in mst_edges]``) so a caller
+    assembling many scenarios over one tree maps it once; the results of
+    such a batch share the list, read-only by convention.
     """
     mst_set = set(mst_edges)
     if mst_weight is None:
@@ -107,7 +112,11 @@ def assemble_two_ecss(
 
     # Map back to the caller's node labels.
     edges_out = [(nodes[u], nodes[v]) for u, v in chosen]
-    mst_out = [(nodes[u], nodes[v]) for u, v in mst_edges]
+    mst_out = (
+        [(nodes[u], nodes[v]) for u, v in mst_edges]
+        if mst_edges_out is None
+        else mst_edges_out
+    )
 
     if diameter is None:
         diameter = nx.diameter(g) if n <= 4000 else -1

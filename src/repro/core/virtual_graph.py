@@ -104,6 +104,27 @@ class VirtualEdgeColumns(AbcSequence):
             self._cache[i] = e
         return e
 
+    def origin_weight_pairs(
+        self, eids: "Sequence[int]"
+    ) -> "list[tuple[Hashable, float]]":
+        """``(origin, weight)`` per edge id, straight off the columns.
+
+        One fancy-index gather instead of materializing a
+        :class:`VirtualEdge` per id — the result-assembly hot path.  The
+        weights come back through ``tolist()``, i.e. the same ``float()``
+        casts :meth:`__getitem__` performs, value for value.
+        """
+        ids = list(eids)
+        if not ids:
+            return []
+        lis = self.link_of[ids].tolist()
+        ws = self.weight[ids].tolist()
+        if self._origins is not None:
+            origins = self._origins
+            return [(origins[li], w) for li, w in zip(lis, ws)]
+        links = self._links
+        return [(links[li][:2], w) for li, w in zip(lis, ws)]
+
 
 def build_virtual_edges(
     tree: RootedTree,

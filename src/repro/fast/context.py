@@ -12,7 +12,11 @@ the per-epoch *primitives*, all integer-exact:
   ``(depth(anc), index)`` / ``(-depth(u_e), index)`` lexicographically;
 * :class:`FastCoverageCounter` — the cover ``Y`` as a scatter-delta array
   with lazily recomputed Euler-tour subtree counts (amortized O(n) per
-  batch of additions instead of O(log^2 n) Fenwick work per query);
+  batch of additions instead of O(log^2 n) Fenwick work per query); its
+  :meth:`~FastCoverageCounter.counts_2d` staticmethod is the scenario-axis
+  form of the same Euler-tour pass, used by
+  :func:`~repro.fast.forward.forward_phase_fast_batch` to recompute
+  coverage for a whole ``(scenarios, n)`` delta stack in one kernel call;
 * X-coverage counts via :func:`~repro.fast.kernels.path_cover_counts`.
 
 Because petal indices and coverage counts are exact integers in both
@@ -55,13 +59,15 @@ class FastPetalOracle:
         # Lexicographic (depth(anc), idx) as one int64 key: exact minima.
         idx = np.arange(len(x_eids), dtype=np.int64)
         key = ta.depth[self._anc] * self._m + idx
-        self._hi = ta.path_chmin(self._dec, self._anc, key, INT_SENTINEL)
-        self._lo_by_layer: dict[int, object] = {}
+        # Answer tables live as Python lists: queries outnumber the one
+        # kernel build per epoch, and list reads beat numpy scalar reads.
+        self._hi = ta.path_chmin(self._dec, self._anc, key, INT_SENTINEL).tolist()
+        self._lo_by_layer: dict[int, list[int]] = {}
 
     def higher(self, t: int) -> int:
         """Index into ``x_edges`` of the higher petal of ``t`` (-1 if uncovered)."""
         k = self._hi[t]
-        return int(k % self._m) if k != INT_SENTINEL else -1
+        return k % self._m if k != INT_SENTINEL else -1
 
     def _lo_result(self, lay: int):
         """Build (once) the lower-petal answer table for one layer."""
@@ -78,14 +84,16 @@ class FastPetalOracle:
             # (height - depth(u_e)) * m + idx, still exact int64.
             height = ta.depth.max() if ta.n > 1 else 0
             key = (height - ta.depth[u_e]) * self._m + valid
-            ans = ta.path_chmin(self._dec[valid], self._anc[valid], key, INT_SENTINEL)
+            ans = ta.path_chmin(
+                self._dec[valid], self._anc[valid], key, INT_SENTINEL
+            ).tolist()
             self._lo_by_layer[lay] = ans
         return ans
 
     def lower(self, t: int) -> int:
         """Index into ``x_edges`` of the lower petal of ``t`` (-1 if uncovered)."""
         k = self._lo_result(self.layering.layer[t])[t]
-        return int(k % self._m) if k != INT_SENTINEL else -1
+        return k % self._m if k != INT_SENTINEL else -1
 
     def petals_of(self, t: int) -> tuple[int, ...]:
         """The (deduplicated) petal indices of ``t``, higher first."""
@@ -115,7 +123,9 @@ class FastCoverageCounter:
         np = require_numpy()
         self._ta = ta
         self._delta = np.zeros(ta.n, dtype=np.int64)
-        self._counts = np.zeros(ta.n, dtype=np.int64)
+        # Counts live as a Python list: queries outnumber recomputes by
+        # orders of magnitude, and list indexing beats numpy scalar reads.
+        self._counts: list[int] = [0] * ta.n
         self._dirty = False
 
     def add_path(self, dec: int, anc: int, delta: int = 1) -> None:
@@ -131,13 +141,28 @@ class FastCoverageCounter:
     def count(self, v: int) -> int:
         """Number of live paths covering tree edge ``v``."""
         if self._dirty:
-            self._counts = self._ta.subtree_counts(self._delta)
+            self._counts = self._ta.subtree_counts(self._delta).tolist()
             self._dirty = False
-        return int(self._counts[v])
+        return self._counts[v]
 
     def is_covered(self, v: int) -> bool:
         """Whether any live path covers tree edge ``v``."""
-        return self.count(v) > 0
+        if self._dirty:
+            self._counts = self._ta.subtree_counts(self._delta).tolist()
+            self._dirty = False
+        return self._counts[v] > 0
+
+    @staticmethod
+    def counts_2d(ta, delta2):
+        """Coverage counts for a ``(scenarios, n)`` stack of delta rows.
+
+        The scenario-axis twin of the lazy recompute in :meth:`count`:
+        one vectorized Euler-tour pass yields the per-tree-edge counts of
+        every scenario at once.  Row ``s`` equals what a scalar counter
+        seeded with ``delta2[s]`` would report — the batched forward
+        phase relies on that to stay bit-identical to the looped one.
+        """
+        return ta.subtree_counts_2d(delta2)
 
 
 class FastEpochContext(EpochContext):
@@ -156,3 +181,43 @@ class FastEpochContext(EpochContext):
         arrays = self.inst.arrays
         eids = np.asarray(self.x_list, dtype=np.int64)
         return arrays.ta.path_cover_counts(arrays.dec[eids], arrays.anc[eids])
+
+    # -- hot-path overrides: endpoint reads from the instance arrays, so the
+    # reverse-delete inner loops never materialize VirtualEdge objects.
+
+    def add_to_y(self, eid: int) -> None:
+        """Add edge ``eid`` to the cover ``Y`` (idempotent; -1 is a no-op)."""
+        if eid != -1 and eid not in self.y_set:
+            self.y_set.add(eid)
+            arrays = self.inst.arrays
+            self.counter.add_path(int(arrays.dec[eid]), int(arrays.anc[eid]))
+
+    def remove_from_y(self, eid: int) -> None:
+        """Remove edge ``eid`` from ``Y`` (the cleaning phase's operation)."""
+        if eid in self.y_set:
+            self.y_set.discard(eid)
+            arrays = self.inst.arrays
+            self.counter.remove_path(
+                int(arrays.dec[eid]), int(arrays.anc[eid])
+            )
+
+    def edge_anc(self, eid: int) -> int:
+        """The anchor (top) endpoint of instance edge ``eid``."""
+        return int(self.inst.arrays.anc[eid])
+
+    def edge_path(self, eid: int) -> tuple[int, int]:
+        """Instance edge ``eid`` as its ``(dec, anc)`` vertical path."""
+        arrays = self.inst.arrays
+        return int(arrays.dec[eid]), int(arrays.anc[eid])
+
+    def y_covers(self, t: int) -> bool:
+        """Does the current cover ``Y`` cover tree edge ``t``?
+
+        Inlined counter query — the reverse-delete scans ask this hundreds
+        of thousands of times per solve, so the extra call frame matters.
+        """
+        c = self.counter
+        if c._dirty:
+            c._counts = c._ta.subtree_counts(c._delta).tolist()
+            c._dirty = False
+        return c._counts[t] > 0

@@ -30,8 +30,9 @@ from repro.core.forward import _REL_TOL, ForwardResult
 from repro.core.rounds import PrimitiveLog
 from repro.exceptions import InvariantViolation, NotTwoEdgeConnectedError
 from repro.fast import require_numpy
+from repro.fast.context import FastCoverageCounter
 
-__all__ = ["forward_phase_fast"]
+__all__ = ["forward_phase_fast", "forward_phase_fast_batch"]
 
 
 def forward_phase_fast(inst, eps: float = 0.25, max_iter_slack: int = 8) -> ForwardResult:
@@ -173,3 +174,220 @@ def forward_phase_fast(inst, eps: float = 0.25, max_iter_slack: int = 8) -> Forw
         iterations_per_epoch=iterations_per_epoch,
         log=log,
     )
+
+
+def forward_phase_fast_batch(
+    instances, eps: float = 0.25, max_iter_slack: int = 8
+) -> "list[ForwardResult]":
+    """Scenario-batched :func:`forward_phase_fast` over one shared structure.
+
+    ``instances`` are TAP instances sharing one tree and one virtual-edge
+    structure and differing only in their weight columns (the
+    :meth:`repro.fast.treearrays.InstanceArrays.reweighted` contract,
+    enforced via :class:`~repro.fast.treearrays.ScenarioArrays`).  All
+    scenarios run the epoch/iteration loop in lockstep: per lockstep
+    iteration the prefix sums, the first-iteration chmin, the tightness
+    test, and the coverage counts execute once as ``(scenarios, ·)``
+    kernels instead of once per scenario.  Per-scenario control flow is
+    carried by masks — a scenario whose epoch finished is masked out of
+    every update and every log record, so element ``s`` of the result is
+    bit-identical (duals, added order, epochs, r-sets, iteration counts,
+    primitive logs) to ``forward_phase_fast(instances[s], ...)``.
+    """
+    from repro.fast.treearrays import ScenarioArrays
+
+    np = require_numpy()
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+
+    sa = ScenarioArrays.from_instances(instances)
+    ta = sa.ta
+    tree = instances[0].tree
+    n = tree.n
+    scenarios = sa.scenarios
+    dec, anc, w2 = sa.dec, sa.anc, sa.weight2
+    m = int(w2.shape[1])
+
+    # Feasibility (2-edge-connectivity) is a pure function of the shared
+    # structure: check it once for every scenario.
+    cov0 = ta.path_cover_counts(dec, anc)
+    uncovered = np.flatnonzero((cov0 == 0) & ta.nonroot)
+    if uncovered.size:
+        t = int(uncovered[0])
+        raise NotTwoEdgeConnectedError(
+            f"tree edge ({t}, {tree.parent[t]}) is covered by no "
+            "link; the underlying graph has a bridge"
+        )
+
+    y2 = np.zeros((scenarios, n), dtype=np.float64)
+    covered2 = np.zeros((scenarios, n), dtype=bool)
+    covered2[:, tree.root] = True
+    first2 = np.zeros((scenarios, n), dtype=np.int64)
+    in_a2 = np.zeros((scenarios, m), dtype=bool)
+    added: list[list[int]] = [[] for _ in range(scenarios)]
+    epoch_added: list[dict[int, int]] = [{} for _ in range(scenarios)]
+    r_sets: list[dict[int, list[int]]] = [{} for _ in range(scenarios)]
+    iters: list[dict[int, int]] = [{} for _ in range(scenarios)]
+    logs = [PrimitiveLog() for _ in range(scenarios)]
+    cover_delta2 = np.zeros((scenarios, n), dtype=np.int64)
+
+    # Zero-weight preamble, per scenario (row-major nonzero order matches
+    # the scalar flatnonzero order within each scenario).
+    zero_s, zero_e = np.nonzero(w2 <= 0.0)
+    if zero_s.size:
+        in_a2[zero_s, zero_e] = True
+        for s, eid in zip(zero_s.tolist(), zero_e.tolist()):
+            added[s].append(eid)
+            epoch_added[s][eid] = 0
+        np.add.at(cover_delta2, (zero_s, dec[zero_e]), 1)
+        np.add.at(cover_delta2, (zero_s, anc[zero_e]), -1)
+        rows = np.unique(zero_s)
+        counts = FastCoverageCounter.counts_2d(ta, cover_delta2[rows])
+        covered2[rows] |= counts > 0
+        covered2[:, tree.root] = True
+        # first_cover_epoch stays 0: covered before epoch 1
+
+    iter_bound = math.ceil(math.log(max(2, n)) / math.log1p(eps)) + max_iter_slack
+    layer = sa.layer
+    w2_tol = w2 * (1.0 - _REL_TOL)
+    # Scratch buffers reused by every lockstep iteration.  A fresh
+    # ``(scenarios, m)`` float64 array is tens of MB at production batch
+    # sizes; allocating them anew each iteration made the allocator hand
+    # back freshly zeroed pages every time, which dominated large
+    # batches.  Slices ``[:r]`` of these serve the live-row subsets.
+    fbuf_a = np.empty((scenarios, m), dtype=np.float64)
+    fbuf_b = np.empty((scenarios, m), dtype=np.float64)
+    fbuf_c = np.empty((scenarios, m), dtype=np.float64)
+    bbuf_a = np.empty((scenarios, m), dtype=bool)
+    bbuf_b = np.empty((scenarios, m), dtype=bool)
+
+    for k in range(1, instances[0].layering.num_layers + 1):
+        remaining2 = (layer == k)[None, :] & ~covered2
+        for s in range(scenarios):
+            r_sets[s][k] = [int(t) for t in np.flatnonzero(remaining2[s])]
+            if not r_sets[s][k]:
+                iters[s][k] = 0
+        live = remaining2.any(axis=1)
+
+        iteration = 0
+        while live.any():
+            iteration += 1
+            if iteration > iter_bound:
+                raise InvariantViolation(
+                    f"epoch {k} exceeded the Lemma 4.12 iteration bound "
+                    f"({iter_bound}); eps={eps}"
+                )
+            # Live-row compaction: every ``(·, m)`` temporary below is
+            # sliced to the scenarios still iterating this epoch.  Late
+            # iterations typically keep a handful of stragglers, and
+            # paying ``(scenarios, m)`` memory traffic for rows whose
+            # mask is all-False is what made large batches superlinear.
+            # Each row's arithmetic is unchanged, so results stay
+            # bit-identical.
+            rows = np.flatnonzero(live)
+            r = rows.size
+            full = r == scenarios
+            remr = remaining2 if full else remaining2[rows]
+            in_ar = in_a2 if full else in_a2[rows]
+            for s in rows.tolist():
+                logs[s].record("aggregate")  # every non-tree edge computes s(e)
+            if iteration == 1:
+                # |S_e^k|: how many uncovered layer-k edges each link
+                # covers.  ``cnt`` stays float64 — np.rint makes the
+                # counts exact integers (they are < 2^53) and the divide
+                # below converts an int64 divisor to the very same
+                # doubles, so skipping the astype changes no bit.
+                cum_zr = ta.ancestor_sums_2d(remr.astype(np.float64))
+                for s in rows.tolist():
+                    logs[s].record("aggregate")
+                cnt = fbuf_a[:r]
+                np.subtract(cum_zr[:, dec], cum_zr[:, anc], out=cnt)
+                np.rint(cnt, out=cnt)
+                cumr = ta.ancestor_sums_2d(y2 if full else y2[rows])
+                # Per-scenario edge selection (not in A, positive count)
+                # lives in the value matrix: deselected entries carry the
+                # chmin identity and scatter as no-ops.
+                selr = np.greater(cnt, 0.0, out=bbuf_a[:r])
+                np.logical_and(selr, np.logical_not(in_ar, out=bbuf_b[:r]),
+                               out=selr)
+                num = fbuf_b[:r]
+                np.subtract(cumr[:, dec], cumr[:, anc], out=num)
+                np.subtract(w2 if full else w2[rows], num, out=num)
+                valsr = fbuf_c[:r]
+                valsr.fill(np.inf)
+                np.divide(num, cnt, out=valsr, where=selr)
+                startr = ta.path_chmin_2d(dec, anc, valsr, np.inf)
+                for s in rows.tolist():
+                    logs[s].record("aggregate")
+                bad_r, bad_t = np.nonzero(remr & np.isinf(startr))
+                if bad_r.size:  # pragma: no cover
+                    raise InvariantViolation(
+                        f"uncovered edge {int(bad_t[0])} has no "
+                        "non-tight covering link"
+                    )
+                if full:
+                    y2[remr] = np.maximum(startr[remr], 0.0)
+                else:
+                    y2r = y2[rows]
+                    y2r[remr] = np.maximum(startr[remr], 0.0)
+                    y2[rows] = y2r
+            else:
+                if full:
+                    y2[remr] *= 1.0 + eps
+                else:
+                    y2r = y2[rows]
+                    y2r[remr] *= 1.0 + eps
+                    y2[rows] = y2r
+            cumr = ta.ancestor_sums_2d(y2 if full else y2[rows])
+            for s in rows.tolist():
+                logs[s].record("aggregate")
+
+            # Collect edges whose dual constraint is (numerically) tight.
+            s_actr = fbuf_a[:r]
+            np.subtract(cumr[:, dec], cumr[:, anc], out=s_actr)
+            tightr = np.greater_equal(
+                s_actr, w2_tol if full else w2_tol[rows], out=bbuf_a[:r]
+            )
+            np.logical_and(tightr, np.logical_not(in_ar, out=bbuf_b[:r]),
+                           out=tightr)
+            new_r, new_e = np.nonzero(tightr)
+            if new_r.size:
+                new_s = rows[new_r]
+                in_a2[new_s, new_e] = True
+                for s, eid in zip(new_s.tolist(), new_e.tolist()):
+                    epoch_added[s][eid] = k
+                    added[s].append(eid)
+                np.add.at(cover_delta2, (new_s, dec[new_e]), 1)
+                np.add.at(cover_delta2, (new_s, anc[new_e]), -1)
+                upd = np.unique(new_s)
+                for s in upd.tolist():
+                    logs[s].record("aggregate")  # tree edges learn coverage
+                counts = FastCoverageCounter.counts_2d(ta, cover_delta2[upd])
+                newly = ~covered2[upd] & (counts > 0)
+                newly[:, tree.root] = False
+                covered2[upd] |= newly
+                firsts = first2[upd]
+                firsts[newly] = k
+                first2[upd] = firsts
+                remaining2[upd] &= ~newly
+            for s in rows.tolist():
+                logs[s].record("broadcast")  # "is layer k fully covered?"
+            still = remaining2.any(axis=1)
+            for s in np.flatnonzero(live & ~still):
+                iters[s][k] = iteration
+            live = still
+
+    y_lists = y2.tolist()
+    first_lists = first2.tolist()
+    return [
+        ForwardResult(
+            y=y_lists[s],
+            added=added[s],
+            epoch_added=epoch_added[s],
+            first_cover_epoch=first_lists[s],
+            r_sets=r_sets[s],
+            iterations_per_epoch=iters[s],
+            log=logs[s],
+        )
+        for s in range(scenarios)
+    ]

@@ -33,14 +33,17 @@ from repro.fast import require_numpy
 __all__ = [
     "INT_SENTINEL",
     "ancestor_sums_levels",
+    "ancestor_sums_levels_2d",
     "batch_ancestor_at_depth",
     "batch_lca",
     "build_lift_table",
     "depth_levels",
     "min_weight_crossing",
     "path_chmin",
+    "path_chmin_2d",
     "path_cover_counts",
     "subtree_counts",
+    "subtree_counts_2d",
 ]
 
 _np = None
@@ -92,6 +95,22 @@ def ancestor_sums_levels(levels, parent, values):
     return cum
 
 
+def ancestor_sums_levels_2d(levels, parent, values2):
+    """Scenario-batched :func:`ancestor_sums_levels`: ``(S, n)`` in and out.
+
+    Row ``s`` of the result equals ``ancestor_sums_levels(levels, parent,
+    values2[s])`` bit for bit: the recurrence is evaluated level by level
+    exactly as in the 1-D kernel, so each output double is still produced
+    by the one ``parent + value`` IEEE-754 addition of the reference loop
+    — the scenario axis only widens the gather, it never reassociates.
+    """
+    np = _numpy()
+    cum = np.zeros_like(values2)
+    for lvl in levels[1:]:
+        cum[:, lvl] = cum[:, parent[lvl]] + values2[:, lvl]
+    return cum
+
+
 def subtree_counts(tin, tout, delta):
     """Per-vertex sums of ``delta`` over subtrees, via the Euler tour.
 
@@ -104,6 +123,23 @@ def subtree_counts(tin, tout, delta):
     arr[tin] = delta
     pref = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(arr)))
     return pref[tout] - pref[tin]
+
+
+def subtree_counts_2d(tin, tout, delta2):
+    """Scenario-batched :func:`subtree_counts`: one Euler pass per row.
+
+    ``delta2`` is ``(S, n)`` int64; row ``s`` of the result equals
+    ``subtree_counts(tin, tout, delta2[s])`` — pure integer arithmetic,
+    exact regardless of batching.
+    """
+    np = _numpy()
+    arr = np.zeros_like(delta2)
+    arr[:, tin] = delta2
+    pref = np.concatenate(
+        (np.zeros((arr.shape[0], 1), dtype=arr.dtype), np.cumsum(arr, axis=1)),
+        axis=1,
+    )
+    return pref[:, tout] - pref[:, tin]
 
 
 def min_weight_crossing(tin, tout, a, b, weights, cut_child):
@@ -252,3 +288,61 @@ def path_chmin(up, depth, n, dec, anc, values, identity):
         np.minimum(table[kk - 1], row, out=table[kk - 1])
         np.minimum.at(table[kk - 1], up[kk - 1][live], row[live])
     return table[0]
+
+
+def path_chmin_2d(up, depth, n, dec, anc, values2, identity):
+    """Scenario-batched :func:`path_chmin` over one shared path structure.
+
+    ``dec``/``anc`` are the *shared* per-edge path columns (length ``m``,
+    topology-only); ``values2`` is ``(S, m)`` with ``identity`` marking
+    edges a scenario does not contribute (scattering the identity into a
+    minimum is a no-op, so per-scenario edge selection is encoded in the
+    value matrix instead of per-scenario index arrays).  Row ``s`` of the
+    ``(S, n)`` result equals ``path_chmin(up, depth, n, dec[sel], anc[sel],
+    values2[s, sel], identity)`` for ``sel = values2[s] != identity``:
+    the block decomposition (``k``, ``top``) is a pure function of the
+    shared paths, and a minimum of a set of doubles does not depend on
+    association order, so batching cannot change any output bit.
+    """
+    np = _numpy()
+    values2 = np.asarray(values2)
+    dec = np.asarray(dec, dtype=np.int64)
+    anc = np.asarray(anc, dtype=np.int64)
+    scenarios = values2.shape[0]
+    if dec.size == 0:
+        return np.full((scenarios, n), identity, dtype=values2.dtype)
+
+    # Scatter targets (dec / top blocks, ancestor pushdown) are pure
+    # topology shared by every scenario, so each scatter-min is a
+    # group-by-target minimum: sort the shared targets once, then one
+    # ``np.minimum.reduceat`` covers all scenario rows in a single
+    # buffered pass.  A per-element ``np.minimum.at`` over ``(S, m)``
+    # index pairs walks point by point and dominated large batches.
+    # Everything runs transposed — ``(edges-or-nodes, S)`` C-contiguous —
+    # so the axis-0 reduceat reduces whole scenario rows at a time
+    # instead of strided single elements.
+    def _scatter_min(out_t, targets, vals_t, sel=None):
+        order = np.argsort(targets, kind="stable")
+        uniq, starts = np.unique(targets[order], return_index=True)
+        rows = order if sel is None else sel[order]
+        mins = np.minimum.reduceat(vals_t[rows], starts, axis=0)
+        out_t[uniq] = np.minimum(out_t[uniq], mins)
+
+    length = depth[dec] - depth[anc]  # >= 1 for valid vertical paths
+    k = (np.frexp(length.astype(np.float64))[1] - 1).astype(np.int64)
+    top = batch_ancestor_at_depth(up, depth, dec, depth[anc] + (1 << k))
+    kmax = int(k.max())
+    values_t = np.ascontiguousarray(values2.T)
+    table = np.full((kmax + 1, n, scenarios), identity, dtype=values2.dtype)
+    for kk in range(kmax + 1):
+        sel = np.flatnonzero(k == kk)
+        if sel.size:
+            _scatter_min(table[kk], dec[sel], values_t, sel)
+            _scatter_min(table[kk], top[sel], values_t, sel)
+    for kk in range(kmax, 0, -1):
+        row = table[kk]
+        np.minimum(table[kk - 1], row, out=table[kk - 1])
+        # Scattering identity entries too is a no-op for a minimum, so
+        # no live-filtering is needed before the grouped pushdown.
+        _scatter_min(table[kk - 1], up[kk - 1], row)
+    return np.ascontiguousarray(table[0].T)

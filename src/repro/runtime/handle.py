@@ -81,6 +81,14 @@ class GraphHandle:
         self.edges = edges  # normalized (u, v) pairs, input iteration order
         self.weights = weights
         self._topology_key = topology_key
+        #: Topology-derived caches (:attr:`diameter`, :attr:`_pair_index`,
+        #: :attr:`_endpoint_arrays`), shared *by reference* with every
+        #: :meth:`reweight` clone: whichever handle computes one first,
+        #: all handles on the topology see it.  (Copying computed entries
+        #: at clone time instead would lose work computed on a clone
+        #: afterwards — a 100-scenario sweep would re-derive the diameter
+        #: per scenario.)
+        self._shared: dict[str, Any] = {}
         #: For handles built by :meth:`reweight_delta`: the parent handle
         #: and the effective diff ``{edge_position: new_weight}``.  ``None``
         #: / empty for handles with no recorded delta lineage.
@@ -141,12 +149,20 @@ class GraphHandle:
                     f"reweight needs {len(self.edges)} weights "
                     f"(one per edge); got {len(column)}"
                 )
-        for (u, v), w in zip(self.edges, column):
-            if not (w >= 0):
-                raise GraphFormatError(
-                    f"edge ({self.nodes[u]!r}, {self.nodes[v]!r}) has "
-                    f"invalid weight {w!r}"
-                )
+        # Fast C-speed scan first; only a failing column pays the
+        # per-edge diagnostic loop that names the offending edge.  ``min``
+        # catches negatives, the sum's self-comparison catches NaN (which
+        # ``min`` can miss mid-sequence); non-negative floats cannot sum
+        # to NaN otherwise.  A non-numeric weight raises TypeError from
+        # the arithmetic, as the comparison did before.
+        total = sum(column)
+        if not (min(column) >= 0 and total == total):
+            for (u, v), w in zip(self.edges, column):
+                if not (w >= 0):
+                    raise GraphFormatError(
+                        f"edge ({self.nodes[u]!r}, {self.nodes[v]!r}) has "
+                        f"invalid weight {w!r}"
+                    )
         return self._clone_with_column(column)
 
     def reweight_delta(self, changed: Mapping) -> "GraphHandle":
@@ -210,10 +226,9 @@ class GraphHandle:
             self.n, self.nodes, self.index, self.edges, tuple(column),
             topology_key=self.topology_key,
         )
-        # Topology-derived caches carry over untouched.
-        for name in ("diameter", "_pair_index", "_endpoint_arrays"):
-            if name in self.__dict__:
-                clone.__dict__[name] = self.__dict__[name]
+        # Topology-derived caches are shared by reference (see __init__),
+        # so work done on any clone benefits every handle on the topology.
+        clone._shared = self._shared
         return clone
 
     def _column_from_mapping(self, mapping: Mapping) -> list[float]:
@@ -374,34 +389,43 @@ class GraphHandle:
             )
         return indptr, indices, wvals
 
-    @cached_property
+    @property
     def _endpoint_arrays(self) -> tuple[Any, Any]:
         """``(a, b)`` int64 endpoint columns over handle edge order.
 
-        Topology-only (shared across reweights via
-        :meth:`_clone_with_column`); consumed by the swap-edge maintenance
-        of :mod:`repro.runtime.delta`, whose cut-rule queries slice
-        crossing candidates out of them.  Requires numpy — callers gate on
-        its availability.
+        Topology-only (shared by reference across reweights via
+        :attr:`_shared`); consumed by the swap-edge maintenance of
+        :mod:`repro.runtime.delta` and the batched-scenario MST check of
+        :mod:`repro.runtime.batch`.  Requires numpy — callers gate on its
+        availability.
         """
-        m = len(self.edges)
-        return (
-            _np.fromiter((e[0] for e in self.edges), dtype=_np.int64,
-                         count=m),
-            _np.fromiter((e[1] for e in self.edges), dtype=_np.int64,
-                         count=m),
-        )
+        arrays = self._shared.get("endpoint_arrays")
+        if arrays is None:
+            m = len(self.edges)
+            arrays = (
+                _np.fromiter((e[0] for e in self.edges), dtype=_np.int64,
+                             count=m),
+                _np.fromiter((e[1] for e in self.edges), dtype=_np.int64,
+                             count=m),
+            )
+            self._shared["endpoint_arrays"] = arrays
+        return arrays
 
-    @cached_property
+    @property
     def diameter(self) -> int:
         """Graph diameter when ``n <= 4000``, else ``-1`` (topology-only).
 
         Matches the rule of
-        :func:`repro.core.tecss.assemble_two_ecss` and is shared across
-        :meth:`reweight` variants — the single biggest rebuild cost the
-        session amortizes on mid-size graphs.
+        :func:`repro.core.tecss.assemble_two_ecss` and is shared by
+        reference across :meth:`reweight` variants — the single biggest
+        rebuild cost the session amortizes on mid-size graphs.  Any handle
+        on the topology may compute it; all of them then see it.
         """
-        return nx.diameter(self.graph) if self.n <= 4000 else -1
+        d = self._shared.get("diameter")
+        if d is None:
+            d = nx.diameter(self.graph) if self.n <= 4000 else -1
+            self._shared["diameter"] = d
+        return int(d)
 
     # ------------------------------------------------------------------
     # identity
@@ -445,17 +469,20 @@ class GraphHandle:
         """Per-element canonical weight reprs backing :attr:`weights_key`."""
         return [repr(_canonical_weight(w)) for w in self.weights]
 
-    @cached_property
+    @property
     def _pair_index(self) -> dict[tuple[int, int], int]:
         """Normalized endpoint pair (either order) -> handle edge position.
 
-        Topology-derived; shared across :meth:`reweight` /
+        Topology-derived; shared by reference across :meth:`reweight` /
         :meth:`reweight_delta` clones like :attr:`diameter`.
         """
-        out: dict[tuple[int, int], int] = {}
-        for i, (u, v) in enumerate(self.edges):
-            out[(u, v)] = i
-            out[(v, u)] = i
+        out = self._shared.get("pair_index")
+        if out is None:
+            out = {}
+            for i, (u, v) in enumerate(self.edges):
+                out[(u, v)] = i
+                out[(v, u)] = i
+            self._shared["pair_index"] = out
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -256,7 +256,7 @@ class SolverPlan:
     @property
     def diameter(self) -> int:
         """Topology diameter under the result-metadata rule (see handle)."""
-        if "diameter" not in self.handle.__dict__:
+        if "diameter" not in self.handle._shared:
             # First computation for this topology: attribute the cost here
             # (reweighted handles share the cache, so later plans see none).
             return self._timed("diameter", lambda: self.handle.diameter)

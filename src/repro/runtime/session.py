@@ -140,6 +140,7 @@ class SolverSession:
             "solves": 0, "plans_built": 0, "plan_hits": 0,
             "plan_evictions": 0, "delta_requests": 0, "delta_tree_reuses": 0,
             "delta_tree_swaps": 0, "delta_fallbacks": 0,
+            "vectorized_batches": 0, "scalar_fallback": 0,
         }
         self._evicted_build_times: dict[str, float] = {}
         # The base plan is pinned outside the LRU: every delta derives
@@ -249,9 +250,12 @@ class SolverSession:
 
         Returns a fresh dict with the lifetime counters (``solves``,
         ``plans_built``, ``plan_hits``, ``plan_misses`` — equal to
-        ``plans_built`` — and ``plan_evictions``; plus the delta-path
+        ``plans_built`` — and ``plan_evictions``; the delta-path
         counters ``delta_requests``, ``delta_tree_reuses``,
-        ``delta_tree_swaps``, ``delta_fallbacks``), the cache occupancy
+        ``delta_tree_swaps``, ``delta_fallbacks``; and the batch-path
+        pair ``vectorized_batches`` / ``scalar_fallback`` counting how
+        :meth:`solve_batch_vectorized` routed its queries), the cache
+        occupancy
         (``plans_cached`` / ``max_plans``), and ``build_times_s``: wall
         seconds per build phase (``mst``, ``links``, ``diameter``,
         ``instance:<flavor>``, and their incremental ``<phase>:delta``
@@ -314,8 +318,36 @@ class SolverSession:
         for ``k=2``, exactly the objects the corresponding one-shot
         functions return, bit-identical field by field.
         """
-        backend = backend if backend is not None else self.default_backend
-        engine = engine if engine is not None else self.default_engine
+        return self._solve_query(SolveQuery(
+            eps=eps, variant=variant, segmented=segmented,
+            validate=validate, backend=backend, engine=engine,
+            weights=weights, weights_delta=weights_delta,
+            failures=failures, simulate_mst=simulate_mst, k=k,
+        ))
+
+    def _solve_query(
+        self,
+        query: SolveQuery,
+        plan_cache: "dict[object, SolverPlan] | None" = None,
+    ) -> Any:
+        """Solve one parsed query (the body of :meth:`solve`).
+
+        ``plan_cache`` is :meth:`solve_many`'s batch-local weight-
+        fingerprint map: queries whose weight inputs hash equal share one
+        resolved plan without re-paying the reweight + key computation
+        (LRU ``plan_hits`` accounting is preserved for such hits).
+        """
+        backend = (
+            query.backend if query.backend is not None
+            else self.default_backend
+        )
+        engine = (
+            query.engine if query.engine is not None
+            else self.default_engine
+        )
+        eps, variant = query.eps, query.variant
+        segmented, validate = query.segmented, query.validate
+        failures, simulate_mst, k = query.failures, query.simulate_mst, query.k
         spec = get_backend("engine", engine)
         if failures is not None and not spec.has("failure-injection"):
             raise ValueError(
@@ -337,7 +369,18 @@ class SolverSession:
                     f"capability; got {backend!r}"
                 )
         self._counters["solves"] += 1
-        plan = self.plan(weights, weights_delta)
+        plan: SolverPlan | None = None
+        token = (
+            self._weights_token(query) if plan_cache is not None else None
+        )
+        if token is not None and plan_cache is not None:
+            plan = plan_cache.get(token)
+            if plan is not None:
+                self._counters["plan_hits"] += 1
+        if plan is None:
+            plan = self.plan(query.weights, query.weights_delta)
+            if token is not None and plan_cache is not None:
+                plan_cache[token] = plan
         if engine == "sim":
             from repro.dist.pipeline import distributed_two_ecss
 
@@ -456,20 +499,146 @@ class SolverSession:
             n=plan.handle.n,
         )
 
+    @staticmethod
+    def _coerce_query(query: "SolveQuery | Mapping") -> SolveQuery:
+        """Parse one :meth:`solve_many` entry into a :class:`SolveQuery`.
+
+        Mappings with unknown keys raise a one-line :class:`ValueError`
+        naming the offending keys and the valid fields, instead of the
+        raw ``TypeError`` that ``SolveQuery(**mapping)`` would surface.
+        """
+        if isinstance(query, Mapping):
+            valid = [f.name for f in fields(SolveQuery)]
+            unknown = sorted(str(key) for key in query if key not in valid)
+            if unknown:
+                raise ValueError(
+                    f"unknown SolveQuery field(s) {', '.join(unknown)}; "
+                    f"valid fields: {', '.join(valid)}"
+                )
+            return SolveQuery(**query)
+        return query
+
+    @staticmethod
+    def _weights_token(query: SolveQuery) -> object | None:
+        """A hashable fingerprint of the query's weight inputs, or ``None``.
+
+        Two queries with equal tokens resolve to the same plan, so
+        :meth:`solve_many` shares one plan lookup across them.  ``None``
+        (no safe fingerprint) means "resolve through :meth:`plan`".
+        """
+        try:
+            if query.weights_delta is not None:
+                delta = query.weights_delta
+                if isinstance(delta, Mapping):
+                    return ("delta", frozenset(delta.items()))
+                return None
+            weights = query.weights
+            if weights is None:
+                return ("base",)
+            if isinstance(weights, Mapping):
+                return ("map", frozenset(weights.items()))
+            return ("col", tuple(weights))
+        except TypeError:  # unhashable / non-iterable: let plan() decide
+            return None
+
     def solve_many(self, queries: Iterable[SolveQuery | Mapping]) -> list:
         """Solve a batch of queries in order against the shared plan cache.
 
-        Each query is a :class:`SolveQuery` or a kwargs mapping; results
-        come back in input order.  Queries with the same weight column hit
-        the same plan, so a 100-scenario eps/weight sweep builds each
-        plan's artifacts exactly once.
+        Each query is a :class:`SolveQuery` or a kwargs mapping (unknown
+        mapping keys raise a one-line error naming the valid fields);
+        results come back in input order.  Queries whose weight inputs
+        fingerprint equal share one plan lookup — and any query with the
+        same weight column still hits the same LRU plan — so a
+        100-scenario eps/weight sweep builds each plan's artifacts
+        exactly once.
         """
         results = []
+        plan_cache: dict[object, SolverPlan] = {}
         for query in queries:
-            if isinstance(query, Mapping):
-                query = SolveQuery(**query)
-            kwargs = {f.name: getattr(query, f.name) for f in fields(SolveQuery)}
-            results.append(self.solve(**kwargs))
+            results.append(
+                self._solve_query(self._coerce_query(query), plan_cache)
+            )
+        return results
+
+    def _vectorizable(self, query: SolveQuery) -> bool:
+        """Whether a query can join a scenario-vectorized kernel batch.
+
+        The batched path covers the bread-and-butter scenario sweep:
+        local engine, ``k=2``, dense-or-default weights, no failure
+        plan, no MST simulation, and a compute backend resolving to
+        ``fast``.  Anything else — including a backend whose resolution
+        raises — falls back to the scalar path, which reproduces the
+        scalar error semantics exactly.
+        """
+        if query.k != 2 or query.simulate_mst:
+            return False
+        if query.failures is not None or query.weights_delta is not None:
+            return False
+        engine = (
+            query.engine if query.engine is not None
+            else self.default_engine
+        )
+        if engine != "local":
+            return False
+        backend = (
+            query.backend if query.backend is not None
+            else self.default_backend
+        )
+        try:
+            return resolve_compute(backend) == "fast"
+        except Exception:
+            return False
+
+    def solve_batch_vectorized(
+        self, queries: Iterable[SolveQuery | Mapping]
+    ) -> list:
+        """Solve a batch with compatible queries fused into kernel passes.
+
+        Queries that agree on ``(eps, variant, segmented, validate)`` and
+        are :meth:`_vectorizable` run as one scenario-axis kernel batch
+        (:mod:`repro.runtime.batch`): one MST/instance structure per
+        distinct tree and a single ``(scenarios × edges)`` forward phase,
+        bit-identical per scenario to the looped :meth:`solve_many`.
+        Everything else — sim engine, ``k > 2``, failure plans, sparse
+        deltas, non-fast backends, and singleton groups — transparently
+        falls back to the scalar path.  Results come back in input order;
+        the ``vectorized_batches`` / ``scalar_fallback`` counters (see
+        :meth:`stats`) record the routing.
+        """
+        parsed = [self._coerce_query(query) for query in queries]
+        results: list[Any] = [None] * len(parsed)
+        groups: "OrderedDict[tuple, list[int]]" = OrderedDict()
+        scalars: list[int] = []
+        for i, query in enumerate(parsed):
+            if self._vectorizable(query):
+                key = (
+                    query.eps, query.variant, query.segmented,
+                    query.validate,
+                )
+                groups.setdefault(key, []).append(i)
+            else:
+                scalars.append(i)
+        for key in [k for k, idxs in groups.items() if len(idxs) < 2]:
+            scalars.extend(groups.pop(key))
+        scalars.sort()
+        if scalars:
+            self._counters["scalar_fallback"] += len(scalars)
+            plan_cache: dict[object, SolverPlan] = {}
+            for i in scalars:
+                results[i] = self._solve_query(parsed[i], plan_cache)
+        if groups:
+            from repro.runtime.batch import solve_scenario_group
+
+            for (eps, variant, segmented, validate), idxs in groups.items():
+                self._counters["vectorized_batches"] += 1
+                self._counters["solves"] += len(idxs)
+                group_results = solve_scenario_group(
+                    self, [parsed[i] for i in idxs],
+                    eps=eps, variant=variant, segmented=segmented,
+                    validate=validate,
+                )
+                for i, result in zip(idxs, group_results):
+                    results[i] = result
         return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

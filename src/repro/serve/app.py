@@ -12,8 +12,9 @@ sockets.  Routes:
                           diffs against the registered baseline
                           (:func:`repro.serve.protocol.parse_delta_request`)
 ``GET /healthz``          liveness + config summary
-``GET /metrics``          counters, latency histograms, batcher stats,
-                          per-shard worker/session stats
+``GET /metrics``          counters, latency + batch-size histograms,
+                          batcher stats, the solver's vectorized/scalar
+                          routing counters, per-shard worker/session stats
 ``GET /backends``         the execution-backend registry
                           (:func:`repro.runtime.registry.registered_payload`)
 ========================  ====================================================
@@ -21,8 +22,10 @@ sockets.  Routes:
 A solve request flows: schema validation in the event loop (cheap) →
 topology resolution against the app's edge-payload store → the
 per-topology :class:`~repro.serve.batcher.MicroBatcher` → one
-:meth:`~repro.runtime.session.SolverSession.solve_many` batch inside the
-topology's shard (:class:`~repro.serve.workers.ShardedWorkerPool`).
+:meth:`~repro.runtime.session.SolverSession.solve_batch_vectorized` batch
+inside the topology's shard
+(:class:`~repro.serve.workers.ShardedWorkerPool`), which fuses the
+coalesced batch's compatible scenarios into shared kernel passes.
 """
 
 from __future__ import annotations
@@ -37,12 +40,14 @@ import repro
 from repro.serve.batcher import MicroBatcher
 from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import (
+    FRAME_CONTENT_TYPE,
     PROTOCOL_VERSION,
     ProtocolError,
     SolveRequest,
     error_payload,
     parse_delta_request,
     parse_solve_request,
+    unpack_frame,
 )
 from repro.serve.workers import ShardedWorkerPool
 
@@ -136,12 +141,31 @@ class ServeApp:
     # ------------------------------------------------------------------
 
     async def handle(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: dict | None = None,
     ) -> tuple[int, dict]:
-        """Route one request; always returns ``(status, JSON payload)``."""
+        """Route one request; always returns ``(status, JSON payload)``.
+
+        ``headers`` (lowercase names) is optional: a ``Content-Type`` of
+        :data:`~repro.serve.protocol.FRAME_CONTENT_TYPE` selects the
+        binary frame decoding for the body — after array substitution the
+        request takes exactly the JSON route path, so framed and plain
+        requests are indistinguishable past this point.  Response *encoding*
+        negotiation (``Accept``) lives in the transport, which turns the
+        returned payload into a frame when asked; this layer always
+        returns the payload dict.
+        """
         self.metrics.inc("http.requests")
         t0 = time.perf_counter()
         try:
+            content_type = (headers or {}).get("content-type", "")
+            if content_type.split(";", 1)[0].strip().lower() \
+                    == FRAME_CONTENT_TYPE:
+                self.metrics.inc("http.frame_requests")
+                body = json.dumps(unpack_frame(body)).encode("utf-8")
             status, payload = await self._route(method, path, body)
         except ProtocolError as exc:
             status, payload = exc.status, exc.payload()
@@ -316,6 +340,7 @@ class ServeApp:
         for item in items:
             item["batch_size"] = len(requests)
         self.metrics.inc("solve.batches")
+        self.metrics.observe_size("batch.coalesced", len(requests))
         return items
 
     # ------------------------------------------------------------------
@@ -335,13 +360,23 @@ class ServeApp:
         }
 
     async def _metrics(self) -> dict:
+        workers = await self.pool.stats()
+        # The scenario-vectorization counter pair, summed over every live
+        # session on every shard: how many coalesced batches ran as fused
+        # kernel passes vs how many queries fell back to the scalar path.
+        solver = {"vectorized_batches": 0, "scalar_fallback": 0}
+        for worker in workers:
+            for session in worker.get("sessions", []):
+                for key in solver:
+                    solver[key] += session.get(key, 0)
         return {
             "protocol": PROTOCOL_VERSION,
             **self.metrics.snapshot(),
             "batcher": self.batcher.snapshot(),
+            "solver": solver,
             "topologies": {
                 "stored": len(self._topologies),
                 "cap": self.config.max_topologies,
             },
-            "workers": await self.pool.stats(),
+            "workers": workers,
         }

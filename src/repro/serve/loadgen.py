@@ -8,7 +8,7 @@ probability proportional to ``1 / (r + 1) ** s``), so a few topologies
 are hot (and exercise batching + session reuse) while the tail exercises
 registration and worker LRU churn.
 
-Three traffic modes:
+Four traffic modes:
 
 * **closed loop** — ``concurrency`` workers each keep exactly one request
   in flight (classic throughput measurement; the benchmark uses this);
@@ -21,7 +21,14 @@ Three traffic modes:
   A delta answered ``unknown-topology`` (server restart, store eviction)
   degrades to one full ``/v1/solve`` carrying the graph plus the
   equivalent full weight column, counted as a ``reregistrations`` — never
-  an error.
+  an error;
+* **montecarlo** — closed-loop workers hammering **one** topology with
+  ``/v1/solve_batch`` requests of ``batch`` weight-perturbation scenarios
+  each (``drift_edges`` of the edges scaled up per scenario) — the
+  what-if sweep shape the scenario-vectorized solve path exists for.
+  With ``binary=True`` the weight columns ride the binary frame encoding
+  (:func:`repro.serve.protocol.pack_frame`) instead of JSON decimal text,
+  and responses are requested framed too.
 
 Each worker holds one keep-alive connection (:class:`HttpClient`, asyncio
 streams, stdlib only).  The first request for a topology ships the full
@@ -44,13 +51,25 @@ import random
 import time
 from dataclasses import dataclass, field
 
-from repro.serve.protocol import PROTOCOL_VERSION, graph_payload
+from repro.serve.protocol import (
+    FRAME_CONTENT_TYPE,
+    PROTOCOL_VERSION,
+    graph_payload,
+    pack_frame,
+    unpack_frame,
+)
 
 __all__ = ["HttpClient", "LoadgenConfig", "run_loadgen"]
 
 
 class HttpClient:
-    """A minimal keep-alive HTTP/1.1 JSON client on asyncio streams."""
+    """A minimal keep-alive HTTP/1.1 JSON client on asyncio streams.
+
+    Speaks both wire encodings: :meth:`request` sends plain JSON,
+    :meth:`request_framed` sends a binary frame (weight arrays as raw
+    float64) and asks for a framed response; either way the caller gets
+    back ``(status, payload dict)``.
+    """
 
     def __init__(self, host: str, port: int) -> None:
         self.host = host
@@ -78,14 +97,45 @@ class HttpClient:
     async def request(
         self, method: str, path: str, payload: dict | None = None
     ) -> tuple[int, dict]:
-        """One request/response round trip; reconnects on a dead socket."""
+        """One JSON request/response round trip (reconnects once)."""
+        body = b"" if payload is None else json.dumps(payload).encode()
+        return await self._round_trip(
+            method, path, body, "application/json", accept_frame=False
+        )
+
+    async def request_framed(
+        self, method: str, path: str, header: dict, arrays: list
+    ) -> tuple[int, dict]:
+        """One binary-framed round trip: request and response framed.
+
+        ``header`` is the request body with ``{"__frame__": k}`` nodes
+        standing for ``arrays[k]`` (see
+        :func:`repro.serve.protocol.pack_frame`); the ``Accept`` header
+        asks the server to frame its response, which is decoded back to
+        the payload dict transparently.
+        """
+        body = pack_frame(header, arrays)
+        return await self._round_trip(
+            method, path, body, FRAME_CONTENT_TYPE, accept_frame=True
+        )
+
+    async def _round_trip(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        content_type: str,
+        accept_frame: bool,
+    ) -> tuple[int, dict]:
+        """Send one prepared request; reconnects on a dead socket."""
         if self._writer is None:
             await self.connect()
-        body = b"" if payload is None else json.dumps(payload).encode()
+        accept = FRAME_CONTENT_TYPE if accept_frame else "application/json"
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Accept: {accept}\r\n"
             f"Content-Length: {len(body)}\r\n"
             "\r\n"
         ).encode("latin-1")
@@ -104,13 +154,18 @@ class HttpClient:
             return await self._read_response()
 
     async def _read_response(self) -> tuple[int, dict]:
-        """Parse one status line + headers + Content-Length JSON body."""
+        """Parse one status line + headers + Content-Length body.
+
+        A body labeled with the frame content type is decoded with
+        :func:`repro.serve.protocol.unpack_frame`; anything else is JSON.
+        """
         line = await self._reader.readline()
         if not line:
             raise asyncio.IncompleteReadError(b"", None)
         status = int(line.decode("latin-1").split()[1])
         length = 0
         close = False
+        framed = False
         while True:
             raw = await self._reader.readline()
             if raw in (b"\r\n", b"\n"):
@@ -121,10 +176,14 @@ class HttpClient:
                 length = int(value.strip())
             elif key == "connection" and value.strip().lower() == "close":
                 close = True
+            elif key == "content-type":
+                framed = value.strip().lower().startswith(FRAME_CONTENT_TYPE)
         body = await self._reader.readexactly(length) if length else b""
         if close:
             await self.close()
-        return status, json.loads(body) if body else {}
+        if not body:
+            return status, {}
+        return status, unpack_frame(body) if framed else json.loads(body)
 
 
 @dataclass
@@ -136,11 +195,17 @@ class LoadgenConfig:
     #: Stop after this many seconds (or after ``requests``, if set).
     duration_s: float = 10.0
     requests: int | None = None
-    #: ``"closed"`` (concurrency workers), ``"open"`` (fixed rate) or
-    #: ``"drift"`` (closed-loop sparse ``/v1/delta`` traffic).
+    #: ``"closed"`` (concurrency workers), ``"open"`` (fixed rate),
+    #: ``"drift"`` (closed-loop sparse ``/v1/delta`` traffic) or
+    #: ``"montecarlo"`` (closed-loop batched weight scenarios against one
+    #: topology via ``/v1/solve_batch``).
     mode: str = "closed"
     concurrency: int = 4
     rate: float = 20.0
+    #: Scenarios per ``/v1/solve_batch`` request (``montecarlo`` mode).
+    batch: int = 8
+    #: Ship weight columns as binary frames (``montecarlo`` mode).
+    binary: bool = False
     #: Topology universe: families cycled, ``topologies`` instances of
     #: roughly ``size`` nodes, zipf-skewed popularity with exponent
     #: ``zipf_s``.
@@ -203,15 +268,7 @@ class _Traffic:
             range(len(self.topologies)), weights=self.popularity
         )
         topo = self.topologies[index]
-        body: dict = {
-            "protocol": PROTOCOL_VERSION,
-            "eps": self.cfg.eps,
-            "variant": self.cfg.variant,
-        }
-        if self.cfg.backend is not None:
-            body["backend"] = self.cfg.backend
-        if self.cfg.engine is not None:
-            body["engine"] = self.cfg.engine
+        body = self._query_params()
         if self.cfg.mode == "drift" and topo["key"] is not None:
             return (topo, "/v1/delta") + self._drift_body(topo, body)
         if topo["key"] is None:
@@ -222,6 +279,55 @@ class _Traffic:
             body["weights"] = topo["columns"][topo["uses"] % len(topo["columns"])]
         topo["uses"] += 1
         return topo, "/v1/solve", body, None
+
+    def _query_params(self) -> dict:
+        """The shared query-parameter skeleton of every generated request."""
+        body: dict = {
+            "protocol": PROTOCOL_VERSION,
+            "eps": self.cfg.eps,
+            "variant": self.cfg.variant,
+        }
+        if self.cfg.backend is not None:
+            body["backend"] = self.cfg.backend
+        if self.cfg.engine is not None:
+            body["engine"] = self.cfg.engine
+        return body
+
+    def montecarlo_request(self) -> tuple[dict, dict, list]:
+        """One ``/v1/solve_batch`` body of ``batch`` perturbed scenarios.
+
+        Always targets topology 0 (the Monte-Carlo shape is one network,
+        many weight what-ifs).  Each scenario scales ``drift_edges`` of
+        the edges up by a random factor against the registered baseline.
+        Returns ``(topo, header, arrays)``: the weight columns live in
+        ``arrays`` with ``{"__frame__": k}`` references in the header, so
+        the caller either ships them as a binary frame directly or
+        substitutes them back for the plain-JSON encoding.
+        """
+        topo = self.topologies[0]
+        rng = topo["drift"]
+        edges = topo["graph"]["edges"]
+        base = [w for _, _, w in edges]
+        k = min(len(base), max(1, round(self.cfg.drift_edges * len(base))))
+        sub_requests = []
+        arrays: list[list[float]] = []
+        for _ in range(max(1, self.cfg.batch)):
+            column = list(base)
+            for i in rng.sample(range(len(base)), k):
+                column[i] = column[i] * rng.uniform(1.0, 3.0)
+            item = self._query_params()
+            if topo["key"] is None:
+                # Registration round: every scenario carries the graph
+                # (items of a batch are handled concurrently, so only the
+                # first carrying it would race the topology store).
+                item["graph"] = topo["graph"]
+            else:
+                item["topology"] = topo["key"]
+            item["weights"] = {"__frame__": len(arrays)}
+            arrays.append(column)
+            sub_requests.append(item)
+            topo["uses"] += 1
+        return topo, {"requests": sub_requests}, arrays
 
     def _drift_body(self, topo: dict, body: dict) -> tuple[dict, dict]:
         """One sparse delta against the baseline, plus its full fallback.
@@ -260,6 +366,7 @@ class _Tally:
     sent: int = 0
     ok: int = 0
     deltas: int = 0
+    frames: int = 0
     protocol_errors: int = 0
     transport_errors: int = 0
     reregistrations: int = 0
@@ -273,10 +380,67 @@ class _Tally:
         self.error_codes[code] = self.error_codes.get(code, 0) + 1
 
 
+async def _issue_batch(
+    client: HttpClient, traffic: _Traffic, tally: _Tally
+) -> None:
+    """Send one montecarlo ``/v1/solve_batch``; account per scenario.
+
+    ``ok`` counts successful *scenarios* (sub-responses), so montecarlo
+    throughput is solves per second, comparable with the other modes.
+    """
+    cfg = traffic.cfg
+    topo, header, arrays = traffic.montecarlo_request()
+    tally.sent += 1
+    t0 = time.perf_counter()
+    try:
+        if cfg.binary:
+            tally.frames += 1
+            status, payload = await client.request_framed(
+                "POST", "/v1/solve_batch", header, arrays
+            )
+        else:
+            plain = {"requests": [
+                {**item, "weights": arrays[item["weights"]["__frame__"]]}
+                for item in header["requests"]
+            ]}
+            status, payload = await client.request(
+                "POST", "/v1/solve_batch", plain
+            )
+    except (OSError, asyncio.IncompleteReadError, ValueError):
+        tally.transport_errors += 1
+        await client.close()
+        return
+    tally.latencies_s.append(time.perf_counter() - t0)
+    responses = payload.get("responses")
+    if status != 200 or not isinstance(responses, list):
+        error = payload.get("error") or {}
+        tally.record_error(error.get("code", f"http-{status}"))
+        return
+    for item in responses:
+        error = item.get("error")
+        if item.get("status") == 200 and not error:
+            topo["key"] = item.get("topology", topo["key"])
+            tally.ok += 1
+            server = item.get("server", {})
+            if "batch_size" in server:
+                tally.batch_sizes.append(server["batch_size"])
+        elif (error or {}).get("code") == "unknown-topology":
+            # Store/worker eviction: re-register on the next request.
+            topo["key"] = None
+            tally.reregistrations += 1
+        else:
+            tally.record_error(
+                (error or {}).get("code", f"http-{item.get('status')}")
+            )
+
+
 async def _issue(
     client: HttpClient, traffic: _Traffic, tally: _Tally
 ) -> None:
     """Send one sampled request and account for its outcome."""
+    if traffic.cfg.mode == "montecarlo":
+        await _issue_batch(client, traffic, tally)
+        return
     topo, path, body, fallback = traffic.next_request()
     tally.sent += 1
     if path == "/v1/delta":
@@ -408,13 +572,26 @@ async def _run(cfg: LoadgenConfig) -> dict:
     deadline = t0 + cfg.duration_s
     if cfg.mode == "open":
         await _open_loop(cfg, traffic, tally, deadline)
-    elif cfg.mode in ("closed", "drift"):
+    elif cfg.mode in ("closed", "drift", "montecarlo"):
         await _closed_loop(cfg, traffic, tally, deadline)
     else:
         raise ValueError(
-            f"mode must be 'closed', 'open' or 'drift', got {cfg.mode!r}"
+            f"mode must be 'closed', 'open', 'drift' or 'montecarlo', "
+            f"got {cfg.mode!r}"
         )
     wall = time.perf_counter() - t0
+    # One /metrics poll after the run: surface the server's scenario-
+    # vectorization routing counters next to the client-side tallies.
+    solver = {"vectorized_batches": 0, "scalar_fallback": 0}
+    probe = HttpClient(cfg.host, cfg.port)
+    try:
+        status, metrics_payload = await probe.request("GET", "/metrics")
+        if status == 200:
+            solver.update(metrics_payload.get("solver", {}))
+    except (OSError, asyncio.IncompleteReadError, ValueError):
+        pass  # metrics are best-effort decoration of the summary
+    finally:
+        await probe.close()
     lat = tally.latencies_s
     return {
         "mode": cfg.mode,
@@ -422,6 +599,7 @@ async def _run(cfg: LoadgenConfig) -> dict:
         "requests": tally.sent,
         "ok": tally.ok,
         "deltas": tally.deltas,
+        "frames": tally.frames,
         "protocol_errors": tally.protocol_errors,
         "transport_errors": tally.transport_errors,
         "reregistrations": tally.reregistrations,
@@ -440,6 +618,7 @@ async def _run(cfg: LoadgenConfig) -> dict:
             ) if tally.batch_sizes else 0.0,
             "max": max(tally.batch_sizes, default=0),
         },
+        "solver": solver,
         "topologies": cfg.topologies,
         "zipf_s": cfg.zipf_s,
         "scenarios": cfg.scenarios,

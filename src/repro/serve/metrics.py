@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import bisect
 
-__all__ = ["LatencyHistogram", "ServeMetrics"]
+__all__ = ["LatencyHistogram", "ServeMetrics", "SizeHistogram"]
 
 
 class LatencyHistogram:
@@ -70,12 +70,54 @@ class LatencyHistogram:
         }
 
 
+class SizeHistogram:
+    """A fixed-bucket histogram for small integer sizes (batch fan-in).
+
+    Power-of-two bucket bounds: a coalesced batch of size ``s`` lands in
+    the first bucket with ``s <= bound``.  Same allocation-free design as
+    :class:`LatencyHistogram`, used by ``/metrics`` to show how well the
+    micro-batcher is actually coalescing (the precondition for the
+    scenario-vectorized solve path to see multi-query batches).
+    """
+
+    #: Inclusive upper bounds; sizes above the last bound land in +inf.
+    BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(self.BOUNDS) + 1)
+        self.count = 0
+        self.total = 0
+        self.max_size = 0
+
+    def observe(self, size: int) -> None:
+        """Record one size sample."""
+        self.counts[bisect.bisect_left(self.BOUNDS, size)] += 1
+        self.count += 1
+        self.total += size
+        self.max_size = max(self.max_size, size)
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary: count, mean/max, raw buckets."""
+        buckets = {
+            f"le_{bound}": n for bound, n in zip(self.BOUNDS, self.counts)
+        }
+        buckets["inf"] = self.counts[-1]
+        mean = (self.total / self.count) if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean": round(mean, 3),
+            "max": self.max_size,
+            "buckets": buckets,
+        }
+
+
 class ServeMetrics:
-    """Named counters plus per-route latency histograms."""
+    """Named counters plus per-route latency and size histograms."""
 
     def __init__(self) -> None:
         self.counters: dict[str, int] = {}
         self.latency: dict[str, LatencyHistogram] = {}
+        self.sizes: dict[str, SizeHistogram] = {}
 
     def inc(self, name: str, by: int = 1) -> None:
         """Increment a named counter (created on first use)."""
@@ -88,6 +130,13 @@ class ServeMetrics:
             hist = self.latency[route] = LatencyHistogram()
         hist.observe(seconds)
 
+    def observe_size(self, name: str, size: int) -> None:
+        """Record one integer size sample under a histogram label."""
+        hist = self.sizes.get(name)
+        if hist is None:
+            hist = self.sizes[name] = SizeHistogram()
+        hist.observe(size)
+
     def snapshot(self) -> dict:
         """JSON-safe view of every counter and histogram (sorted keys)."""
         return {
@@ -95,5 +144,9 @@ class ServeMetrics:
             "latency": {
                 route: hist.snapshot()
                 for route, hist in sorted(self.latency.items())
+            },
+            "sizes": {
+                name: hist.snapshot()
+                for name, hist in sorted(self.sizes.items())
             },
         }

@@ -62,6 +62,21 @@ the JSON-decoded wire payload for the same parameters.  That equality is
 the serving layer's bit-identity contract, held by
 ``tests/test_serve_wire.py``.
 
+**Binary frames** are the opt-in wire encoding for weight-heavy bodies,
+negotiated by content type (:data:`FRAME_CONTENT_TYPE`; JSON remains the
+default and the fallback).  A frame is the magic :data:`FRAME_MAGIC`, a
+length-prefixed JSON header, and length-prefixed little-endian float64
+arrays; any header node of the form ``{"__frame__": k}`` stands for array
+``k``, so a ``/v1/solve_batch`` body ships its scenario weight columns as
+raw doubles instead of decimal text (~2.6x smaller, no float parsing) while
+the header keeps the full JSON schema.  :func:`unpack_frame` substitutes
+the arrays back, making a framed request *equal as a parsed object* to its
+JSON twin — note the arrays are float64 by declaration, so the JSON twin
+of a framed request writes its weights as floats (``1.0``, not ``1``).
+Responses to clients that ``Accept`` the frame type wrap the exact JSON
+payload in a zero-array frame.  Malformed frames fail with the structured
+``bad-frame`` code, never a struct error.
+
 **Errors** are structured JSON, never tracebacks:
 ``{"protocol": 1, "error": {"code": ..., "message": ..., "field": ...}}``
 with the HTTP status carried by :class:`ProtocolError`.
@@ -72,8 +87,9 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import struct
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Sequence
 
 if TYPE_CHECKING:  # heavy imports stay lazy at runtime
     import networkx as nx
@@ -83,6 +99,8 @@ if TYPE_CHECKING:  # heavy imports stay lazy at runtime
 
 __all__ = [
     "ERROR_CODES",
+    "FRAME_CONTENT_TYPE",
+    "FRAME_MAGIC",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "SolveRequest",
@@ -91,10 +109,12 @@ __all__ = [
     "fingerprint_graph",
     "graph_from_payload",
     "graph_payload",
+    "pack_frame",
     "parse_delta_request",
     "parse_graph_payload",
     "parse_solve_request",
     "result_to_payload",
+    "unpack_frame",
 ]
 
 #: Version tag of the request/response schema.  Bump on breaking changes;
@@ -162,6 +182,7 @@ def error_payload(code: str, message: str, field: str | None = None) -> dict:
 #: error-code table of ``docs/ARCHITECTURE.md`` (the ``proto-error-code``
 #: lint rule enforces both directions).
 ERROR_CODES: "dict[str, tuple[int, str]]" = {
+    "bad-frame": (400, "binary frame body is malformed (magic, lengths, header, or array reference)"),
     "bad-http": (400, "malformed HTTP request line, headers, or body framing"),
     "bad-json": (400, "request body is not valid JSON"),
     "bad-request": (400, "request body or parameter fails schema validation"),
@@ -485,6 +506,114 @@ def failure_plan_from_payload(
             symmetric=item.get("symmetric", True),
         )
     return plan
+
+
+# ---------------------------------------------------------------------------
+# binary frames
+# ---------------------------------------------------------------------------
+
+#: Content type that selects the binary frame encoding (requests declare
+#: it via ``Content-Type``; responses are framed when the client's
+#: ``Accept`` includes it).  JSON stays the default either way.
+FRAME_CONTENT_TYPE = "application/x-repro-frame"
+
+#: Leading magic of every frame — a JSON body can never start with it, so
+#: a mislabeled payload fails fast with ``bad-frame``.
+FRAME_MAGIC = b"RPF1"
+
+
+def pack_frame(header: Any, arrays: "Sequence[Sequence[float]]" = ()) -> bytes:
+    """Serialize a JSON-able header plus float64 arrays into one frame.
+
+    Layout: :data:`FRAME_MAGIC`, ``uint32`` header length, the UTF-8 JSON
+    header, ``uint32`` array count, then per array a ``uint32`` element
+    count followed by that many little-endian float64 values.  Any header
+    node shaped ``{"__frame__": k}`` refers to ``arrays[k]`` and is
+    substituted back by :func:`unpack_frame`.
+    """
+    head = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    parts = [FRAME_MAGIC, struct.pack("<I", len(head)), head,
+             struct.pack("<I", len(arrays))]
+    for arr in arrays:
+        values = [float(x) for x in arr]
+        parts.append(struct.pack("<I", len(values)))
+        parts.append(struct.pack(f"<{len(values)}d", *values))
+    return b"".join(parts)
+
+
+def _frame_bytes(data: bytes, offset: int, count: int, what: str) -> int:
+    """Bounds-check ``count`` bytes at ``offset``; return the new offset."""
+    end = offset + count
+    if end > len(data):
+        raise ProtocolError("bad-frame", f"frame truncated in {what}")
+    return end
+
+
+def _substitute_frame_refs(node: Any, arrays: "list[list[float]]") -> Any:
+    """Replace every ``{"__frame__": k}`` header node with array ``k``."""
+    if isinstance(node, dict):
+        if set(node) == {"__frame__"}:
+            k = node["__frame__"]
+            if isinstance(k, bool) or not isinstance(k, int) \
+                    or not 0 <= k < len(arrays):
+                raise ProtocolError(
+                    "bad-frame",
+                    f"frame reference {k!r} does not name one of the "
+                    f"{len(arrays)} attached array(s)",
+                )
+            return list(arrays[k])
+        return {
+            key: _substitute_frame_refs(value, arrays)
+            for key, value in node.items()
+        }
+    if isinstance(node, list):
+        return [_substitute_frame_refs(item, arrays) for item in node]
+    return node
+
+
+def unpack_frame(data: bytes) -> Any:
+    """Decode one frame; return the header with arrays substituted in.
+
+    The inverse of :func:`pack_frame`: after substitution the result is
+    exactly the object the equivalent plain-JSON body parses to (array
+    elements arrive as floats).  Every malformation — wrong magic, a
+    length running past the buffer, a non-JSON header, trailing bytes, an
+    out-of-range ``{"__frame__": k}`` reference — raises the structured
+    ``bad-frame`` :class:`ProtocolError` instead of a decoding error.
+    """
+    if data[: len(FRAME_MAGIC)] != FRAME_MAGIC:
+        raise ProtocolError(
+            "bad-frame",
+            f"frame does not start with the {FRAME_MAGIC!r} magic",
+        )
+    offset = len(FRAME_MAGIC)
+    end = _frame_bytes(data, offset, 4, "header length")
+    (head_len,) = struct.unpack_from("<I", data, offset)
+    offset = end
+    offset = _frame_bytes(data, offset, head_len, "header")
+    try:
+        header = json.loads(data[offset - head_len: offset].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(
+            "bad-frame", f"frame header is not valid JSON: {exc}"
+        ) from None
+    end = _frame_bytes(data, offset, 4, "array count")
+    (num_arrays,) = struct.unpack_from("<I", data, offset)
+    offset = end
+    arrays: list[list[float]] = []
+    for i in range(num_arrays):
+        end = _frame_bytes(data, offset, 4, f"array {i} length")
+        (count,) = struct.unpack_from("<I", data, offset)
+        offset = _frame_bytes(data, end, 8 * count, f"array {i} values")
+        arrays.append(
+            list(struct.unpack_from(f"<{count}d", data, offset - 8 * count))
+        )
+    if offset != len(data):
+        raise ProtocolError(
+            "bad-frame",
+            f"frame carries {len(data) - offset} trailing byte(s)",
+        )
+    return _substitute_frame_refs(header, arrays)
 
 
 # ---------------------------------------------------------------------------

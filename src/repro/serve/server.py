@@ -6,8 +6,11 @@ parsed straight off the stream reader (request line, headers,
 and answered as JSON with keep-alive connections so a load generator can
 pipeline thousands of requests over a handful of sockets.  The subset of
 HTTP implemented is exactly what the protocol needs — no chunked encoding,
-no TLS, no content negotiation — and malformed requests are answered with
-the protocol's structured errors, never a traceback.
+no TLS, and exactly one piece of content negotiation: a request whose
+``Accept`` includes :data:`repro.serve.protocol.FRAME_CONTENT_TYPE` gets
+its response wrapped in a binary frame (the app handles framed *request*
+bodies via the ``Content-Type`` it is passed).  Malformed requests are
+answered with the protocol's structured errors, never a traceback.
 """
 
 from __future__ import annotations
@@ -16,7 +19,7 @@ import asyncio
 import json
 
 from repro.serve.app import ServeApp, ServeConfig
-from repro.serve.protocol import error_payload
+from repro.serve.protocol import FRAME_CONTENT_TYPE, error_payload, pack_frame
 
 __all__ = ["HttpServer", "run_server"]
 
@@ -128,16 +131,18 @@ class HttpServer:
                     break
                 if parsed is None:
                     break  # clean EOF between requests
-                method, path, body, keep_alive = parsed
+                method, path, body, headers, keep_alive = parsed
                 if task is not None:
                     self._busy.add(task)
                 try:
                     status, payload = await self.app.handle(
-                        method, path, body
+                        method, path, body, headers
                     )
                     keep_alive = keep_alive and not self._closing
                     await self._write_response(
-                        writer, status, payload, keep_alive=keep_alive
+                        writer, status, payload, keep_alive=keep_alive,
+                        framed=FRAME_CONTENT_TYPE
+                        in headers.get("accept", ""),
                     )
                 finally:
                     if task is not None:
@@ -216,7 +221,7 @@ class HttpServer:
         default = "keep-alive" if version == "HTTP/1.1" else "close"
         keep_alive = headers.get("connection", default).lower() != "close"
         path = target.split("?", 1)[0]
-        return method.upper(), path, body, keep_alive
+        return method.upper(), path, body, headers, keep_alive
 
     @staticmethod
     async def _write_response(
@@ -224,13 +229,24 @@ class HttpServer:
         status: int,
         payload: dict,
         keep_alive: bool,
+        framed: bool = False,
     ) -> None:
-        """Serialize one JSON response with explicit framing headers."""
-        body = json.dumps(payload).encode("utf-8")
+        """Serialize one response with explicit framing headers.
+
+        ``framed`` wraps the payload in a zero-array binary frame whose
+        header is serialized with the same compact separators as the
+        plain path — a framed response therefore decodes to the
+        byte-identical JSON body a plain client would have received.
+        """
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        content_type = "application/json"
+        if framed:
+            body = pack_frame(payload)
+            content_type = FRAME_CONTENT_TYPE
         reason = _STATUS_TEXT.get(status, "Response")
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"

@@ -218,7 +218,13 @@ class TestGraphHandle:
         handle = GraphHandle.from_graph(g)
         d = handle.diameter
         clone = handle.reweight([1.0] * handle.m)
-        assert clone.__dict__["diameter"] == d  # carried over, not recomputed
+        assert clone._shared["diameter"] == d  # shared, not recomputed
+        # The share is by reference, both ways: a cache computed on a
+        # clone *after* cloning must reach the base handle too.
+        clone2 = handle.reweight([2.0] * handle.m)
+        pi = clone2._pair_index
+        assert handle._pair_index is pi
+        assert clone._pair_index is pi
 
     def test_csr_is_consistent(self):
         g = cycle_with_chords(12, 4, seed=5)
