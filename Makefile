@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: check test bench bench-smoke example serve-smoke lint typecheck
+.PHONY: check test bench bench-smoke bench-report example serve-smoke \
+    docs-check lint typecheck
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,6 +17,14 @@ bench-smoke:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# Trend gate: run the tracer-overhead benchmark (which also gates the
+# obs layer's cost and appends to bench_history/), then fail on any
+# metric >20% worse than its rolling median.  Fresh checkouts pass
+# trivially — histories younger than --min-prior runs are ungated.
+bench-report:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_obs_overhead.py
+	PYTHONPATH=src $(PYTHON) -m repro bench report --check
 
 example:
 	PYTHONPATH=src $(PYTHON) examples/congest_simulation.py
@@ -47,5 +56,5 @@ lint:
 typecheck:
 	$(PYTHON) tools/run_mypy.py
 
-check: test bench-smoke example docs-check lint typecheck
+check: test bench-smoke bench-report example docs-check lint typecheck
 	@echo "check: OK"

@@ -1,0 +1,156 @@
+"""Tracing-overhead benchmark: spans must be near-free, on or off.
+
+Two gates, both written to ``BENCH_obs_overhead.json`` and appended to
+``bench_history/obs_overhead.jsonl``:
+
+* **disabled** — with tracing off every instrumentation point is one
+  tracer attribute check returning the shared no-op span.  Measured
+  directly: the per-call cost of a disabled ``obs.span()`` context,
+  times the spans one solve actually emits, must stay under
+  ``MAX_DISABLED_FRACTION`` (2%) of the solve itself.
+* **enabled** — with tracing on (real ``Span`` objects, perf_counter
+  reads, tree linkage) the median end-to-end solve must stay within
+  ``MAX_ENABLED_RATIO`` (1.10x) of the disabled median.
+
+Samples are interleaved disabled/enabled so drift (thermal, cache,
+background load) hits both sides equally; medians come from
+:func:`history.sample_stats`.  Also runnable directly:
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+from history import append_history, sample_stats
+
+from repro import obs
+from repro.graphs.families import make_family_instance
+from repro.runtime import SolveQuery, SolverSession
+
+N = 500
+SEED = 3
+EPS = 0.5
+SAMPLES = 7
+NOOP_CALLS = 200_000
+MAX_ENABLED_RATIO = 1.10
+MAX_DISABLED_FRACTION = 0.02
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_obs_overhead.json",
+)
+
+
+def _solve_once(session: SolverSession) -> float:
+    """One timed steady-state solve (plan cached, full TAP run)."""
+    query = SolveQuery(eps=EPS, validate=False)
+    t0 = time.perf_counter()
+    session.solve_many([query])
+    return time.perf_counter() - t0
+
+
+def _spans_per_solve(session: SolverSession) -> int:
+    """How many spans one solve emits (size of the traced tree)."""
+    previous = obs.set_tracer(obs.Tracer(enabled=True))
+    try:
+        session.solve_many([SolveQuery(eps=EPS, validate=False)])
+        roots = obs.get_tracer().drain()
+    finally:
+        obs.set_tracer(previous)
+    return sum(1 for root in roots for _ in root.walk())
+
+
+def _noop_span_cost_s() -> float:
+    """Per-call cost of an instrumentation point while tracing is off."""
+    previous = obs.set_tracer(obs.Tracer(enabled=False))
+    try:
+        t0 = time.perf_counter()
+        for _ in range(NOOP_CALLS):
+            with obs.span("bench.noop"):
+                pass
+        return (time.perf_counter() - t0) / NOOP_CALLS
+    finally:
+        obs.set_tracer(previous)
+
+
+def run_obs_overhead_benchmark() -> dict:
+    """Measure both gates, write the JSON artifact, append history."""
+    graph = make_family_instance("erdos_renyi", N, seed=SEED)
+    session = SolverSession(graph, backend="fast")
+    # Warm: plan build + first-solve costs stay out of both sides.
+    _solve_once(session)
+
+    disabled: list[float] = []
+    enabled: list[float] = []
+    previous = obs.set_tracer(obs.Tracer(enabled=False))
+    try:
+        for _ in range(SAMPLES):
+            obs.disable()
+            disabled.append(_solve_once(session))
+            obs.enable()
+            enabled.append(_solve_once(session))
+            obs.get_tracer().clear()
+    finally:
+        obs.set_tracer(previous)
+
+    disabled_stats = sample_stats(disabled)
+    enabled_stats = sample_stats(enabled)
+    ratio = enabled_stats["median"] / disabled_stats["median"]
+
+    spans = _spans_per_solve(session)
+    noop_cost_s = _noop_span_cost_s()
+    disabled_fraction = spans * noop_cost_s / disabled_stats["median"]
+
+    record = {
+        "benchmark": "obs_overhead",
+        "instance": {"family": "erdos_renyi", "n": N, "seed": SEED,
+                     "m": graph.number_of_edges(), "eps": EPS},
+        "samples": SAMPLES,
+        "python": platform.python_version(),
+        "disabled_solve_s": disabled_stats,
+        "enabled_solve_s": enabled_stats,
+        "enabled_ratio": round(ratio, 4),
+        "max_enabled_ratio_gate": MAX_ENABLED_RATIO,
+        "spans_per_solve": spans,
+        "noop_span_cost_us": round(noop_cost_s * 1e6, 4),
+        "disabled_overhead_fraction": round(disabled_fraction, 6),
+        "max_disabled_fraction_gate": MAX_DISABLED_FRACTION,
+    }
+    with open(BENCH_PATH, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    append_history("obs_overhead", record)
+    assert disabled_fraction <= MAX_DISABLED_FRACTION, (
+        f"disabled tracing costs {disabled_fraction * 100:.2f}% of a solve "
+        f"({spans} spans x {noop_cost_s * 1e6:.2f}us), above the "
+        f"{MAX_DISABLED_FRACTION * 100:.0f}% gate"
+    )
+    assert ratio <= MAX_ENABLED_RATIO, (
+        f"enabled tracing is {ratio:.3f}x the disabled solve, above the "
+        f"{MAX_ENABLED_RATIO}x gate"
+    )
+    return record
+
+
+def test_bench_obs_overhead(benchmark):
+    record = benchmark.pedantic(
+        run_obs_overhead_benchmark, rounds=1, iterations=1
+    )
+    print(
+        f"\nobs overhead n={N}: disabled "
+        f"{record['disabled_solve_s']['median'] * 1e3:.1f} ms/solve, "
+        f"enabled ratio {record['enabled_ratio']}x "
+        f"(gate {MAX_ENABLED_RATIO}x), {record['spans_per_solve']} spans at "
+        f"{record['noop_span_cost_us']}us no-op -> {BENCH_PATH}"
+    )
+    assert record["enabled_ratio"] <= MAX_ENABLED_RATIO
+
+
+if __name__ == "__main__":
+    rec = run_obs_overhead_benchmark()
+    print(json.dumps(rec, indent=2))

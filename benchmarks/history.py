@@ -4,10 +4,21 @@ The ``BENCH_*.json`` files at the repo root are *snapshots* — each run
 overwrites the last, so a slow drift that stays above a gate is
 invisible.  Every benchmark runner therefore also appends its record to
 ``bench_history/<name>.jsonl`` through :func:`append_history`: an
-append-only log of ``{"at": <UTC ISO>, "benchmark": <name>, ...record}``
-lines that trend tooling (ROADMAP item 5's ``bench report``) can read
-without re-running anything.  History files are per-machine working data
-(the directory is gitignored); CI uploads them next to the snapshots.
+append-only log of ``{...record, "at": <UTC ISO>, "benchmark": <name>,
+"commit": <git sha>, "host": <hostname>}`` lines that the trend tooling
+(``python -m repro bench report``, backed by :mod:`repro.obs.report`)
+reads without re-running anything.  History files are per-machine
+working data (the directory is gitignored); CI uploads them next to the
+snapshots.
+
+The stamps are applied **after** the record is spread, so a record that
+happens to carry an ``at``/``benchmark``/``commit``/``host`` key cannot
+silently masquerade as a different run (regression-tested in
+``tests/test_bench_report.py``).
+
+Benchmarks that take repeated samples summarize them through
+:func:`sample_stats` — median ± IQR instead of a single shot — so the
+history carries spread, not just a point.
 
 Import note: the benchmarks are run both as scripts
 (``python benchmarks/bench_X.py``) and under pytest — in both cases this
@@ -19,29 +30,78 @@ from __future__ import annotations
 
 import json
 import os
+import socket
+import subprocess
 import time
 
-__all__ = ["HISTORY_DIR", "append_history"]
+__all__ = ["HISTORY_DIR", "append_history", "git_commit", "sample_stats"]
 
-HISTORY_DIR = os.path.join(
-    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-    "bench_history",
-)
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+HISTORY_DIR = os.path.join(_REPO_ROOT, "bench_history")
+
+
+def git_commit() -> "str | None":
+    """The current commit's short sha, or ``None`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def sample_stats(samples: "list[float]") -> "dict[str, float]":
+    """Median ± IQR summary of repeated measurements.
+
+    Returns ``{"n", "median", "iqr", "min", "max"}`` — the shape trend
+    reporting expects (``median`` trends; ``iqr`` shows spread).
+    """
+    if not samples:
+        raise ValueError("sample_stats needs at least one sample")
+    ordered = sorted(samples)
+    n = len(ordered)
+
+    def quantile(q: float) -> float:
+        # Linear interpolation between closest ranks (numpy's default).
+        pos = q * (n - 1)
+        lo = int(pos)
+        hi = min(lo + 1, n - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    return {
+        "n": float(n),
+        "median": quantile(0.5),
+        "iqr": quantile(0.75) - quantile(0.25),
+        "min": ordered[0],
+        "max": ordered[-1],
+    }
 
 
 def append_history(name: str, record: dict) -> str:
     """Append one benchmark record to ``bench_history/<name>.jsonl``.
 
-    Stamps the record with the current UTC time (``at``) and the
-    benchmark name, creates the directory on first use, and returns the
-    history file's path.  Records are written as one compact JSON line
-    each, so the file is greppable and loads line by line.
+    Stamps the record with the current UTC time (``at``), the benchmark
+    name, the git commit and the hostname — *after* spreading the
+    record, so the stamps always win over colliding record keys.
+    Creates the directory on first use and returns the history file's
+    path.  Records are written as one compact JSON line each, so the
+    file is greppable and loads line by line.
     """
     os.makedirs(HISTORY_DIR, exist_ok=True)
     entry = {
+        **record,
         "at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "benchmark": name,
-        **record,
+        "commit": git_commit(),
+        "host": socket.gethostname(),
     }
     path = os.path.join(HISTORY_DIR, f"{name}.jsonl")
     with open(path, "a", encoding="utf-8") as fh:

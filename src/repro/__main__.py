@@ -7,6 +7,7 @@
     python -m repro backends [--json]   # list registered execution backends
     python -m repro serve [options]     # run the async batching solve service
     python -m repro loadgen [options]   # drive a server with zipf traffic
+    python -m repro bench report        # benchmark trends from bench_history/
 
 ``experiments`` with no ids runs the full E1..E13 suite (minutes); with ids
 (e.g. ``e05 e11``) only those.  Tables are written to ``benchmarks/out/``
@@ -32,6 +33,15 @@ measured-vs-priced round columns to the report:
 
     python -m repro serve --port 8421 --workers 2
     python -m repro loadgen --duration 10 --spawn --check
+
+``demo --trace out.json`` dumps the run's span tree as Chrome trace
+events (load in ``chrome://tracing`` or Perfetto).  ``bench report``
+renders per-benchmark metric trends from the ``bench_history/*.jsonl``
+append logs; ``--check`` exits 1 when the latest sample regresses more
+than the threshold against the rolling median of prior runs — the CI
+regression gate:
+
+    python -m repro bench report --check --threshold 0.2
 
 Every subcommand exits 0 on success and 2 on usage errors (unknown
 subcommand, invalid arguments), with a one-line message on stderr.
@@ -79,9 +89,22 @@ def _split(raw: str, cast, flag: str) -> list:
         ) from None
 
 
-def run_demo() -> int:
+def run_demo(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro demo",
+        description="Run the headline 2-ECSS algorithm once on a demo graph.",
+    )
+    parser.add_argument(
+        "--trace", metavar="OUT.json", default=None,
+        help="write the run's span tree as Chrome trace events "
+        "(open in chrome://tracing or Perfetto)",
+    )
+    args = parser.parse_args(argv)
     import repro
+    from repro import obs
 
+    if args.trace:
+        obs.enable()
     g = repro.graphs.cycle_with_chords(80, 40, seed=1)
     print(f"demo network: n={g.number_of_nodes()}, m={g.number_of_edges()}")
     res = repro.approximate_two_ecss(g, eps=0.5)
@@ -90,6 +113,9 @@ def run_demo() -> int:
 
     res2 = shortcut_two_ecss(g, seed=2)
     print(res2.summary())
+    if args.trace:
+        events = obs.write_chrome_trace(args.trace, obs.get_tracer().drain())
+        print(f"-> {args.trace} ({events} trace events)")
     return 0
 
 
@@ -339,6 +365,11 @@ def run_serve_cli(argv: list[str]) -> int:
         help="'session' serves from warm sharded sessions; 'per-request' "
         "is the naive benchmark baseline (default: %(default)s)",
     )
+    parser.add_argument(
+        "--no-tracing", action="store_true",
+        help="disable span tracing (drops the /metrics per-phase "
+        "breakdown and the per-request timings block)",
+    )
     args = parser.parse_args(argv)
     from repro.runtime.registry import UnknownBackendError, get_backend
 
@@ -358,6 +389,7 @@ def run_serve_cli(argv: list[str]) -> int:
         max_plans=args.max_plans,
         max_sessions=args.max_sessions,
         mode=args.mode,
+        tracing=not args.no_tracing,
     ))
 
 
@@ -460,6 +492,10 @@ def run_loadgen_cli(argv: list[str]) -> int:
         "(the CI smoke gate)",
     )
     parser.add_argument(
+        "--no-timings", action="store_true",
+        help="don't request the server's per-phase timings block",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="print the summary as JSON only"
     )
     args = parser.parse_args(argv)
@@ -484,6 +520,7 @@ def run_loadgen_cli(argv: list[str]) -> int:
         eps=args.eps,
         backend=args.backend,
         engine=args.engine,
+        timings=not args.no_timings,
     )
     spawn = None
     if args.spawn:
@@ -531,10 +568,120 @@ def run_loadgen_cli(argv: list[str]) -> int:
                 f"{solver.get('vectorized_batches', 0)}, scalar fallback "
                 f"{solver.get('scalar_fallback', 0)}{frames}"
             )
+        phases = summary.get("server_phases_ms") or {}
+        if phases:
+            print("server phases (mean ms per occurrence):")
+            width = max(len(name) for name in phases)
+            for name, cell in phases.items():
+                print(
+                    f"  {name:<{width}}  mean {cell['mean_ms']:>9.3f}  "
+                    f"total {cell['total_ms']:>10.1f}  x{cell['count']}"
+                )
     failures = summary["protocol_errors"] + summary["transport_errors"]
     if args.check and failures:
         print(f"loadgen: {failures} failed request(s)", file=sys.stderr)
         return 1
+    return 0
+
+
+def run_bench_cli(argv: list[str]) -> int:
+    """``bench report``: render benchmark trends from the history logs."""
+    import json
+    import os
+
+    from repro.obs.report import (
+        check_trends,
+        compute_trends,
+        load_history,
+        render_report,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description=(
+            "Benchmark history tooling.  'report' reads the append-only "
+            "bench_history/*.jsonl logs and renders per-benchmark metric "
+            "trends (latest value vs the rolling median of prior runs)."
+        ),
+    )
+    parser.add_argument("action", choices=("report",))
+    default_history = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))), "bench_history",
+    )
+    parser.add_argument(
+        "--history", default=default_history,
+        help="history directory of *.jsonl append logs "
+        "(default: <repo>/bench_history)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=10,
+        help="prior runs in the rolling median (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="regression gate: fail --check when the latest value is this "
+        "fraction worse than the rolling median (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-prior", type=int, default=3,
+        help="gate a metric only once it has this many prior samples — "
+        "fresh histories pass vacuously (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if any gated metric regressed past the threshold "
+        "(the CI gate)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable trend rows instead of the table",
+    )
+    args = parser.parse_args(argv)
+
+    if not os.path.isdir(args.history):
+        raise CliError(
+            f"history directory {args.history!r} does not exist; run some "
+            "benchmarks first (make bench) or pass --history"
+        )
+    histories = load_history(args.history)
+    trends = compute_trends(
+        histories,
+        window=args.window,
+        threshold=args.threshold,
+        min_prior=args.min_prior,
+    )
+    if args.json:
+        print(json.dumps(
+            [
+                {
+                    "benchmark": t.benchmark,
+                    "metric": t.metric,
+                    "latest": t.latest,
+                    "direction": t.direction,
+                    "prior_median": t.prior_median,
+                    "prior_count": t.prior_count,
+                    "regression": t.regression,
+                    "gated": t.gated,
+                    "failed": t.failed,
+                }
+                for t in trends
+            ],
+            indent=2,
+        ))
+    else:
+        print(render_report(trends, threshold=args.threshold))
+    if args.check:
+        failed = check_trends(trends)
+        if failed:
+            for t in failed:
+                print(
+                    f"bench report: {t.benchmark}.{t.metric} regressed "
+                    f"{t.regression * 100.0:+.1f}% vs median "
+                    f"{t.prior_median:g} over {t.prior_count} prior run(s)",
+                    file=sys.stderr,
+                )
+            return 1
     return 0
 
 
@@ -556,12 +703,13 @@ def run_figures() -> int:
 
 #: Subcommand table: name -> handler taking the remaining argv.
 COMMANDS = {
-    "demo": lambda rest: run_demo(),
+    "demo": run_demo,
     "experiments": run_experiments,
     "sweep": run_sweep_cli,
     "backends": run_backends,
     "serve": run_serve_cli,
     "loadgen": run_loadgen_cli,
+    "bench": run_bench_cli,
     "figures": lambda rest: run_figures(),
 }
 

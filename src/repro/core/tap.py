@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Hashable, Iterable, Sequence
 
+from repro import obs
 from repro.core import certificates as cert
 from repro.core.forward import forward_phase
 from repro.core.instance import TAPInstance
@@ -57,17 +58,20 @@ def solve_virtual_tap(
     backend = resolve_backend(backend)
     c = COVER_BOUND[variant]
     eps_prime = eps / c
-    fwd = forward_phase(inst, eps=eps_prime, backend=backend)
-    rev = reverse_delete(
-        inst, fwd, variant=variant, segmented=segmented, validate=validate,
-        backend=backend, hooks=hooks,
-    )
+    with obs.span("tap.forward", backend=backend):
+        fwd = forward_phase(inst, eps=eps_prime, backend=backend)
+    with obs.span("tap.reverse", backend=backend):
+        rev = reverse_delete(
+            inst, fwd, variant=variant, segmented=segmented,
+            validate=validate, backend=backend, hooks=hooks,
+        )
     if validate:
-        certs = _certificates(backend)
-        certs.validate_dual_feasibility(inst, fwd.y, eps_prime)
-        certs.validate_tightness(inst, fwd.y, rev.b)
-        certs.validate_cover(inst, rev.b)
-        certs.validate_coverage_bound(inst, fwd.y, rev.b, c)
+        with obs.span("tap.certificates"):
+            certs = _certificates(backend)
+            certs.validate_dual_feasibility(inst, fwd.y, eps_prime)
+            certs.validate_tightness(inst, fwd.y, rev.b)
+            certs.validate_cover(inst, rev.b)
+            certs.validate_coverage_bound(inst, fwd.y, rev.b, c)
     return fwd, rev
 
 

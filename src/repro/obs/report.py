@@ -1,0 +1,248 @@
+"""Benchmark trend tables and rolling-median regression gates.
+
+The static gates inside each benchmark (``assert speedup >= 3.0``)
+protect the *claim*; they cannot see a slow drift that stays above the
+floor.  This module reads the append-only ``bench_history/*.jsonl``
+records (``benchmarks/history.py``) and compares each benchmark's
+latest run against the **rolling median of its prior runs**, metric by
+metric — ``python -m repro bench report`` renders the trend table, and
+``--check`` turns any >20% (configurable) regression into a non-zero
+exit, which CI's ``observability`` job enforces.
+
+Metric direction is inferred from the name: durations/latencies
+(``*_s``, ``*_ms``, ``latency``, ``elapsed`` …) regress *upward*;
+rates and ratios (``speedup``, ``throughput``, ``rps`` …) regress
+*downward*; anything unrecognized is reported but never gated.  Gating
+also requires a minimum number of prior samples so a second-ever run on
+a different machine cannot fail spuriously.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = [
+    "MetricTrend",
+    "check_trends",
+    "compute_trends",
+    "load_history",
+    "metric_direction",
+    "render_report",
+]
+
+#: Substrings marking a metric where smaller is better.
+_LOWER_TOKENS = (
+    "latency",
+    "elapsed",
+    "duration",
+    "seconds",
+    "wait",
+    "_time",
+    "time_",
+    "overhead",
+    "rounds",
+)
+
+#: Substrings marking a metric where larger is better.
+_HIGHER_TOKENS = ("speedup", "throughput", "rps", "ops_per", "rate")
+
+
+def metric_direction(key: str) -> "str | None":
+    """``"lower"`` / ``"higher"`` is better, or ``None`` (ungated)."""
+    k = key.lower()
+    if any(tok in k for tok in _HIGHER_TOKENS):
+        return "higher"
+    if k.endswith("_s") or k.endswith("_ms") or k.endswith("_us"):
+        return "lower"
+    if any(tok in k for tok in _LOWER_TOKENS):
+        return "lower"
+    return None
+
+
+#: History-stamp keys that are never metrics.
+_STAMP_KEYS = frozenset({"at", "benchmark", "commit", "host", "samples"})
+
+
+def _flatten(record: "dict[str, Any]", prefix: str = "") -> "dict[str, float]":
+    """Dotted-key numeric leaves of a (possibly nested) record."""
+    out: dict[str, float] = {}
+    for key, value in record.items():
+        if not prefix and key in _STAMP_KEYS:
+            continue
+        dotted = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[dotted] = float(value)
+        elif isinstance(value, dict):
+            out.update(_flatten(value, prefix=f"{dotted}."))
+    return out
+
+
+def load_history(history_dir: str) -> "dict[str, list[dict[str, Any]]]":
+    """All ``*.jsonl`` histories as ``{benchmark: [record, ...]}``.
+
+    Records keep file (append) order — the trend baseline is positional,
+    not timestamp-sorted, so clock skew between machines cannot reorder
+    a history.  Unparseable lines are skipped rather than fatal: a
+    half-written line from a crashed run must not wedge reporting.
+    """
+    histories: dict[str, list[dict[str, Any]]] = {}
+    if not os.path.isdir(history_dir):
+        return histories
+    for fname in sorted(os.listdir(history_dir)):
+        if not fname.endswith(".jsonl"):
+            continue
+        records: list[dict[str, Any]] = []
+        with open(os.path.join(history_dir, fname), encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(payload, dict):
+                    records.append(payload)
+        if records:
+            histories[fname[: -len(".jsonl")]] = records
+    return histories
+
+
+@dataclass
+class MetricTrend:
+    """One metric of one benchmark: latest value vs its rolling median."""
+
+    benchmark: str
+    metric: str
+    latest: float
+    direction: "str | None"
+    prior_median: "float | None" = None
+    prior_count: int = 0
+    #: Signed fractional change vs the prior median, oriented so that
+    #: positive always means *worse* (regression), whatever the
+    #: direction.  ``None`` without a usable baseline.
+    regression: "float | None" = None
+    gated: bool = False
+    samples: "dict[str, float] | None" = field(default=None, repr=False)
+
+    @property
+    def failed(self) -> bool:
+        """Did this metric regress past the gate threshold?"""
+        return self.gated and self.regression is not None
+
+
+def _median(values: "list[float]") -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def compute_trends(
+    histories: "dict[str, list[dict[str, Any]]]",
+    *,
+    window: int = 10,
+    threshold: float = 0.20,
+    min_prior: int = 3,
+) -> "list[MetricTrend]":
+    """Latest-vs-rolling-median trends for every metric in ``histories``.
+
+    ``window`` bounds how many *prior* runs feed the median;
+    ``threshold`` is the fractional regression that flips a trend to
+    failed; metrics with fewer than ``min_prior`` prior samples (or no
+    inferable direction) are reported ungated.
+    """
+    trends: list[MetricTrend] = []
+    for name in sorted(histories):
+        records = histories[name]
+        latest = _flatten(records[-1])
+        prior = [_flatten(r) for r in records[:-1]]
+        for metric in sorted(latest):
+            value = latest[metric]
+            prior_values = [p[metric] for p in prior if metric in p]
+            prior_values = prior_values[-window:]
+            trend = MetricTrend(
+                benchmark=name,
+                metric=metric,
+                latest=value,
+                direction=metric_direction(metric),
+                prior_count=len(prior_values),
+            )
+            if prior_values:
+                trend.prior_median = _median(prior_values)
+            if (
+                trend.direction is not None
+                and trend.prior_median is not None
+                and len(prior_values) >= min_prior
+                and trend.prior_median > 0
+            ):
+                if trend.direction == "lower":
+                    change = value / trend.prior_median - 1.0
+                else:
+                    change = 1.0 - value / trend.prior_median
+                if change > threshold:
+                    trend.regression = change
+                    trend.gated = True
+                else:
+                    trend.gated = True
+                    trend.regression = None
+            trends.append(trend)
+    return trends
+
+
+def check_trends(trends: "Iterable[MetricTrend]") -> "list[MetricTrend]":
+    """The failing subset of ``trends`` (empty means the gate passes)."""
+    return [t for t in trends if t.failed]
+
+
+def _fmt(value: "float | None") -> str:
+    if value is None:
+        return "-"
+    if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+        return f"{value:.3e}"
+    return f"{value:.4g}"
+
+
+def render_report(
+    trends: "list[MetricTrend]", *, threshold: float = 0.20
+) -> str:
+    """Plain-text trend table, one section per benchmark."""
+    if not trends:
+        return "bench report: no history found (run some benchmarks first)"
+    lines: list[str] = []
+    failures = check_trends(trends)
+    by_bench: dict[str, list[MetricTrend]] = {}
+    for trend in trends:
+        by_bench.setdefault(trend.benchmark, []).append(trend)
+    header = (
+        f"{'metric':<40} {'latest':>12} {'median':>12} "
+        f"{'n':>3} {'dir':>6} {'status':>10}"
+    )
+    for bench in sorted(by_bench):
+        lines.append(f"== {bench} ==")
+        lines.append(header)
+        for trend in by_bench[bench]:
+            if trend.failed and trend.regression is not None:
+                status = f"FAIL +{trend.regression * 100.0:.0f}%"
+            elif trend.gated:
+                status = "ok"
+            else:
+                status = "ungated"
+            lines.append(
+                f"{trend.metric:<40} {_fmt(trend.latest):>12} "
+                f"{_fmt(trend.prior_median):>12} {trend.prior_count:>3} "
+                f"{trend.direction or '-':>6} {status:>10}"
+            )
+        lines.append("")
+    lines.append(
+        f"{len(failures)} regression(s) past the "
+        f"{threshold * 100.0:.0f}% rolling-median gate "
+        f"across {len(by_bench)} benchmark(s)."
+    )
+    return "\n".join(lines)

@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
 
+from repro import obs
 from repro.core.instance import TAPInstance
 from repro.core.reverse import COVER_BOUND, reverse_delete
 from repro.core.tap import _certificates, assemble_tap_result
@@ -235,32 +236,34 @@ def solve_scenario_group(
         base_in_tree[edge_pos[e]] = True
 
     groups: dict[tuple, _TreeGroup] = {}
-    for idx, handle in enumerate(handles):
-        column64 = np.asarray(handle.weights, dtype=np.float64)
-        diff = np.flatnonzero(column64 != base_col)
-        if bool(
-            np.all(
-                np.where(
-                    base_in_tree[diff],
-                    column64[diff] <= base_col[diff],
-                    column64[diff] >= base_col[diff],
+    with obs.span("batch.group", scenarios=len(handles)) as group_span:
+        for idx, handle in enumerate(handles):
+            column64 = np.asarray(handle.weights, dtype=np.float64)
+            diff = np.flatnonzero(column64 != base_col)
+            if bool(
+                np.all(
+                    np.where(
+                        base_in_tree[diff],
+                        column64[diff] <= base_col[diff],
+                        column64[diff] >= base_col[diff],
+                    )
                 )
-            )
-        ):
-            mst_edges = base_mst
-        else:
-            mst_edges = stable_kruskal_mst(handle, column64)
-        tree_key = tuple(mst_edges)
-        group = groups.get(tree_key)
-        if group is None:
-            group = _TreeGroup(
-                tree=RootedTree.from_edges(handle.n, mst_edges, root=0),
-                mst_edges=mst_edges,
-            )
-            groups[tree_key] = group
-        plan = _seed_plan(handle, group)
-        inst = _group_instance(plan, group, column64)
-        group.members.append((idx, plan, inst))
+            ):
+                mst_edges = base_mst
+            else:
+                mst_edges = stable_kruskal_mst(handle, column64)
+            tree_key = tuple(mst_edges)
+            group = groups.get(tree_key)
+            if group is None:
+                group = _TreeGroup(
+                    tree=RootedTree.from_edges(handle.n, mst_edges, root=0),
+                    mst_edges=mst_edges,
+                )
+                groups[tree_key] = group
+            plan = _seed_plan(handle, group)
+            inst = _group_instance(plan, group, column64)
+            group.members.append((idx, plan, inst))
+        group_span.set(trees=len(groups))
 
     # One batched forward pass per tree group, then per-scenario
     # reverse-delete + certificates + assembly — the exact body of
@@ -270,32 +273,34 @@ def solve_scenario_group(
     certs = _certificates("fast")
     scenario_results: list[Any] = [None] * len(handles)
     for group in groups.values():
-        fwds = forward_phase_fast_batch(
-            [inst for _, _, inst in group.members], eps=eps_prime
-        )
+        with obs.span("batch.forward", scenarios=len(group.members)):
+            fwds = forward_phase_fast_batch(
+                [inst for _, _, inst in group.members], eps=eps_prime
+            )
         # Label-map the group's (shared) MST once; every scenario result
         # reuses the list (read-only by convention, like the shared tree).
         nodes = group.members[0][1].nodes
         mst_out = [(nodes[u], nodes[v]) for u, v in group.mst_edges]
-        for (idx, plan, inst), fwd in zip(group.members, fwds):
-            rev = reverse_delete(
-                inst, fwd, variant=variant, segmented=segmented,
-                validate=validate, backend="fast",
-            )
-            if validate:
-                certs.validate_dual_feasibility(inst, fwd.y, eps_prime)
-                certs.validate_tightness(inst, fwd.y, rev.b)
-                certs.validate_cover(inst, rev.b)
-                certs.validate_coverage_bound(inst, fwd.y, rev.b, c)
-            tap = assemble_tap_result(
-                inst, fwd, rev, eps=eps, variant=variant,
-                segmented=segmented, validate=validate, backend="fast",
-            )
-            scenario_results[idx] = assemble_two_ecss(
-                plan.g if validate else None,
-                plan.nodes, plan.mst_edges, tap,
-                validate=validate, mst_simulation=None,
-                diameter=plan.diameter, mst_weight=plan.mst_weight,
-                n=plan.handle.n, mst_edges_out=mst_out,
-            )
+        with obs.span("batch.tails", scenarios=len(group.members)):
+            for (idx, plan, inst), fwd in zip(group.members, fwds):
+                rev = reverse_delete(
+                    inst, fwd, variant=variant, segmented=segmented,
+                    validate=validate, backend="fast",
+                )
+                if validate:
+                    certs.validate_dual_feasibility(inst, fwd.y, eps_prime)
+                    certs.validate_tightness(inst, fwd.y, rev.b)
+                    certs.validate_cover(inst, rev.b)
+                    certs.validate_coverage_bound(inst, fwd.y, rev.b, c)
+                tap = assemble_tap_result(
+                    inst, fwd, rev, eps=eps, variant=variant,
+                    segmented=segmented, validate=validate, backend="fast",
+                )
+                scenario_results[idx] = assemble_two_ecss(
+                    plan.g if validate else None,
+                    plan.nodes, plan.mst_edges, tap,
+                    validate=validate, mst_simulation=None,
+                    diameter=plan.diameter, mst_weight=plan.mst_weight,
+                    n=plan.handle.n, mst_edges_out=mst_out,
+                )
     return [scenario_results[at] for at in scenario_of]

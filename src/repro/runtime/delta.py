@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 
 from typing import Any, Iterable, Sequence
 
+from repro import obs
 from repro.runtime.handle import GraphHandle
 from repro.trees.rooted import RootedTree
 
@@ -216,8 +217,27 @@ def maintain_mst(
 
     ``tree`` / ``mst_edges`` belong to the plan of ``handle.delta_base``;
     the diff and old weights come from the handle's delta lineage.  Raises
-    :class:`DeltaFallback` when the swap budget is exceeded.
+    :class:`DeltaFallback` when the swap budget is exceeded.  When
+    tracing is on, the replay runs under a ``delta.maintain`` span
+    carrying the change/swap counts (a fallback shows up as its
+    ``error`` attribute).
     """
+    with obs.span(
+        "delta.maintain", changed=len(handle.delta_changes)
+    ) as span:
+        outcome = _maintain_mst(handle, tree, mst_edges, max_swaps=max_swaps)
+        span.set(swaps=len(outcome.swaps), changed_tree=outcome.changed_tree)
+    return outcome
+
+
+def _maintain_mst(
+    handle: GraphHandle,
+    tree: RootedTree,
+    mst_edges: list[tuple[int, int]],
+    *,
+    max_swaps: int | None = None,
+) -> DeltaOutcome:
+    """The replay body behind :func:`maintain_mst`."""
     base = handle.delta_base
     if base is None:
         raise DeltaFallback("handle has no delta lineage")

@@ -37,12 +37,12 @@ needs to inject state (the measured-ops facade of
 
 from __future__ import annotations
 
-import time
 from functools import cached_property
 from typing import Any, Callable, Iterable
 
 import networkx as nx
 
+from repro import obs
 from repro.core.instance import TAPInstance
 from repro.core.tecss import nontree_links, rooted_mst
 from repro.runtime.handle import GraphHandle
@@ -148,10 +148,16 @@ class SolverPlan:
         self._k_degree_bounds: dict[int, float] = {}
 
     def _timed(self, phase: str, build: Callable[[], Any]) -> Any:
-        """Run ``build()`` and record its wall-clock under ``phase``."""
-        t0 = time.perf_counter()
-        value = build()
-        self.build_times[phase] = time.perf_counter() - t0
+        """Run ``build()`` and record its duration under ``phase``.
+
+        Timing goes through :func:`repro.obs.timer`, so one measurement
+        feeds both the legacy ``build_times`` dict (the ``stats()`` /
+        ``/metrics`` schema) and — when tracing is enabled — a
+        ``plan.<phase>`` span nested under whatever solve is running.
+        """
+        with obs.timer("plan." + phase) as clock:
+            value = build()
+        self.build_times[phase] = clock.duration_s
         return value
 
     @classmethod

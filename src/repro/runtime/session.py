@@ -40,6 +40,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 import networkx as nx
 
+from repro import obs
 from repro.core.instance import TAPInstance
 from repro.core.k_ecss import MAX_K
 from repro.core.tap import assemble_tap_result, solve_virtual_tap
@@ -369,42 +370,43 @@ class SolverSession:
                     f"capability; got {backend!r}"
                 )
         self._counters["solves"] += 1
-        plan: SolverPlan | None = None
-        token = (
-            self._weights_token(query) if plan_cache is not None else None
-        )
-        if token is not None and plan_cache is not None:
-            plan = plan_cache.get(token)
-            if plan is not None:
-                self._counters["plan_hits"] += 1
-        if plan is None:
-            plan = self.plan(query.weights, query.weights_delta)
-            if token is not None and plan_cache is not None:
-                plan_cache[token] = plan
-        if engine == "sim":
-            from repro.dist.pipeline import distributed_two_ecss
-
-            return distributed_two_ecss(
-                None,
-                eps=eps,
-                variant=variant,
-                segmented=segmented,
-                validate=validate,
-                words_per_edge=self.words_per_edge,
-                scheduler=self.scheduler,
-                failures=failures,
-                plan=plan,
+        with obs.span("session.solve", engine=engine, k=k):
+            plan: SolverPlan | None = None
+            token = (
+                self._weights_token(query) if plan_cache is not None else None
             )
-        flavor = resolve_compute(backend)
-        if k == 2:
-            return self._solve_local(
-                plan, eps, variant, segmented, validate, flavor,
+            if token is not None and plan_cache is not None:
+                plan = plan_cache.get(token)
+                if plan is not None:
+                    self._counters["plan_hits"] += 1
+            if plan is None:
+                plan = self.plan(query.weights, query.weights_delta)
+                if token is not None and plan_cache is not None:
+                    plan_cache[token] = plan
+            if engine == "sim":
+                from repro.dist.pipeline import distributed_two_ecss
+
+                return distributed_two_ecss(
+                    None,
+                    eps=eps,
+                    variant=variant,
+                    segmented=segmented,
+                    validate=validate,
+                    words_per_edge=self.words_per_edge,
+                    scheduler=self.scheduler,
+                    failures=failures,
+                    plan=plan,
+                )
+            flavor = resolve_compute(backend)
+            if k == 2:
+                return self._solve_local(
+                    plan, eps, variant, segmented, validate, flavor,
+                    simulate_mst,
+                )
+            return self._solve_k(
+                plan, k, eps, variant, segmented, validate, flavor,
                 simulate_mst,
             )
-        return self._solve_k(
-            plan, k, eps, variant, segmented, validate, flavor,
-            simulate_mst,
-        )
 
     def _solve_k(
         self,
@@ -477,27 +479,29 @@ class SolverSession:
                 inst = TAPInstance.from_links(tree, links, backend=flavor)
         if inst is None:
             inst = plan.instance(flavor)
-        fwd, rev = solve_virtual_tap(
-            inst, eps=eps, variant=variant, segmented=segmented,
-            validate=validate, backend=flavor,
-        )
-        tap = assemble_tap_result(
-            inst, fwd, rev, eps=eps, variant=variant, segmented=segmented,
-            validate=validate, backend=flavor,
-        )
-        # Only validation walks the nx.Graph; every other input is on the
-        # plan, so a validate=False solve never materializes the graph —
-        # an O(m) build the delta path must not pay per tick.
-        return assemble_two_ecss(
-            plan.g if (validate or simulate_mst) else None,
-            plan.nodes, mst_edges, tap,
-            validate=validate, mst_simulation=mst_simulation,
-            diameter=plan.diameter,
-            mst_weight=(
-                plan.mst_weight if mst_edges is plan.mst_edges else None
-            ),
-            n=plan.handle.n,
-        )
+        with obs.span("solve.tap", backend=flavor):
+            fwd, rev = solve_virtual_tap(
+                inst, eps=eps, variant=variant, segmented=segmented,
+                validate=validate, backend=flavor,
+            )
+        with obs.span("solve.assemble"):
+            tap = assemble_tap_result(
+                inst, fwd, rev, eps=eps, variant=variant,
+                segmented=segmented, validate=validate, backend=flavor,
+            )
+            # Only validation walks the nx.Graph; every other input is on
+            # the plan, so a validate=False solve never materializes the
+            # graph — an O(m) build the delta path must not pay per tick.
+            return assemble_two_ecss(
+                plan.g if (validate or simulate_mst) else None,
+                plan.nodes, mst_edges, tap,
+                validate=validate, mst_simulation=mst_simulation,
+                diameter=plan.diameter,
+                mst_weight=(
+                    plan.mst_weight if mst_edges is plan.mst_edges else None
+                ),
+                n=plan.handle.n,
+            )
 
     @staticmethod
     def _coerce_query(query: "SolveQuery | Mapping") -> SolveQuery:
@@ -554,10 +558,12 @@ class SolverSession:
         """
         results = []
         plan_cache: dict[object, SolverPlan] = {}
-        for query in queries:
-            results.append(
-                self._solve_query(self._coerce_query(query), plan_cache)
-            )
+        with obs.span("session.solve_many") as sp:
+            for query in queries:
+                results.append(
+                    self._solve_query(self._coerce_query(query), plan_cache)
+                )
+            sp.set(queries=len(results))
         return results
 
     def _vectorizable(self, query: SolveQuery) -> bool:
@@ -621,24 +627,31 @@ class SolverSession:
         for key in [k for k, idxs in groups.items() if len(idxs) < 2]:
             scalars.extend(groups.pop(key))
         scalars.sort()
-        if scalars:
-            self._counters["scalar_fallback"] += len(scalars)
-            plan_cache: dict[object, SolverPlan] = {}
-            for i in scalars:
-                results[i] = self._solve_query(parsed[i], plan_cache)
-        if groups:
-            from repro.runtime.batch import solve_scenario_group
+        with obs.span(
+            "session.solve_batch",
+            queries=len(parsed), vectorized=len(parsed) - len(scalars),
+            scalar=len(scalars),
+        ):
+            if scalars:
+                self._counters["scalar_fallback"] += len(scalars)
+                plan_cache: dict[object, SolverPlan] = {}
+                for i in scalars:
+                    results[i] = self._solve_query(parsed[i], plan_cache)
+            if groups:
+                from repro.runtime.batch import solve_scenario_group
 
-            for (eps, variant, segmented, validate), idxs in groups.items():
-                self._counters["vectorized_batches"] += 1
-                self._counters["solves"] += len(idxs)
-                group_results = solve_scenario_group(
-                    self, [parsed[i] for i in idxs],
-                    eps=eps, variant=variant, segmented=segmented,
-                    validate=validate,
-                )
-                for i, result in zip(idxs, group_results):
-                    results[i] = result
+                for (
+                    eps, variant, segmented, validate,
+                ), idxs in groups.items():
+                    self._counters["vectorized_batches"] += 1
+                    self._counters["solves"] += len(idxs)
+                    group_results = solve_scenario_group(
+                        self, [parsed[i] for i in idxs],
+                        eps=eps, variant=variant, segmented=segmented,
+                        validate=validate,
+                    )
+                    for i, result in zip(idxs, group_results):
+                        results[i] = result
         return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -14,7 +14,9 @@ sockets.  Routes:
 ``GET /healthz``          liveness + config summary
 ``GET /metrics``          counters, latency + batch-size histograms,
                           batcher stats, the solver's vectorized/scalar
-                          routing counters, per-shard worker/session stats
+                          routing counters, per-shard worker/session stats,
+                          and the aggregated per-phase span breakdown
+                          (:mod:`repro.obs`)
 ``GET /backends``         the execution-backend registry
                           (:func:`repro.runtime.registry.registered_payload`)
 ========================  ====================================================
@@ -37,6 +39,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 import repro
+from repro import obs
 from repro.serve.batcher import MicroBatcher
 from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import (
@@ -91,6 +94,11 @@ class ServeConfig:
     max_body: int = 64 * 1024 * 1024
     #: Cap on ``/v1/solve_batch`` fan-in.
     max_batch_request: int = 256
+    #: Structured tracing (:mod:`repro.obs`): feeds the per-phase section
+    #: of ``GET /metrics`` and the opt-in per-request ``timings`` block.
+    #: Never touches result payloads — responses are bit-identical with
+    #: tracing on or off.
+    tracing: bool = True
 
     def worker_settings(self) -> dict:
         """The knobs shipped to :func:`repro.serve.workers.configure_worker`."""
@@ -99,6 +107,7 @@ class ServeConfig:
             "engine": self.engine,
             "max_plans": self.max_plans,
             "max_sessions": self.max_sessions,
+            "tracing": self.tracing,
         }
 
 
@@ -120,6 +129,17 @@ class ServeApp:
         )
         #: topology fingerprint -> canonical graph payload dict (LRU).
         self._topologies: "OrderedDict[str, dict]" = OrderedDict()
+        #: Aggregated span phases: name -> [count, total_seconds] — the
+        #: ``phases`` section of ``/metrics``.  Keys come from this
+        #: codebase's own span taxonomy (a closed set), never from
+        #: client-minted tokens.
+        self._phases: "dict[str, list]" = {}
+        # The dispatcher-side tracer; worker processes install their own
+        # via configure_worker (the setting rides in worker_settings()).
+        if self.config.tracing:
+            obs.enable()
+        else:
+            obs.disable()
         self._started_at = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -184,6 +204,12 @@ class ServeApp:
         label = (
             f"{method} {path}" if (method, path) in _ROUTES else "other"
         )
+        tracer = obs.get_tracer()
+        if tracer.enabled:
+            # Serve consumes its spans inline (the timings block and the
+            # /metrics phases aggregate) — drop the collected roots so a
+            # long-running server never accumulates per-request trees.
+            tracer.clear()
         self.metrics.observe(label, time.perf_counter() - t0)
         return status, payload
 
@@ -228,17 +254,19 @@ class ServeApp:
             ) from None
 
     async def _solve_route(self, body: bytes) -> tuple[int, dict]:
-        request = parse_solve_request(self._parse_body(body))
-        return await self._solve_one(request)
+        with obs.timer("serve.parse") as parse_clock:
+            request = parse_solve_request(self._parse_body(body))
+        return await self._solve_one(request, parse_s=parse_clock.duration_s)
 
     async def _delta_route(self, body: bytes) -> tuple[int, dict]:
         """Sparse re-solve: rides the same per-topology batching path as
         ``/v1/solve`` (delta requests coalesce with full requests for the
         topology), but can never register — an unknown fingerprint is the
         structured 404 that tells the client to degrade to a full solve."""
-        request = parse_delta_request(self._parse_body(body))
+        with obs.timer("serve.parse") as parse_clock:
+            request = parse_delta_request(self._parse_body(body))
         self.metrics.inc("delta.requests")
-        return await self._solve_one(request)
+        return await self._solve_one(request, parse_s=parse_clock.duration_s)
 
     async def _solve_batch_route(self, body: bytes) -> tuple[int, dict]:
         obj = self._parse_body(body)
@@ -259,7 +287,11 @@ class ServeApp:
             """One per-item outcome: parse and solve errors stay isolated,
             never failing (or discarding the work of) their batch-mates."""
             try:
-                return await self._solve_one(parse_solve_request(item))
+                with obs.timer("serve.parse") as parse_clock:
+                    request = parse_solve_request(item)
+                return await self._solve_one(
+                    request, parse_s=parse_clock.duration_s
+                )
             except ProtocolError as exc:
                 return exc.status, exc.payload()
             except Exception as exc:  # noqa: BLE001 - isolate, don't sink mates
@@ -275,7 +307,9 @@ class ServeApp:
         ]
         return 200, {"protocol": PROTOCOL_VERSION, "responses": responses}
 
-    async def _solve_one(self, request: SolveRequest) -> tuple[int, dict]:
+    async def _solve_one(
+        self, request: SolveRequest, parse_s: float = 0.0
+    ) -> tuple[int, dict]:
         """Register the topology, batch the request, shape the response."""
         self.metrics.inc("solve.requests")
         if request.graph is not None:
@@ -291,7 +325,13 @@ class ServeApp:
                 field="topology",
                 status=404,
             )
-        item = await self.batcher.submit(request.topology, request)
+        with obs.timer("serve.batch_wait") as wait_clock:
+            item = await self.batcher.submit(request.topology, request)
+        spans = item.pop("spans", None)
+        dispatch_s = item.pop("dispatch_s", None)
+        if obs.get_tracer().enabled:
+            self._observe_phase("serve.parse", parse_s)
+            self._observe_phase("serve.batch_wait", wait_clock.duration_s)
         if "error" in item:
             status = item.get("status", 500)
             payload = error_payload(
@@ -302,7 +342,7 @@ class ServeApp:
             payload["topology"] = request.topology
             return status, payload
         self.metrics.inc("solve.ok")
-        return 200, {
+        response = {
             "protocol": PROTOCOL_VERSION,
             "topology": request.topology,
             "result": item["result"],
@@ -311,6 +351,52 @@ class ServeApp:
                 "batch_size": item["batch_size"],
                 "mode": self.config.mode,
             },
+        }
+        if request.timings:
+            timings = self._request_timings(
+                spans, parse_s, wait_clock.duration_s, dispatch_s
+            )
+            if timings is not None:
+                response["timings"] = timings
+        return 200, response
+
+    def _observe_phase(self, name: str, seconds: float, count: int = 1) -> None:
+        entry = self._phases.setdefault(name, [0, 0.0])
+        entry[0] += count
+        entry[1] += seconds
+
+    def _request_timings(
+        self,
+        spans: list | None,
+        parse_s: float,
+        wait_s: float,
+        dispatch_s: float | None,
+    ) -> dict | None:
+        """The per-request ``timings`` block (opt-in via ``"timings": true``).
+
+        A flat phase -> ``{count, total_ms}`` map over the request's whole
+        path: event-loop phases measured here (``serve.parse``;
+        ``serve.batch_wait``, submit-to-result, so it *contains* the
+        dispatch round-trip), the pool round-trip (``serve.dispatch``,
+        shared by the coalesced batch), and everything beneath the
+        worker's ``worker.solve_batch`` span tree.  ``None`` when tracing
+        is off — the block is diagnostics, never part of the result's
+        bit-identity contract.
+        """
+        if not obs.get_tracer().enabled:
+            return None
+        phases: dict[str, list] = {}
+        if spans:
+            obs.phase_totals(
+                [obs.Span.from_dict(tree) for tree in spans], into=phases
+            )
+        phases["serve.parse"] = [1, parse_s]
+        phases["serve.batch_wait"] = [1, wait_s]
+        if dispatch_s is not None:
+            phases["serve.dispatch"] = [1, dispatch_s]
+        return {
+            name: {"count": count, "total_ms": round(total * 1000.0, 3)}
+            for name, (count, total) in sorted(phases.items())
         }
 
     def _register(self, topology: str, graph: dict) -> None:
@@ -336,9 +422,22 @@ class ServeApp:
             graph = next(
                 (r.graph for r in requests if r.graph is not None), None
             )
+        t0 = time.perf_counter()
         items = await self.pool.solve_batch(topology, requests, graph)
+        dispatch_s = time.perf_counter() - t0
         for item in items:
             item["batch_size"] = len(requests)
+            item["dispatch_s"] = dispatch_s
+        # Aggregate the worker's span tree into the /metrics phases once
+        # per *batch* (the tree is shared by every item in it — summing
+        # per item would overstate totals by the coalescing factor).
+        spans = items[0].get("spans") if items else None
+        if spans:
+            obs.phase_totals(
+                [obs.Span.from_dict(tree) for tree in spans],
+                into=self._phases,
+            )
+            self._observe_phase("serve.dispatch", dispatch_s)
         self.metrics.inc("solve.batches")
         self.metrics.observe_size("batch.coalesced", len(requests))
         return items
@@ -374,6 +473,10 @@ class ServeApp:
             **self.metrics.snapshot(),
             "batcher": self.batcher.snapshot(),
             "solver": solver,
+            "phases": {
+                name: {"count": count, "total_s": round(total, 6)}
+                for name, (count, total) in sorted(self._phases.items())
+            },
             "topologies": {
                 "stored": len(self._topologies),
                 "cap": self.config.max_topologies,

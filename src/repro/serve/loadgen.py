@@ -223,6 +223,11 @@ class LoadgenConfig:
     variant: str = "improved"
     backend: str | None = None
     engine: str | None = None
+    #: Ask the server for its per-phase ``timings`` block on every
+    #: request and fold the answers into the summary's
+    #: ``server_phases_ms`` — where a run's latency actually went
+    #: (parse / batch wait / dispatch / solve phases / serialize).
+    timings: bool = True
 
 
 class _Traffic:
@@ -291,6 +296,8 @@ class _Traffic:
             body["backend"] = self.cfg.backend
         if self.cfg.engine is not None:
             body["engine"] = self.cfg.engine
+        if self.cfg.timings:
+            body["timings"] = True
         return body
 
     def montecarlo_request(self) -> tuple[dict, dict, list]:
@@ -373,11 +380,23 @@ class _Tally:
     error_codes: dict = field(default_factory=dict)
     latencies_s: list = field(default_factory=list)
     batch_sizes: list = field(default_factory=list)
+    server_phases: dict = field(default_factory=dict)
 
     def record_error(self, code: str) -> None:
         """Count one protocol error by code."""
         self.protocol_errors += 1
         self.error_codes[code] = self.error_codes.get(code, 0) + 1
+
+    def record_timings(self, timings) -> None:
+        """Fold one response's ``timings`` block into the phase totals."""
+        if not isinstance(timings, dict):
+            return
+        for name, cell in timings.items():
+            if not isinstance(cell, dict):
+                continue
+            slot = self.server_phases.setdefault(name, [0, 0.0])
+            slot[0] += int(cell.get("count", 0))
+            slot[1] += float(cell.get("total_ms", 0.0))
 
 
 async def _issue_batch(
@@ -421,6 +440,7 @@ async def _issue_batch(
         if item.get("status") == 200 and not error:
             topo["key"] = item.get("topology", topo["key"])
             tally.ok += 1
+            tally.record_timings(item.get("timings"))
             server = item.get("server", {})
             if "batch_size" in server:
                 tally.batch_sizes.append(server["batch_size"])
@@ -457,6 +477,7 @@ async def _issue(
     if status == 200 and not error:
         topo["key"] = payload.get("topology", topo["key"])
         tally.ok += 1
+        tally.record_timings(payload.get("timings"))
         server = payload.get("server", {})
         if "batch_size" in server:
             tally.batch_sizes.append(server["batch_size"])
@@ -486,6 +507,7 @@ async def _issue(
             if status == 200 and not error:
                 topo["key"] = payload.get("topology", topo["key"])
                 tally.ok += 1
+                tally.record_timings(payload.get("timings"))
                 return
             tally.record_error(
                 (error or {}).get("code", f"http-{status}")
@@ -619,6 +641,14 @@ async def _run(cfg: LoadgenConfig) -> dict:
             "max": max(tally.batch_sizes, default=0),
         },
         "solver": solver,
+        "server_phases_ms": {
+            name: {
+                "count": count,
+                "total_ms": round(total, 3),
+                "mean_ms": round(total / count, 3) if count else 0.0,
+            }
+            for name, (count, total) in sorted(tally.server_phases.items())
+        },
         "topologies": cfg.topologies,
         "zipf_s": cfg.zipf_s,
         "scenarios": cfg.scenarios,

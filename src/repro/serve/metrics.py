@@ -11,6 +11,7 @@ sharding regressions.
 from __future__ import annotations
 
 import bisect
+import threading
 
 __all__ = ["LatencyHistogram", "ServeMetrics", "SizeHistogram"]
 
@@ -112,41 +113,54 @@ class SizeHistogram:
 
 
 class ServeMetrics:
-    """Named counters plus per-route latency and size histograms."""
+    """Named counters plus per-route latency and size histograms.
+
+    Thread-safe: recording is a read-modify-write (``counters[name] += by``
+    spans several bytecodes, and a histogram observe touches four fields),
+    so concurrent writers — the event loop plus the inline worker thread,
+    or any embedding that records from an executor — would lose updates
+    without the lock.  The lock is uncontended in the common single-writer
+    case, so the cost stays one ``with`` per record.
+    """
 
     def __init__(self) -> None:
         self.counters: dict[str, int] = {}
         self.latency: dict[str, LatencyHistogram] = {}
         self.sizes: dict[str, SizeHistogram] = {}
+        self._lock = threading.Lock()
 
     def inc(self, name: str, by: int = 1) -> None:
         """Increment a named counter (created on first use)."""
-        self.counters[name] = self.counters.get(name, 0) + by
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + by
 
     def observe(self, route: str, seconds: float) -> None:
         """Record one request latency under a route label."""
-        hist = self.latency.get(route)
-        if hist is None:
-            hist = self.latency[route] = LatencyHistogram()
-        hist.observe(seconds)
+        with self._lock:
+            hist = self.latency.get(route)
+            if hist is None:
+                hist = self.latency[route] = LatencyHistogram()
+            hist.observe(seconds)
 
     def observe_size(self, name: str, size: int) -> None:
         """Record one integer size sample under a histogram label."""
-        hist = self.sizes.get(name)
-        if hist is None:
-            hist = self.sizes[name] = SizeHistogram()
-        hist.observe(size)
+        with self._lock:
+            hist = self.sizes.get(name)
+            if hist is None:
+                hist = self.sizes[name] = SizeHistogram()
+            hist.observe(size)
 
     def snapshot(self) -> dict:
         """JSON-safe view of every counter and histogram (sorted keys)."""
-        return {
-            "counters": dict(sorted(self.counters.items())),
-            "latency": {
-                route: hist.snapshot()
-                for route, hist in sorted(self.latency.items())
-            },
-            "sizes": {
-                name: hist.snapshot()
-                for name, hist in sorted(self.sizes.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": dict(sorted(self.counters.items())),
+                "latency": {
+                    route: hist.snapshot()
+                    for route, hist in sorted(self.latency.items())
+                },
+                "sizes": {
+                    name: hist.snapshot()
+                    for name, hist in sorted(self.sizes.items())
+                },
+            }

@@ -122,10 +122,13 @@ __all__ = [
 PROTOCOL_VERSION = 1
 
 #: Top-level request keys version 1 understands (typos fail loudly).
+#: ``timings`` is additive and serving-only: it asks the server to attach
+#: a per-phase timing breakdown to the response envelope — never to the
+#: ``result`` payload, whose bit-identity contract is timing-free.
 _REQUEST_KEYS = frozenset({
     "protocol", "graph", "topology", "weights", "failures",
     "eps", "variant", "segmented", "validate", "backend", "engine",
-    "simulate_mst", "k",
+    "simulate_mst", "k", "timings",
 })
 
 #: Top-level keys of a ``/v1/delta`` request: a topology reference plus
@@ -136,7 +139,7 @@ _REQUEST_KEYS = frozenset({
 _DELTA_KEYS = frozenset({
     "protocol", "topology", "delta",
     "eps", "variant", "segmented", "validate", "backend", "engine",
-    "simulate_mst", "k",
+    "simulate_mst", "k", "timings",
 })
 
 _VARIANTS = ("improved", "basic")
@@ -236,6 +239,7 @@ class SolveRequest:
     engine: str | None = None
     simulate_mst: bool = False
     k: int = 2
+    timings: bool = False
     extra: dict = field(default_factory=dict)
 
 
@@ -695,6 +699,7 @@ def _query_fields(obj: dict) -> dict:
         "engine": _check_name(obj, "engine", "engine"),
         "simulate_mst": _check_bool(obj, "simulate_mst", False),
         "k": _check_k_field(obj),
+        "timings": _check_bool(obj, "timings", False),
     }
 
 

@@ -32,6 +32,7 @@ import zlib
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
+from repro import obs
 from repro.serve.protocol import (
     ProtocolError,
     SolveRequest,
@@ -53,6 +54,7 @@ __all__ = [
 _SESSIONS: "OrderedDict[str, object]" = OrderedDict()
 _SETTINGS: dict = {
     "backend": "auto", "engine": "local", "max_plans": 8, "max_sessions": 64,
+    "tracing": True,
 }
 
 
@@ -61,6 +63,10 @@ def configure_worker(settings: dict | None = None) -> None:
 
     Idempotent; also clears the session cache so a reconfigured inline
     pool (tests, benchmark mode switches) never reuses stale sessions.
+    The ``tracing`` knob installs (or removes) this process's span
+    tracer — worker processes have their own interpreter, so the server
+    cannot enable tracing for them from the outside; the setting rides
+    along with the executor initializer instead.
     """
     import repro.core.tecss  # noqa: F401
     import repro.dist.pipeline  # noqa: F401
@@ -71,6 +77,10 @@ def configure_worker(settings: dict | None = None) -> None:
     _SESSIONS.clear()
     if settings:
         _SETTINGS.update(settings)
+    if _SETTINGS.get("tracing"):
+        obs.enable()
+    else:
+        obs.disable()
 
 
 def _exception_codes() -> "dict[type, tuple[str, int]]":
@@ -221,13 +231,15 @@ def _solve_on_session(session, requests: list[SolveRequest]) -> list[dict]:
             results = session.solve_batch_vectorized(
                 [q for _, q in prepared]
             )
-            for (i, _), result in zip(prepared, results):
-                items[i] = {"result": result_to_payload(result)}
+            with obs.span("serve.serialize", items=len(results)):
+                for (i, _), result in zip(prepared, results):
+                    items[i] = {"result": result_to_payload(result)}
         except Exception:  # noqa: BLE001 - isolate the failing request(s)
             for i, query in prepared:
                 try:
                     (result,) = session.solve_many([query])
-                    items[i] = {"result": result_to_payload(result)}
+                    with obs.span("serve.serialize", items=1):
+                        items[i] = {"result": result_to_payload(result)}
                 except Exception as exc:  # noqa: BLE001
                     items[i] = error_item_from_exception(exc)
     return [items[i] for i in range(len(requests))]
@@ -324,11 +336,22 @@ def solve_batch_payload(payload: dict) -> dict:
         }
     if session is None:
         return {"unknown_topology": True}
-    return {
-        "items": _solve_on_session(session, requests),
+    tracer = obs.get_tracer()
+    with obs.span("worker.solve_batch", requests=len(requests)) as root:
+        items = _solve_on_session(session, requests)
+    out = {
+        "items": items,
         "stats": session.stats(),
         "pid": os.getpid(),
     }
+    if tracer.enabled:
+        # Ship the batch's span tree back with the results (span objects
+        # never cross the process boundary, their dict form does) and
+        # drop it from this process's root buffer so a long-lived worker
+        # does not accumulate one tree per batch forever.
+        out["spans"] = [root.to_dict()]
+        tracer.clear()
+    return out
 
 
 def worker_stats_payload() -> dict:
@@ -482,8 +505,13 @@ class ShardedWorkerPool:
         while len(known) > self._known_cap:
             known.popitem(last=False)
         items = out["items"]
+        spans = out.get("spans")
         for item in items:
             item["shard"] = shard
+            if spans is not None:
+                # Batch-level tree, shared by reference: every item in the
+                # coalesced batch was solved under the same worker root.
+                item["spans"] = spans
         return items
 
     async def stats(self) -> list[dict]:

@@ -1,0 +1,9 @@
+"""Fixture: the tracing package reads the wall clock by design -
+``repro.obs`` is package-exempt from det-wallclock."""
+# lint: module=repro.obs.fixture_obs_clock_good
+import time
+
+
+def span_start() -> float:
+    """Epoch stamp so multi-process span trees align."""
+    return time.time()

@@ -1,0 +1,9 @@
+"""Fixture: a solver module reading the wall clock despite the obs
+package exemption existing (the exemption must not leak outward)."""
+# lint: module=repro.runtime.fixture_obs_clock_bad
+import time
+
+
+def span_start() -> float:
+    """Wall-clock stamp in solver code - still forbidden."""
+    return time.time()

@@ -1,0 +1,230 @@
+"""Tests for the benchmark-history reporting half of observability.
+
+Two layers under test: ``benchmarks/history.py`` (the append-only JSONL
+writer — stamp integrity, sample summaries) and :mod:`repro.obs.report`
+(the rolling-median trend gate behind ``python -m repro bench report``).
+The acceptance-criteria scenario lives in
+:func:`test_check_catches_synthetic_regression`: a fixture history whose
+latest run regressed >20% must fail the gate, and the healthy variant
+must pass.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+
+import history  # noqa: E402  (benchmarks/history.py, script-style import)
+
+from repro.obs.report import (  # noqa: E402
+    check_trends,
+    compute_trends,
+    load_history,
+    metric_direction,
+    render_report,
+)
+
+
+# ---------------------------------------------------------------------------
+# benchmarks/history.py
+# ---------------------------------------------------------------------------
+
+
+def test_append_history_appends_jsonl(tmp_path, monkeypatch):
+    monkeypatch.setattr(history, "HISTORY_DIR", str(tmp_path))
+    path = history.append_history("demo", {"solve_s": 1.5})
+    history.append_history("demo", {"solve_s": 1.25})
+    assert path == str(tmp_path / "demo.jsonl")
+    lines = (tmp_path / "demo.jsonl").read_text().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first["solve_s"] == 1.5
+    assert first["benchmark"] == "demo"
+    assert "at" in first and "host" in first
+
+
+def test_append_history_stamps_cannot_be_overridden(tmp_path, monkeypatch):
+    """Regression test: stamps are applied after the record is spread.
+
+    A record carrying its own ``benchmark``/``at``/``commit``/``host``
+    keys must not masquerade as a different run — the bug was
+    ``{"at": ..., **record}``, which let the record win.
+    """
+    monkeypatch.setattr(history, "HISTORY_DIR", str(tmp_path))
+    forged = {
+        "solve_s": 0.1,
+        "benchmark": "someone_else",
+        "at": "1970-01-01T00:00:00+00:00",
+        "commit": "deadbeef",
+        "host": "forged-host",
+    }
+    history.append_history("real_name", forged)
+    (line,) = (tmp_path / "real_name.jsonl").read_text().splitlines()
+    record = json.loads(line)
+    assert record["benchmark"] == "real_name"
+    assert record["at"] != "1970-01-01T00:00:00+00:00"
+    assert record["host"] != "forged-host"
+    assert record["commit"] != "deadbeef"
+    assert record["solve_s"] == 0.1  # the payload itself survives
+
+
+def test_sample_stats_summary():
+    stats = history.sample_stats([4.0, 1.0, 2.0, 3.0])
+    assert stats["n"] == 4
+    assert stats["median"] == pytest.approx(2.5)
+    assert stats["min"] == 1.0 and stats["max"] == 4.0
+    assert stats["iqr"] == pytest.approx(1.5)  # q3=3.25, q1=1.75
+    single = history.sample_stats([7.0])
+    assert single["median"] == 7.0 and single["iqr"] == 0.0
+
+
+def test_sample_stats_rejects_empty():
+    with pytest.raises(ValueError):
+        history.sample_stats([])
+
+
+# ---------------------------------------------------------------------------
+# repro.obs.report: direction inference and history loading
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "key,expected",
+    [
+        ("solve_s", "lower"),
+        ("p99_ms", "lower"),
+        ("noop_span_cost_us", "lower"),
+        ("batch_latency", "lower"),
+        ("wait_fraction", "lower"),
+        ("rounds", "lower"),
+        ("speedup", "higher"),
+        ("throughput_rps", "higher"),
+        ("throughput_s", "higher"),  # higher-tokens win over the _s suffix
+        ("edges", None),
+        ("cert_size", None),
+    ],
+)
+def test_metric_direction(key, expected):
+    assert metric_direction(key) == expected
+
+
+def test_load_history_skips_garbage_lines(tmp_path):
+    good = {"benchmark": "b", "solve_s": 1.0}
+    (tmp_path / "b.jsonl").write_text(
+        json.dumps(good) + "\n"
+        + "\n"  # blank line
+        + "{truncated by a crash\n"
+        + '"not a dict"\n'
+        + json.dumps({**good, "solve_s": 2.0}) + "\n"
+    )
+    (tmp_path / "notes.txt").write_text("ignored\n")
+    histories = load_history(str(tmp_path))
+    assert list(histories) == ["b"]
+    assert [r["solve_s"] for r in histories["b"]] == [1.0, 2.0]
+    assert load_history(str(tmp_path / "missing")) == {}
+
+
+# ---------------------------------------------------------------------------
+# repro.obs.report: the rolling-median gate
+# ---------------------------------------------------------------------------
+
+
+def _history(name, values, metric="solve_s", extra=None):
+    records = [{metric: v, "benchmark": name} for v in values]
+    if extra:
+        records[-1].update(extra)
+    return {name: records}
+
+
+def test_check_catches_synthetic_regression():
+    """Acceptance criterion: 3 steady priors, latest 1.5x slower -> FAIL."""
+    trends = compute_trends(_history("tap", [1.0, 1.0, 1.0, 1.5]))
+    (trend,) = trends
+    assert trend.gated and trend.failed
+    assert trend.regression == pytest.approx(0.5)
+    assert trend.prior_median == 1.0 and trend.prior_count == 3
+    assert check_trends(trends) == [trend]
+    report = render_report(trends)
+    assert "FAIL +50%" in report
+    assert "1 regression(s)" in report
+
+
+def test_within_threshold_passes():
+    trends = compute_trends(_history("tap", [1.0, 1.0, 1.0, 1.15]))
+    (trend,) = trends
+    assert trend.gated and not trend.failed
+    assert check_trends(trends) == []
+    assert "ok" in render_report(trends)
+
+
+def test_higher_is_better_direction_gates_drops():
+    up = compute_trends(_history("thr", [100.0, 100.0, 100.0, 70.0], "rps"))
+    assert up[0].failed and up[0].regression == pytest.approx(0.3)
+    down = compute_trends(_history("thr", [100.0, 100.0, 100.0, 130.0], "rps"))
+    assert not down[0].failed  # faster is never a regression
+
+
+def test_min_prior_leaves_young_histories_ungated():
+    trends = compute_trends(_history("tap", [1.0, 1.0, 9.0]))  # 2 priors
+    (trend,) = trends
+    assert not trend.gated and not trend.failed
+    assert trend.prior_count == 2
+    assert "ungated" in render_report(trends)
+
+
+def test_unrecognized_metric_reported_but_never_gated():
+    trends = compute_trends(_history("tap", [10.0, 10.0, 10.0, 99.0], "edges"))
+    (trend,) = trends
+    assert trend.direction is None
+    assert not trend.gated and not trend.failed
+
+
+def test_window_bounds_the_baseline():
+    # Old slow era, then 10 fast runs: the window must forget the slow era.
+    values = [9.0] * 5 + [1.0] * 10 + [1.1]
+    trends = compute_trends(_history("tap", values), window=10)
+    (trend,) = trends
+    assert trend.prior_median == 1.0 and trend.prior_count == 10
+    assert not trend.failed
+
+
+def test_nested_records_flatten_to_dotted_metrics():
+    record = {
+        "benchmark": "obs",
+        "enabled_solve_s": {"median": 2.0, "iqr": 0.1, "n": 7.0},
+        "gates": {"passed": True},  # bools are never metrics
+    }
+    trends = compute_trends({"obs": [record]})
+    metrics = {t.metric for t in trends}
+    assert "enabled_solve_s.median" in metrics
+    assert "enabled_solve_s.n" in metrics
+    assert not any("passed" in m for m in metrics)
+    # fresh history: everything reported, nothing gated
+    assert check_trends(trends) == []
+
+
+def test_render_report_empty_history():
+    assert "no history" in render_report([])
+
+
+def test_end_to_end_from_files(tmp_path):
+    """load_history -> compute_trends over a real on-disk fixture pair."""
+    steady = [{"benchmark": "a", "wall_s": 1.0} for _ in range(4)]
+    (tmp_path / "a.jsonl").write_text(
+        "".join(json.dumps(r) + "\n" for r in steady)
+    )
+    regressed = [{"benchmark": "b", "wall_s": 1.0} for _ in range(3)]
+    regressed.append({"benchmark": "b", "wall_s": 2.0})
+    (tmp_path / "b.jsonl").write_text(
+        "".join(json.dumps(r) + "\n" for r in regressed)
+    )
+    trends = compute_trends(load_history(str(tmp_path)))
+    failing = check_trends(trends)
+    assert [(t.benchmark, t.metric) for t in failing] == [("b", "wall_s")]
+    assert failing[0].regression == pytest.approx(1.0)

@@ -70,6 +70,13 @@ RULE_FIXTURES = [
         "det_unstable_sort_good.py",
     ),
     ("det-wallclock", "det_wallclock_bad.py", "det_wallclock_good.py"),
+    # The repro.obs package-level exemption: a solver module reading the
+    # wall clock still fires; the identical read under repro.obs is clean.
+    (
+        "det-wallclock",
+        "obs_wallclock_solver_bad.py",
+        "obs_wallclock_exempt_good.py",
+    ),
     ("async-blocking-call", "async_blocking_bad.py", "async_blocking_good.py"),
     (
         "async-unawaited-coroutine",

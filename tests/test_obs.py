@@ -1,0 +1,253 @@
+"""Tests for :mod:`repro.obs` tracing: spans, tracers, timers, exports.
+
+Covers the tentpole contracts: parent linkage through contextvars
+(including across asyncio tasks), the disabled fast path (shared no-op
+span, no context mutation, no root collection), the always-measuring
+:class:`~repro.obs.Timer` bridge, JSON-safe tree round-trips (the
+cross-process wire form), Chrome trace-event export, and the bounded
+root collection of long-lived tracers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _restore_tracer():
+    """Every test runs against its own tracer; the global one survives."""
+    previous = obs.set_tracer(obs.Tracer(enabled=False))
+    yield
+    obs.set_tracer(previous)
+
+
+# ---------------------------------------------------------------------------
+# span trees and parent linkage
+# ---------------------------------------------------------------------------
+
+
+def test_nested_spans_build_a_tree():
+    tracer = obs.enable()
+    with obs.span("root", kind="test") as root:
+        with obs.span("child.a"):
+            with obs.span("leaf"):
+                pass
+        with obs.span("child.b") as b:
+            b.set(items=3)
+    assert [c.name for c in root.children] == ["child.a", "child.b"]
+    assert root.children[0].children[0].name == "leaf"
+    assert root.attrs == {"kind": "test"}
+    assert root.children[1].attrs == {"items": 3}
+    assert root.duration_s >= root.children[0].duration_s
+    # Only the root is collected; children live in the tree.
+    assert [s.name for s in tracer.roots] == ["root"]
+
+
+def test_walk_is_depth_first():
+    obs.enable()
+    with obs.span("r") as r:
+        with obs.span("a"):
+            with obs.span("a1"):
+                pass
+        with obs.span("b"):
+            pass
+    assert [s.name for s in r.walk()] == ["r", "a", "a1", "b"]
+
+
+def test_exception_annotates_and_restores_context():
+    obs.enable()
+    with pytest.raises(ValueError):
+        with obs.span("outer"):
+            with obs.span("failing"):
+                raise ValueError("boom")
+    assert obs.current_span() is None
+    tracer = obs.get_tracer()
+    (root,) = tracer.roots
+    assert root.children[0].attrs["error"] == "ValueError"
+
+
+def test_current_span_and_annotate():
+    obs.enable()
+    assert obs.current_span() is None
+    with obs.span("region") as sp:
+        assert obs.current_span() is sp
+        obs.annotate(rows=7)
+    assert sp.attrs == {"rows": 7}
+    assert obs.current_span() is None
+    obs.annotate(ignored=True)  # no open span: must be a silent no-op
+
+
+def test_asyncio_tasks_get_independent_trees():
+    obs.enable()
+
+    async def request(name):
+        with obs.span(name):
+            await asyncio.sleep(0)
+            with obs.span(name + ".inner"):
+                await asyncio.sleep(0)
+
+    async def main():
+        await asyncio.gather(request("req1"), request("req2"))
+
+    asyncio.run(main())
+    roots = obs.get_tracer().drain()
+    assert sorted(s.name for s in roots) == ["req1", "req2"]
+    for root in roots:
+        assert [c.name for c in root.children] == [root.name + ".inner"]
+
+
+def test_traced_decorator():
+    calls = []
+
+    @obs.traced("math.double")
+    def double(x):
+        calls.append(x)
+        return 2 * x
+
+    assert double(4) == 8  # disabled: falls straight through
+    assert obs.get_tracer().roots == []
+    tracer = obs.enable()
+    assert double(5) == 10
+    assert [s.name for s in tracer.roots] == ["math.double"]
+    assert calls == [4, 5]
+
+
+# ---------------------------------------------------------------------------
+# the disabled fast path
+# ---------------------------------------------------------------------------
+
+
+def test_disabled_span_is_the_shared_noop():
+    sp = obs.span("anything", attr=1)
+    assert sp is obs.NOOP_SPAN
+    with sp as inner:
+        assert inner is obs.NOOP_SPAN
+        # No span context is established beneath a disabled region.
+        assert obs.current_span() is None
+    assert sp.set(more=2) is obs.NOOP_SPAN
+    assert obs.get_tracer().roots == []
+
+
+def test_disabled_region_does_not_break_enabled_nesting():
+    obs.enable()
+    with obs.span("outer") as outer:
+        obs.get_tracer().enabled = False
+        with obs.span("invisible"):
+            obs.get_tracer().enabled = True
+            with obs.span("visible"):
+                pass
+    # The noop span is transparent: "visible" hangs off "outer".
+    assert [c.name for c in outer.children] == ["visible"]
+
+
+# ---------------------------------------------------------------------------
+# Timer: the build_times bridge
+# ---------------------------------------------------------------------------
+
+
+def test_timer_measures_while_disabled():
+    with obs.timer("plan.mst") as clock:
+        sum(range(1000))
+    assert clock.duration_s > 0.0
+    assert obs.get_tracer().roots == []
+
+
+def test_timer_span_duration_matches_timer_exactly():
+    tracer = obs.enable()
+    with obs.timer("plan.links", flavor="fast") as clock:
+        sum(range(1000))
+    (root,) = tracer.roots
+    assert root.name == "plan.links"
+    assert root.attrs == {"flavor": "fast"}
+    # One measurement feeds both consumers; they can never disagree.
+    assert root.duration_s == clock.duration_s
+
+
+# ---------------------------------------------------------------------------
+# tracer lifecycle and bounds
+# ---------------------------------------------------------------------------
+
+
+def test_set_tracer_returns_previous():
+    first = obs.get_tracer()
+    mine = obs.Tracer(enabled=True)
+    assert obs.set_tracer(mine) is first
+    assert obs.get_tracer() is mine
+    assert obs.disable() is mine
+    assert not obs.get_tracer().enabled
+
+
+def test_root_collection_is_bounded():
+    tracer = obs.enable(max_roots=3)
+    for i in range(5):
+        with obs.span(f"root{i}"):
+            pass
+    assert [s.name for s in tracer.roots] == ["root0", "root1", "root2"]
+    assert tracer.dropped == 2
+    drained = tracer.drain()
+    assert len(drained) == 3 and tracer.roots == []
+    tracer.clear()
+    assert tracer.dropped == 0
+
+
+# ---------------------------------------------------------------------------
+# wire form, reductions, exports
+# ---------------------------------------------------------------------------
+
+
+def _sample_tree():
+    obs.enable()
+    with obs.span("batch", requests=2) as root:
+        with obs.span("solve"):
+            with obs.span("forward"):
+                pass
+        with obs.span("solve"):
+            pass
+    return root
+
+
+def test_to_dict_from_dict_round_trip():
+    root = _sample_tree()
+    payload = root.to_dict()
+    json.dumps(payload)  # must be JSON-safe as-is
+    rebuilt = obs.Span.from_dict(payload)
+    assert [s.name for s in rebuilt.walk()] == [s.name for s in root.walk()]
+    assert rebuilt.attrs == root.attrs
+    assert rebuilt.duration_s == root.duration_s
+    assert rebuilt.children[0].children[0].name == "forward"
+
+
+def test_phase_totals_counts_and_accumulates():
+    root = _sample_tree()
+    totals = obs.phase_totals([root])
+    assert totals["solve"][0] == 2
+    assert totals["batch"][0] == 1
+    assert totals["solve"][1] == pytest.approx(
+        root.children[0].duration_s + root.children[1].duration_s
+    )
+    # `into` accumulates across calls (the /metrics aggregation shape).
+    obs.phase_totals([root], into=totals)
+    assert totals["solve"][0] == 4
+    assert isinstance(totals["solve"][0], int)
+
+
+def test_chrome_events_and_trace_file(tmp_path):
+    root = _sample_tree()
+    events = obs.chrome_events([root], pid=7, tid=9)
+    assert len(events) == 4
+    assert {e["ph"] for e in events} == {"X"}
+    assert all(e["pid"] == 7 and e["tid"] == 9 for e in events)
+    batch = next(e for e in events if e["name"] == "batch")
+    assert batch["args"] == {"requests": 2}
+    assert batch["ts"] == pytest.approx(root.start_s * 1e6)
+    assert batch["dur"] == pytest.approx(root.duration_s * 1e6)
+    path = tmp_path / "trace.json"
+    count = obs.write_chrome_trace(str(path), [root])
+    assert count == 4
+    loaded = json.loads(path.read_text())
+    assert [e["name"] for e in loaded] == [e["name"] for e in events]

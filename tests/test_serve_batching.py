@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import asyncio
+import threading
 
 import pytest
 
@@ -236,3 +237,51 @@ class TestMetrics:
         snap = metrics.snapshot()
         assert snap["counters"] == {"a": 3}
         assert snap["latency"]["POST /v1/solve"]["count"] == 1
+
+    def test_empty_histogram_quantiles_are_zero(self):
+        hist = LatencyHistogram()
+        assert hist.quantile_ms(0.5) == 0.0
+        assert hist.quantile_ms(0.99) == 0.0
+        snap = hist.snapshot()
+        assert snap["mean_ms"] == 0.0 and snap["max_ms"] == 0.0
+        assert all(n == 0 for n in snap["buckets"].values())
+
+    def test_observation_above_last_bound_lands_in_inf(self):
+        hist = LatencyHistogram()
+        hist.observe(120.0)  # 120s, way past the 30s top bound
+        snap = hist.snapshot()
+        assert snap["buckets"]["inf"] == 1
+        # Quantiles above the table fall back to the observed max.
+        assert snap["p99_ms"] == pytest.approx(120000.0)
+
+    def test_counters_survive_very_large_totals(self):
+        # Python ints are unbounded; the snapshot must carry the exact
+        # value rather than saturating or rounding through floats.
+        metrics = ServeMetrics()
+        big = 2**63
+        metrics.inc("requests", big)
+        metrics.inc("requests", 1)
+        assert metrics.snapshot()["counters"]["requests"] == big + 1
+
+    def test_concurrent_observe_loses_no_updates(self):
+        # counters[name] += by spans several bytecodes; without the
+        # internal lock, racing writers drop increments.
+        metrics = ServeMetrics()
+        threads_n, per_thread = 8, 2000
+
+        def hammer():
+            for _ in range(per_thread):
+                metrics.inc("hits")
+                metrics.observe("route", 0.001)
+                metrics.observe_size("batch", 2)
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        snap = metrics.snapshot()
+        total = threads_n * per_thread
+        assert snap["counters"]["hits"] == total
+        assert snap["latency"]["route"]["count"] == total
+        assert snap["sizes"]["batch"]["count"] == total

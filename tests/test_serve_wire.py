@@ -400,6 +400,111 @@ def test_naive_mode_still_bit_identical():
 
 
 # ---------------------------------------------------------------------------
+# tracing: bit-identity and the opt-in timings block
+# ---------------------------------------------------------------------------
+
+
+def test_responses_bit_identical_with_tracing_on_and_off():
+    """Tracing must never reach the result payload: the same requests
+    against a traced and an untraced server produce ``==`` envelopes."""
+    graph = make_family_instance("cycle_chords", 20, seed=4)
+
+    def collect(config):
+        async def scenario(client, server):
+            out = []
+            status, resp = await client.request("POST", "/v1/solve", {
+                "graph": graph_payload(graph), "eps": 0.5,
+            })
+            assert status == 200, resp
+            resp.pop("server")  # latency_ms differs run to run by design
+            out.append(resp)
+            status, resp = await client.request("POST", "/v1/solve_batch", {
+                "requests": [
+                    {"graph": graph_payload(graph), "eps": 0.25},
+                    {"graph": graph_payload(graph), "eps": 0.5,
+                     "variant": "basic"},
+                ],
+            })
+            assert status == 200, resp
+            for answer in resp["responses"]:
+                answer.pop("server")
+            out.append(resp)
+            return out
+
+        return serve_session(scenario, config)
+
+    traced = collect(ServeConfig(workers=0, tracing=True))
+    untraced = collect(ServeConfig(workers=0, tracing=False))
+    assert traced == untraced
+    # And no stray timings leak in when the client never asked.
+    assert "timings" not in traced[0]
+
+
+def test_timings_block_is_opt_in_and_envelope_level():
+    graph = make_family_instance("grid", 16, seed=2)
+
+    async def scenario(client, server):
+        body = {"graph": graph_payload(graph), "eps": 0.5, "timings": True}
+        status, resp = await client.request("POST", "/v1/solve", body)
+        assert status == 200, resp
+        timings = resp["timings"]
+        # Envelope-level sibling of "result": the canonical result payload
+        # (what the differential suite compares) must not contain it.
+        assert "timings" not in resp["result"]
+        assert {"serve.parse", "serve.batch_wait"} <= set(timings)
+        assert any(name.startswith("solve") for name in timings)
+        for cell in timings.values():
+            assert isinstance(cell["count"], int) and cell["count"] >= 1
+            assert cell["total_ms"] >= 0.0
+        # Same request without the flag: no timings key at all.
+        status, resp = await client.request("POST", "/v1/solve", {
+            "graph": graph_payload(graph), "eps": 0.5,
+        })
+        assert status == 200 and "timings" not in resp
+        # /metrics aggregates the same phase names server-side.
+        status, metrics = await client.request("GET", "/metrics")
+        assert status == 200
+        assert "serve.dispatch" in metrics["phases"]
+        assert metrics["phases"]["serve.parse"]["count"] >= 2
+
+    serve_session(scenario, ServeConfig(workers=0, tracing=True))
+
+
+def test_timings_flag_ignored_when_tracing_disabled():
+    graph = make_family_instance("grid", 16, seed=2)
+
+    async def scenario(client, server):
+        body = {"graph": graph_payload(graph), "eps": 0.5, "timings": True}
+        status, resp = await client.request("POST", "/v1/solve", body)
+        assert status == 200, resp
+        assert "timings" not in resp
+        status, metrics = await client.request("GET", "/metrics")
+        assert status == 200
+        assert metrics["phases"] == {}
+
+    serve_session(scenario, ServeConfig(workers=0, tracing=False))
+
+
+def test_timings_across_process_workers():
+    """Span trees ship back across the process boundary per batch."""
+    graph = make_family_instance("cycle_chords", 18, seed=7)
+
+    async def scenario(client, server):
+        body = {"graph": graph_payload(graph), "eps": 0.5, "timings": True}
+        status, resp = await client.request("POST", "/v1/solve", body)
+        assert status == 200, resp
+        timings = resp["timings"]
+        # Worker-side phases made it back over the pipe.
+        assert "worker.solve_batch" in timings
+        assert "serve.dispatch" in timings
+        assert any(name.startswith("solve") for name in timings)
+
+    serve_session(
+        scenario, ServeConfig(workers=1, tracing=True, max_delay_ms=1.0)
+    )
+
+
+# ---------------------------------------------------------------------------
 # k-ECSS over the wire
 # ---------------------------------------------------------------------------
 

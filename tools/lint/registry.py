@@ -25,7 +25,13 @@ class Rule:
     the rule families reported together), ``description`` (one line for
     ``--list-rules`` and the docs), and optionally ``packages`` — dotted
     module-name prefixes the rule is scoped to (``None`` applies it to
-    every linted module).  ``check`` yields :class:`Finding` objects; the
+    every linted module).  ``exempt_packages`` carves package-level
+    holes out of that scope: a module under an exempt prefix is skipped
+    even when it matches ``packages`` — the declarative form of "this
+    package is allowed to do the thing", preferred over per-line
+    suppression comments when the exemption is a design decision (e.g.
+    ``repro.obs`` reads the wall clock *by design*; solver packages
+    still cannot).  ``check`` yields :class:`Finding` objects; the
     engine handles suppression and baseline filtering.
     """
 
@@ -33,12 +39,18 @@ class Rule:
     family: str = ""
     description: str = ""
     packages: tuple[str, ...] | None = None
+    exempt_packages: tuple[str, ...] = ()
 
     def applies_to(self, module: "ModuleInfo") -> bool:
         """Whether this rule runs on the given module (prefix scoping)."""
+        dotted = module.dotted
+        if any(
+            dotted == p or dotted.startswith(p + ".")
+            for p in self.exempt_packages
+        ):
+            return False
         if self.packages is None:
             return True
-        dotted = module.dotted
         return any(
             dotted == p or dotted.startswith(p + ".") for p in self.packages
         )

@@ -391,7 +391,12 @@ class WallClockRule(Rule):
         "time.monotonic()/perf_counter() for durations and keep "
         "timestamps out of result objects"
     )
-    packages = SOLVER_PACKAGES + ("repro.dist", "repro.sim")
+    # All of repro, minus the one package whose *job* is wall-clock
+    # observation: repro.obs stamps span start times with time.time() so
+    # multi-process trace trees align on a shared epoch.  Spans never
+    # feed back into solver results, so determinism is untouched.
+    packages = ("repro",)
+    exempt_packages = ("repro.obs",)
 
     def check(self, module, project) -> Iterator[Finding]:
         aliases = project.cached(
